@@ -1,0 +1,35 @@
+"""Shared plumbing for the benchmark harness.
+
+Every module regenerates one table or figure of the paper (see
+DESIGN.md's experiment index).  Besides the pytest-benchmark timing,
+each bench asserts the paper's *shape* claims and writes the rendered
+table to ``benchmarks/results/`` so a full run leaves the reproduced
+artifacts on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Write a rendered experiment artifact to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / name
+        path.write_text(text + "\n", encoding="utf-8")
+        # Also echo to the terminal so tee'd bench logs carry the tables.
+        print(f"\n===== {name} =====\n{text}")
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a heavy flow with a single measured execution."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,110 @@
+"""Ablation A2 -- selective encoding versus run-length baselines.
+
+The paper builds on selective encoding (ref [14]); its related work
+cites the run-length family (Golomb, FDR).  This ablation compresses
+the same synthetic sparse test set with all three and with no coding,
+showing (a) every coder beats raw delivery at industrial densities and
+(b) the flow's conclusions do not hinge on a codec pathology.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.compression.cubes import fill_zero, generate_cubes
+from repro.compression.fdr import FdrCode
+from repro.compression.golomb import best_golomb_parameter
+from repro.compression.selective import encoded_bits
+from repro.reporting.tables import format_table
+from repro.soc.core import Core
+from repro.wrapper.design import design_wrapper
+
+
+def _make_core(density: float) -> Core:
+    return Core(
+        name=f"abl-codec-{density}",
+        inputs=24,
+        outputs=24,
+        scan_chain_lengths=tuple([64] * 40),
+        patterns=200,
+        care_bit_density=density,
+        seed=77,
+    )
+
+
+def _compress_all(density: float):
+    core = _make_core(density)
+    cubes = generate_cubes(core)
+    raw_bits = cubes.bits.size
+
+    design = design_wrapper(core, 40)
+    slices = cubes.slices(design)
+    selective_bits = encoded_bits(slices)
+
+    filled = fill_zero(cubes).ravel()
+    golomb = best_golomb_parameter(filled)
+    golomb_bits = golomb.encoded_length(filled)
+    fdr_bits = FdrCode().encoded_length(filled)
+
+    return {
+        "density": density,
+        "raw": raw_bits,
+        "selective": selective_bits,
+        "golomb": golomb_bits,
+        "golomb_b": golomb.b,
+        "fdr": fdr_bits,
+    }
+
+
+def test_codec_ablation(benchmark, record):
+    results = run_once(
+        benchmark, lambda: [_compress_all(d) for d in (0.01, 0.02, 0.05, 0.10)]
+    )
+    record(
+        "ablation_codecs.txt",
+        format_table(
+            [
+                "care density",
+                "raw bits",
+                "selective",
+                "Golomb (best b)",
+                "FDR",
+                "selective ratio",
+            ],
+            [
+                (
+                    r["density"],
+                    r["raw"],
+                    r["selective"],
+                    f"{r['golomb']} (b={r['golomb_b']})",
+                    r["fdr"],
+                    round(r["raw"] / r["selective"], 2),
+                )
+                for r in results
+            ],
+            title="Ablation A2 -- compressed stimulus bits by codec",
+        ),
+    )
+
+    for r in results:
+        # Industrial densities: every codec compresses.
+        assert r["selective"] < r["raw"], r
+        assert r["golomb"] < r["raw"], r
+        assert r["fdr"] < r["raw"], r
+
+    # Compression degrades as density rises, for every codec.
+    for key in ("selective", "golomb", "fdr"):
+        sizes = [r[key] for r in results]
+        assert all(b > a for a, b in zip(sizes, sizes[1:])), key
+
+    # Selective encoding pays a per-slice floor (one END codeword per
+    # scan slice) that pure run-length coders do not, so it is denser on
+    # the raw bit count at very low care densities; what it buys is the
+    # fixed-rate, slice-aligned delivery the TAM scheduling needs.  The
+    # gap must stay bounded, and it must close as density rises.
+    gaps = []
+    for r in results:
+        best_rle = min(r["golomb"], r["fdr"])
+        gap = r["selective"] / best_rle
+        gaps.append(gap)
+        assert gap < 8, r
+    assert gaps[-1] < gaps[0], "the gap should close at higher density"

@@ -1,0 +1,51 @@
+"""Experiment E1 -- Figure 2 of the paper.
+
+Test time versus the number of wrapper chains for core ckt-7 at a fixed
+TAM width of w = 10 (so m ranges over [128, 255]).  Paper claims:
+
+* the curve is non-monotonic in m;
+* the minimum is *not* at the maximum m = 255 (the paper finds 253);
+* the spread (tau_max - tau_min) / tau_max is large (paper: 31%).
+"""
+
+from conftest import run_once
+
+from repro.reporting.experiments import figure2_data, format_figure2
+
+
+def test_figure2_ckt7_w10(benchmark, record):
+    data = run_once(benchmark, figure2_data, "ckt-7", 10)
+    record("figure2.txt", format_figure2(data))
+
+    # Shape claims (DESIGN.md, E1 fidelity targets).
+    assert data.m_values[0] == 128 and data.m_values[-1] == 255
+    assert not data.is_monotonic, "tau_c(m) must be non-monotonic"
+    assert data.argmin_m != 255, "minimum must not sit at the max m"
+    assert data.argmin_m >= 200, "minimum should sit in the upper m range"
+    assert 0.10 <= data.relative_spread <= 0.50, (
+        "spread should be tens of percent (paper: 31%), got "
+        f"{100 * data.relative_spread:.1f}%"
+    )
+    # Test-time magnitude: the paper's Figure 2 y-axis spans ~3-4e6 cycles.
+    assert 1e6 < data.tau_min < 1e7
+
+
+def test_figure2_other_cores_also_non_monotonic(benchmark, record):
+    """The paper reports 'similar behaviour for all cores'."""
+
+    def sweep():
+        return {
+            name: figure2_data(name, 9)
+            for name in ("ckt-1", "ckt-6", "ckt-9")
+        }
+
+    results = run_once(benchmark, sweep)
+    lines = []
+    for name, data in results.items():
+        lines.append(
+            f"{name}: w=9, min at m={data.argmin_m}, "
+            f"spread {100 * data.relative_spread:.1f}%, "
+            f"monotonic={data.is_monotonic}"
+        )
+        assert not data.is_monotonic, name
+    record("figure2_other_cores.txt", "\n".join(lines))

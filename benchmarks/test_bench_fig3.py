@@ -1,0 +1,28 @@
+"""Experiment E2 -- Figure 3 of the paper.
+
+Lowest test time (over m) for each exact TAM width w, core ckt-7.
+Paper claims the curve is non-monotonic in w: the test time at TAM
+width 11 is lower than at widths 12 and 13.
+"""
+
+from conftest import run_once
+
+from repro.reporting.experiments import figure3_data, format_figure3
+
+
+def test_figure3_ckt7(benchmark, record):
+    data = run_once(benchmark, figure3_data, "ckt-7", range(6, 15))
+    record("figure3.txt", format_figure3(data))
+
+    times = dict(zip(data.code_widths, data.test_times))
+
+    # Strong decrease while the TAM is the bottleneck.
+    assert times[6] > times[8] > times[10]
+
+    # The paper's headline: tau(11) < tau(12) and tau(11) < tau(13).
+    assert times[11] < times[12], "w=12 must not beat w=11"
+    assert times[11] < times[13], "w=13 must not beat w=11"
+    assert data.upticks(), "the curve must be non-monotonic"
+
+    # Magnitude: the flat region sits in the few-million-cycle range.
+    assert 1e6 < times[11] < 1e7

@@ -1,0 +1,40 @@
+"""Experiment E3 -- Figure 4 of the paper.
+
+One industrial design planned three ways at the same width budget
+(the paper uses W = 31, split by its optimizer into 12 + 10 + 9):
+
+  (a) no TDC;
+  (b) one decompressor per TAM (same test time as (c) but the on-chip
+      TAMs behind the decompressors are extremely wide);
+  (c) one decompressor per core (the proposal: narrow on-chip TAMs).
+
+Claims: tau(b) ~= tau(c) << tau(a); wires(c) << wires(b).
+"""
+
+from conftest import run_once
+
+from repro.reporting.experiments import figure4_data, format_figure4
+
+
+def test_figure4_three_architectures(benchmark, record):
+    data = run_once(benchmark, figure4_data, "System1", 31)
+    record("figure4.txt", format_figure4(data))
+
+    tau_a = data.no_tdc.test_time
+    tau_b = data.per_tam.test_time
+    tau_c = data.per_core.test_time
+
+    # TDC buys a large factor over the no-TDC plan.
+    assert tau_c * 3 < tau_a, f"TDC should win big: {tau_a} vs {tau_c}"
+    assert tau_b * 3 < tau_a
+
+    # Per-core matches per-TAM test time (within 15%: the per-TAM search
+    # space is slightly different because each part must host a code).
+    assert abs(tau_b - tau_c) / max(tau_b, tau_c) < 0.15
+
+    # ... but with far narrower on-chip TAMs.
+    assert data.per_core_wires <= data.width_budget
+    assert data.per_tam_wires > 3 * data.per_core_wires
+
+    # The budget is split into a handful of TAMs, as in the paper.
+    assert 2 <= len(data.per_core.tam_widths) <= 6

@@ -1,0 +1,103 @@
+"""Kernel performance benchmarks (multi-round pytest-benchmark runs).
+
+Not a paper artifact: these measure the library's hot kernels so
+regressions in the cost-critical paths (slice-cost kernel, estimator,
+wrapper design, scheduling) are visible.  The paper's "CPU time below
+one minute" claim rests on these staying fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression.cubes import generate_cubes
+from repro.compression.estimator import estimate_codewords
+from repro.compression.selective import encode_slices, slice_costs
+from repro.core.partition import search_partitions
+from repro.core.scheduler import schedule_cores
+from repro.soc.core import Core
+from repro.soc.industrial import industrial_core
+from repro.wrapper.design import _design_wrapper_cached, design_wrapper
+
+
+@pytest.fixture(scope="module")
+def slices_64():
+    rng = np.random.default_rng(1)
+    arr = np.where(rng.random((4096, 64)) < 0.05, rng.integers(0, 2, (4096, 64)), 2)
+    return arr.astype(np.int8)
+
+
+def test_slice_cost_kernel_throughput(benchmark, slices_64):
+    """Vectorized cost of 4096 64-bit slices (the DSE inner loop)."""
+    total = benchmark(lambda: int(slice_costs(slices_64).sum()))
+    assert total >= 4096  # at least the END codewords
+
+
+def test_bit_level_encoder(benchmark, slices_64):
+    """The exact (per-slice Python) encoder on a 512-slice batch."""
+    batch = slices_64[:512]
+    stream = benchmark(lambda: encode_slices(batch))
+    assert stream.slice_count == 512
+
+
+def test_estimator_per_configuration(benchmark):
+    """One sampled (core, m) evaluation for an industrial core."""
+    core = industrial_core("ckt-7")
+    design = design_wrapper(core, 200)
+    stats = benchmark(
+        lambda: estimate_codewords(core, design, samples=768)
+    )
+    assert stats.total_codewords > 0
+
+
+def test_wrapper_design_bfd(benchmark):
+    """BFD wrapper design for a 300-chain core (no cache)."""
+    core = industrial_core("ckt-11")
+
+    def run():
+        _design_wrapper_cached.cache_clear()
+        return design_wrapper(core, 128)
+
+    design = benchmark(run)
+    assert design.num_chains == 128
+
+
+def test_list_scheduler(benchmark):
+    """O(nk) list scheduling of 50 cores on 6 TAMs."""
+    rng = np.random.default_rng(2)
+    times = {f"c{i}": int(rng.integers(100, 10_000)) for i in range(50)}
+    names = list(times)
+
+    outcome = benchmark(
+        lambda: schedule_cores(names, [12, 10, 8, 6, 4, 2], lambda n, w: times[n])
+    )
+    assert outcome.makespan > 0
+
+
+def test_partition_search_exhaustive(benchmark):
+    """Full exhaustive partition search at W=32 with cached times."""
+    rng = np.random.default_rng(3)
+    work = {f"c{i}": int(rng.integers(5_000, 200_000)) for i in range(10)}
+    names = list(work)
+
+    def time_of(name, width):
+        return -(-work[name] // width)
+
+    result = benchmark(
+        lambda: search_partitions(names, 32, time_of, strategy="exhaustive")
+    )
+    assert result.makespan > 0
+
+
+def test_cube_generation(benchmark):
+    """Synthetic cube materialization for a d695-class core."""
+    core = Core(
+        name="gen",
+        inputs=38,
+        outputs=304,
+        scan_chain_lengths=(45,) * 32,
+        patterns=110,
+        care_bit_density=0.6,
+        seed=4,
+    )
+    cubes = benchmark(lambda: generate_cubes(core))
+    assert cubes.patterns == 110

@@ -1,0 +1,53 @@
+"""Experiment E4 -- Table 1 of the paper.
+
+Test-time minimization under an ATE-channel constraint (W_ATE) for the
+academic benchmarks d695 and d2758.  The paper compares against the
+SOC-level decompressor of [18], noting that at an ATE-channel
+constraint the SOC-level architecture is competitive (it spends few
+channels and many on-chip wires) -- the regime where the proposed
+method "performs not as well" as at a TAM-wire constraint.
+
+The comparator numbers in the paper's Table 1 are unreadable in our
+source dump; the bench therefore reproduces the *structural* claim with
+our [18] stand-in and records the full proposed-approach column.
+"""
+
+from conftest import run_once
+
+from repro.reporting.experiments import format_table1, table1_rows
+
+
+def test_table1_ate_channel_constraint(benchmark, record):
+    rows = run_once(
+        benchmark, table1_rows, ("d695", "d2758"), (16, 24, 32)
+    )
+    record("table1.txt", format_table1(rows))
+
+    by_design: dict[str, list] = {}
+    for row in rows:
+        by_design.setdefault(row.design, []).append(row)
+
+    for design, items in by_design.items():
+        items.sort(key=lambda r: r.ate_channels)
+        times = [r.proposed_time for r in items]
+        # More channels never hurt the proposed approach.
+        assert all(b <= a for a, b in zip(times, times[1:])), design
+        # The SOC-level comparator exists and produces plausible times.
+        assert all(r.soc_level_time and r.soc_level_time > 0 for r in items)
+
+    # Structural claim: the SOC-level architecture is *relatively*
+    # stronger under a channel constraint than under a wire constraint
+    # of the same size (the paper: "when comparing test time at ATE
+    # channel constraint we perform not as well as ... at TAM wire
+    # constraint").  Check on d695 at matched budgets.
+    from repro.reporting.experiments import table2_rows
+
+    wire_rows = table2_rows(("d695",), (16, 24, 32), include_soc_level=True)
+    wire_ratio = {r.tam_width: r.ratio for r in wire_rows}
+    for row in by_design["d695"]:
+        assert row.ratio is not None
+        assert row.ratio >= wire_ratio[row.ate_channels] * 0.98, (
+            f"budget {row.ate_channels}: channel-constraint ratio "
+            f"{row.ratio:.3f} should not beat wire-constraint ratio "
+            f"{wire_ratio[row.ate_channels]:.3f}"
+        )

@@ -1,0 +1,32 @@
+"""Experiment E5 -- Table 2 of the paper.
+
+Test-time minimization under a TAM-wire constraint (W_TAM) for d695.
+Paper claim: at equal on-chip TAM wires, the proposed per-core
+decompression beats the SOC-level decompressor of [18] ("a decompressor
+at SOC-level leads to extensive and costly TAMs"), because the
+comparator must squeeze its expanded virtual TAM into the same wires.
+"""
+
+from conftest import run_once
+
+from repro.reporting.experiments import format_table2, table2_rows
+
+
+def test_table2_tam_width_constraint(benchmark, record):
+    rows = run_once(benchmark, table2_rows, ("d695",), (16, 24, 32, 48, 64))
+    record("table2.txt", format_table2(rows))
+
+    rows = sorted(rows, key=lambda r: r.tam_width)
+    times = [r.proposed_time for r in rows]
+    # Wider TAM budgets never hurt.
+    assert all(b <= a for a, b in zip(times, times[1:]))
+
+    # The paper's claim: proposed <= soc-level at every wire budget.
+    for row in rows:
+        assert row.soc_level_time is not None
+        assert row.proposed_time <= row.soc_level_time, (
+            f"W_TAM={row.tam_width}: proposed {row.proposed_time} should "
+            f"beat soc-level {row.soc_level_time}"
+        )
+        # The comparator spends far fewer ATE channels doing it.
+        assert row.soc_level_channels < row.tam_width

@@ -1,0 +1,63 @@
+"""Experiment E6 -- Table 3 of the paper (the headline result).
+
+Test time and test data volume, with and without TDC, at several TAM
+width constraints, for d695 and the four industrial-core systems.
+
+Paper claims (industrial designs):
+
+* ~15x average test-time reduction (12.59x over all designs incl. d695);
+* ~16x average volume reduction versus the no-TDC plan;
+* CPU time below one minute per run.
+
+Our d695 uses synthetic i.i.d. cubes at the published ~66% care-bit
+density; at that density selective encoding cannot win (the paper's own
+discussion flags these benchmarks as unrealistically dense and pivots
+to the industrial cores), so the d695 fidelity band here is
+"compression roughly break-even or worse" rather than the paper's
+mild gain -- see EXPERIMENTS.md for the full discussion.
+"""
+
+from conftest import run_once
+
+from repro.reporting.experiments import format_table3, table3_rows
+
+WIDTHS = (16, 32, 48, 64)
+DESIGNS = ("d695", "System1", "System2", "System3", "System4")
+
+
+def test_table3_tdc_vs_no_tdc(benchmark, record):
+    rows = run_once(benchmark, table3_rows, DESIGNS, WIDTHS)
+    record("table3.txt", format_table3(rows))
+
+    industrial = [r for r in rows if r.design.startswith("System")]
+    assert len(industrial) == 4 * len(WIDTHS)
+
+    # Headline: industrial-core systems gain an order of magnitude.
+    avg_time = sum(r.time_reduction for r in industrial) / len(industrial)
+    avg_volume = sum(r.volume_reduction for r in industrial) / len(industrial)
+    assert 6.0 <= avg_time <= 30.0, f"avg industrial time reduction {avg_time:.1f}x"
+    assert 6.0 <= avg_volume <= 30.0, (
+        f"avg industrial volume reduction {avg_volume:.1f}x"
+    )
+    # Every industrial row individually wins by a clear factor.
+    assert all(r.time_reduction > 3.0 for r in industrial)
+
+    # Volume versus the *initial* (unpadded) cube volume also shrinks.
+    assert all(r.volume_reduction_vs_initial > 3.0 for r in industrial)
+
+    # CPU: the paper reports < 1 minute; so do we, per row and mode.
+    assert all(r.cpu_no_tdc < 60 and r.cpu_tdc < 60 for r in rows)
+
+    # d695 (dense cubes): compression is not the win the sparse cores
+    # get; it must stay within a sane band rather than explode.
+    d695 = [r for r in rows if r.design == "d695"]
+    assert all(0.2 <= r.time_reduction <= 5.0 for r in d695)
+
+
+def test_table3_auto_mode_never_loses(benchmark, record):
+    """Extension: with per-core bypass, TDC-auto never hurts any design."""
+    rows = run_once(
+        benchmark, table3_rows, ("d695", "System2"), (16, 32), compression="auto"
+    )
+    record("table3_auto.txt", format_table3(rows))
+    assert all(r.time_reduction >= 0.999 for r in rows)

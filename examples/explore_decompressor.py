@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Explore one core's decompressor design space (Figures 2 and 3).
+
+Run::
+
+    python examples/explore_decompressor.py [core-name]
+
+Sweeps the wrapper-chain count m at a fixed TAM width (default core
+ckt-7 at w = 10, the paper's Figure 2), then the minimum test time per
+TAM width (Figure 3), and prints ASCII plots of both non-monotonic
+curves.  Finishes by encoding a small cube batch and expanding it
+through the cycle-level decompressor model to show the machinery end to
+end.
+"""
+
+import sys
+
+import numpy as np
+
+from repro.compression.decompressor import Decompressor
+from repro.compression.selective import encode_slices
+from repro.explore.dse import analysis_for
+from repro.reporting.experiments import figure2_data, figure3_data
+from repro.soc.industrial import industrial_core
+
+
+def ascii_plot(xs, ys, width=64, height=12, label="") -> str:
+    lo, hi = min(ys), max(ys)
+    span = (hi - lo) or 1
+    rows = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - xs[0]) / max(1, xs[-1] - xs[0]) * (width - 1))
+        row = int((hi - y) / span * (height - 1))
+        rows[row][col] = "*"
+    lines = [f"{label} (y: {lo:,} .. {hi:,})"]
+    lines.extend("|" + "".join(r) + "|" for r in rows)
+    lines.append(f" x: {xs[0]} .. {xs[-1]}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    core_name = sys.argv[1] if len(sys.argv) > 1 else "ckt-7"
+
+    fig2 = figure2_data(core_name, 10)
+    print(
+        ascii_plot(
+            fig2.m_values,
+            fig2.test_times,
+            label=f"Figure 2 -- {core_name}: tau_c vs m at w=10",
+        )
+    )
+    print(
+        f"min tau = {fig2.tau_min:,} at m = {fig2.argmin_m} "
+        f"(max m would be {fig2.m_values[-1]}); "
+        f"spread (tau_max - tau_min)/tau_max = {100 * fig2.relative_spread:.1f}%"
+    )
+    print()
+
+    fig3 = figure3_data(core_name, range(6, 15))
+    print(
+        ascii_plot(
+            fig3.code_widths,
+            fig3.test_times,
+            label=f"Figure 3 -- {core_name}: min tau_c vs TAM width w",
+        )
+    )
+    upticks = fig3.upticks()
+    if upticks:
+        print(f"non-monotonic: widening the TAM past w={upticks} *increases* tau")
+    print()
+
+    # End-to-end: encode a small batch of slices and replay them through
+    # the decompressor FSM at the best (w, m) found for a narrow TAM.
+    core = industrial_core(core_name)
+    best = analysis_for(core).best_compressed_for_tam(10)
+    print(
+        f"best config on a 10-wire TAM: w={best.code_width}, m={best.m}, "
+        f"{best.codewords:,} codewords, tau={best.test_time:,} cycles"
+    )
+    rng = np.random.default_rng(0)
+    demo_m = 12
+    slices = np.where(
+        rng.random((4, demo_m)) < core.care_bit_density * 10,
+        rng.integers(0, 2, (4, demo_m)),
+        2,
+    ).astype(np.int8)
+    stream = encode_slices(slices)
+    decoder = Decompressor(stream.m)
+    print(
+        f"\ndemo: {slices.shape[0]} slices of width {demo_m} -> "
+        f"{stream.cycles} codewords of {stream.code_width} bits"
+    )
+    for word in stream.codewords:
+        out = decoder.feed(word)
+        if out is not None:
+            print(f"  cycle {decoder.cycles:>3}: slice -> {''.join(map(str, out))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The normal install path is ``pip install -e .`` (pyproject.toml carries
+all metadata).  This file exists so that fully offline environments
+without the ``wheel`` package can still do ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

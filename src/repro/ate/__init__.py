@@ -1,0 +1,5 @@
+"""Automatic test equipment (ATE) model: channels, memory, timing."""
+
+from repro.ate.tester import Ate, AteFit
+
+__all__ = ["Ate", "AteFit"]

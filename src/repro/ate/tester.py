@@ -1,0 +1,83 @@
+"""A simple ATE model.
+
+The paper's cost drivers are (i) the number of ATE channels feeding the
+chip (``W_ATE``, the Table 1 constraint), (ii) the per-channel vector
+memory depth, and (iii) the tester clock that converts cycle counts into
+seconds.  This model performs the bookkeeping for all three; it does not
+model channel multiplexing or repeat-per-vector features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AteFit:
+    """Whether a test fits the tester memory, and by what margin."""
+
+    fits: bool
+    required_depth: int
+    available_depth: int
+
+    @property
+    def utilization(self) -> float:
+        if self.available_depth == 0:
+            return float("inf")
+        return self.required_depth / self.available_depth
+
+
+@dataclass(frozen=True)
+class Ate:
+    """An ATE with ``channels`` scan channels.
+
+    Parameters
+    ----------
+    channels:
+        Number of chip-side scan channels the tester drives (``W_ATE``).
+    memory_depth:
+        Vectors (cycles) of storage behind each channel.
+    clock_hz:
+        Tester clock frequency, for cycle -> seconds conversion.
+    """
+
+    channels: int
+    memory_depth: int = 16_000_000
+    clock_hz: float = 20e6
+
+    def __post_init__(self) -> None:
+        if self.channels < 1:
+            raise ValueError(f"channels must be >= 1, got {self.channels}")
+        if self.memory_depth < 1:
+            raise ValueError(f"memory_depth must be >= 1, got {self.memory_depth}")
+        if self.clock_hz <= 0:
+            raise ValueError(f"clock_hz must be > 0, got {self.clock_hz}")
+
+    def seconds(self, cycles: int) -> float:
+        """Test application time for a cycle count."""
+        return cycles / self.clock_hz
+
+    def fit(self, volume_bits: int) -> AteFit:
+        """Check a stimulus volume against the channel memory.
+
+        The volume is spread evenly over the channels; the per-channel
+        depth must cover it.
+        """
+        required = -(-volume_bits // self.channels)
+        return AteFit(
+            fits=required <= self.memory_depth,
+            required_depth=required,
+            available_depth=self.memory_depth,
+        )
+
+    def depth_for_schedule(self, total_cycles: int) -> AteFit:
+        """Check a schedule length (cycles) against memory depth.
+
+        With one bit per channel per cycle, a schedule of ``T`` cycles
+        needs depth ``T`` on each active channel.
+        """
+        return AteFit(
+            fits=total_cycles <= self.memory_depth,
+            required_depth=total_cycles,
+            available_depth=self.memory_depth,
+        )

@@ -1,0 +1,223 @@
+"""Command-line interface: plan a design and print the result.
+
+Examples::
+
+    repro-soc plan d695 --width 32
+    repro-soc plan System1 --width 31 --no-compression --gantt
+    repro-soc figure 2
+    repro-soc table 3 --widths 16,32
+    repro-soc describe System2
+    repro-soc simulate d695 --width 16
+    repro-soc export d695 --width 24 --out plan.json
+    repro-soc power System2 --width 32 --budget-fraction 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.optimizer import optimize_soc
+from repro.core.architecture import architecture_summary
+from repro.soc.industrial import load_design
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    soc = load_design(args.design)
+    compression = "none" if args.no_compression else args.compression
+    result = optimize_soc(
+        soc,
+        args.width,
+        compression=compression,
+        max_tams=args.max_tams,
+        strategy=args.strategy,
+    )
+    print(architecture_summary(result.architecture))
+    print(
+        f"partitions evaluated: {result.partitions_evaluated} "
+        f"({result.strategy}), cpu {result.cpu_seconds:.2f} s"
+    )
+    if args.gantt:
+        print(result.architecture.render_gantt())
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    soc = load_design(args.design)
+    print(soc.describe())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.reporting import experiments as exp
+
+    if args.number == 2:
+        print(exp.format_figure2(exp.figure2_data()))
+    elif args.number == 3:
+        print(exp.format_figure3(exp.figure3_data()))
+    elif args.number == 4:
+        print(exp.format_figure4(exp.figure4_data()))
+    else:
+        print(f"no figure {args.number} in the paper", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.reporting import experiments as exp
+
+    widths = tuple(int(w) for w in args.widths.split(",")) if args.widths else None
+    if args.number == 1:
+        rows = exp.table1_rows(channels=widths or (16, 24, 32))
+        print(exp.format_table1(rows))
+    elif args.number == 2:
+        rows = exp.table2_rows(widths=widths or (16, 24, 32, 48, 64))
+        print(exp.format_table2(rows))
+    elif args.number == 3:
+        rows = exp.table3_rows(widths=widths or (16, 32, 48, 64))
+        print(exp.format_table3(rows))
+    else:
+        print(f"no table {args.number} in the paper", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.simulator import simulate_architecture
+
+    soc = load_design(args.design)
+    plan = optimize_soc(soc, args.width, compression=args.compression)
+    report = simulate_architecture(soc, plan.architecture)
+    print(
+        f"simulated {report.soc_name}: {report.total_cycles} cycles "
+        f"(planned {plan.test_time}), {report.patterns_applied} patterns, "
+        f"{report.bits_streamed} bits streamed, "
+        f"{report.codewords_consumed} codewords"
+    )
+    verdict = "MATCH" if report.total_cycles == plan.test_time else "MISMATCH"
+    print(f"plan-vs-silicon: {verdict}")
+    return 0 if verdict == "MATCH" else 1
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.reporting.export import result_to_json
+
+    soc = load_design(args.design)
+    plan = optimize_soc(soc, args.width, compression=args.compression)
+    text = result_to_json(plan)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    from repro.core.optimizer import optimize_soc_constrained
+    from repro.power.model import power_table
+
+    soc = load_design(args.design)
+    table = power_table(soc, compression=args.compression != "none")
+    budget = sum(table.values()) * args.budget_fraction
+    plan = optimize_soc_constrained(
+        soc, args.width, compression=args.compression, power_budget=budget
+    )
+    print(
+        f"{soc.name} at W={args.width}, budget "
+        f"{args.budget_fraction:.2f}x SOC power ({budget:.0f} units): "
+        f"{plan.test_time} cycles, peak power {plan.peak_power:.0f}, "
+        f"TAM idle {plan.tam_idle_cycles} cycles"
+    )
+    print(plan.architecture.render_gantt())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-soc",
+        description="SOC test-architecture optimization with core-level "
+        "test-pattern expansion (DATE 2008 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="optimize one design at a width budget")
+    plan.add_argument("design", help="d695, d2758, or System1..System4")
+    plan.add_argument("--width", type=int, required=True, help="W_TAM budget")
+    plan.add_argument(
+        "--compression",
+        choices=["per-core", "none", "auto", "select"],
+        default="per-core",
+    )
+    plan.add_argument("--no-compression", action="store_true")
+    plan.add_argument("--max-tams", type=int, default=None)
+    plan.add_argument(
+        "--strategy", choices=["auto", "exhaustive", "greedy"], default="auto"
+    )
+    plan.add_argument("--gantt", action="store_true", help="print a Gantt chart")
+    plan.set_defaults(func=_cmd_plan)
+
+    describe = sub.add_parser("describe", help="print a design summary")
+    describe.add_argument("design")
+    describe.set_defaults(func=_cmd_describe)
+
+    figure = sub.add_parser("figure", help="reproduce a paper figure")
+    figure.add_argument("number", type=int)
+    figure.set_defaults(func=_cmd_figure)
+
+    table = sub.add_parser("table", help="reproduce a paper table")
+    table.add_argument("number", type=int)
+    table.add_argument("--widths", default=None, help="comma-separated widths")
+    table.set_defaults(func=_cmd_table)
+
+    simulate = sub.add_parser(
+        "simulate", help="replay a plan through the bit-level simulator"
+    )
+    simulate.add_argument("design")
+    simulate.add_argument("--width", type=int, required=True)
+    simulate.add_argument(
+        "--compression",
+        choices=["per-core", "none", "auto", "select"],
+        default="auto",
+    )
+    simulate.set_defaults(func=_cmd_simulate)
+
+    export = sub.add_parser("export", help="plan and export to JSON")
+    export.add_argument("design")
+    export.add_argument("--width", type=int, required=True)
+    export.add_argument(
+        "--compression",
+        choices=["per-core", "none", "auto", "select"],
+        default="auto",
+    )
+    export.add_argument("--out", default=None, help="output path (default stdout)")
+    export.set_defaults(func=_cmd_export)
+
+    power = sub.add_parser("power", help="plan under a flat power budget")
+    power.add_argument("design")
+    power.add_argument("--width", type=int, required=True)
+    power.add_argument(
+        "--compression",
+        choices=["per-core", "none", "auto"],
+        default="per-core",
+    )
+    power.add_argument(
+        "--budget-fraction",
+        type=float,
+        default=0.5,
+        help="budget as a fraction of total SOC flat power",
+    )
+    power.set_defaults(func=_cmd_power)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Test-data compression substrate.
+
+* :mod:`repro.compression.cubes` -- 0/1/X test-cube sets and the seeded
+  synthetic cube generator.
+* :mod:`repro.compression.selective` -- bit-accurate selective-encoding
+  codec (reconstruction of Wang & Chakrabarty, ITC 2006 -- the paper's
+  ref [14]) plus a vectorized slice-cost kernel.
+* :mod:`repro.compression.decompressor` -- cycle-level model of the
+  on-chip decompressor that expands the codeword stream back to scan
+  slices.
+* :mod:`repro.compression.estimator` -- sampled-slice estimator of the
+  codeword count for industrial-scale cores.
+* :mod:`repro.compression.golomb` / :mod:`repro.compression.fdr` --
+  run-length baseline codecs used in ablation benches.
+"""
+
+from repro.compression.cubes import TestCubeSet, generate_cubes, X
+from repro.compression.selective import (
+    Codeword,
+    CompressedStream,
+    code_parameters,
+    encode_slice,
+    encode_slices,
+    slice_costs,
+    encoded_bits,
+)
+from repro.compression.decompressor import Decompressor, expand_stream
+from repro.compression.estimator import SliceStatistics, estimate_codewords
+
+__all__ = [
+    "TestCubeSet",
+    "generate_cubes",
+    "X",
+    "Codeword",
+    "CompressedStream",
+    "code_parameters",
+    "encode_slice",
+    "encode_slices",
+    "slice_costs",
+    "encoded_bits",
+    "Decompressor",
+    "expand_stream",
+    "SliceStatistics",
+    "estimate_codewords",
+]

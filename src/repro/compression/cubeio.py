@@ -1,0 +1,118 @@
+"""Test-cube import/export (extension).
+
+Users with real ATPG data should not be limited to the synthetic cube
+generator.  Two interchange formats:
+
+* **`.npz`** -- compact binary (numpy archive) carrying the cube array
+  plus the core's structural metadata, written/read losslessly;
+* **pattern text** -- one pattern per line of ``0``/``1``/``X``
+  characters (the common textbook/STIL-flattened form), with ``#``
+  comments; structural metadata comes from the accompanying
+  :class:`~repro.soc.core.Core`.
+
+Loaded cube sets plug into the exact analysis path via
+``CoreAnalysis(core, cubes=...)`` / ``analysis_for(core, cubes=...)``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.compression.cubes import TestCubeSet, X
+from repro.soc.core import Core
+
+_CHAR_TO_VALUE = {"0": 0, "1": 1, "X": X, "x": X, "-": X}
+_VALUE_TO_CHAR = {0: "0", 1: "1", X: "X"}
+
+
+def save_cubes_npz(cubes: TestCubeSet, path: str | os.PathLike) -> None:
+    """Write a cube set (bits + core metadata) to a ``.npz`` archive."""
+    core = cubes.core
+    np.savez_compressed(
+        path,
+        bits=np.asarray(cubes.bits, dtype=np.int8),
+        name=np.array(core.name),
+        inputs=np.array(core.inputs),
+        outputs=np.array(core.outputs),
+        bidirs=np.array(core.bidirs),
+        scan_chain_lengths=np.array(core.scan_chain_lengths, dtype=np.int64),
+        patterns=np.array(core.patterns),
+        care_bit_density=np.array(core.care_bit_density),
+        one_fraction=np.array(core.one_fraction),
+        seed=np.array(core.seed),
+        gates=np.array(core.gates),
+    )
+
+
+def load_cubes_npz(path: str | os.PathLike) -> TestCubeSet:
+    """Read a cube set written by :func:`save_cubes_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        core = Core(
+            name=str(data["name"]),
+            inputs=int(data["inputs"]),
+            outputs=int(data["outputs"]),
+            bidirs=int(data["bidirs"]),
+            scan_chain_lengths=tuple(int(x) for x in data["scan_chain_lengths"]),
+            patterns=int(data["patterns"]),
+            care_bit_density=float(data["care_bit_density"]),
+            one_fraction=float(data["one_fraction"]),
+            seed=int(data["seed"]),
+            gates=int(data["gates"]),
+        )
+        bits = np.asarray(data["bits"], dtype=np.int8)
+    return TestCubeSet(core=core, bits=bits)
+
+
+def format_patterns(cubes: TestCubeSet) -> str:
+    """Render cubes as pattern text: one 0/1/X line per pattern."""
+    lines = [f"# {cubes.core.name}: {cubes.patterns} patterns x "
+             f"{cubes.bits_per_pattern} bits"]
+    for row in np.asarray(cubes.bits):
+        lines.append("".join(_VALUE_TO_CHAR[int(v)] for v in row))
+    return "\n".join(lines) + "\n"
+
+
+def parse_patterns(core: Core, text: str) -> TestCubeSet:
+    """Parse pattern text against a core description.
+
+    The line count must equal ``core.patterns`` and each line's length
+    must equal ``core.scan_in_bits``; characters outside ``01Xx-`` are
+    rejected with the offending line number.
+    """
+    rows: list[list[int]] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        values = []
+        for ch in line:
+            try:
+                values.append(_CHAR_TO_VALUE[ch])
+            except KeyError:
+                raise ValueError(
+                    f"line {line_no}: invalid pattern character {ch!r}"
+                ) from None
+        if len(values) != core.scan_in_bits:
+            raise ValueError(
+                f"line {line_no}: pattern has {len(values)} bits, core "
+                f"{core.name} needs {core.scan_in_bits}"
+            )
+        rows.append(values)
+    if len(rows) != core.patterns:
+        raise ValueError(
+            f"found {len(rows)} patterns, core {core.name} declares "
+            f"{core.patterns}"
+        )
+    return TestCubeSet(core=core, bits=np.asarray(rows, dtype=np.int8))
+
+
+def write_patterns(cubes: TestCubeSet, path: str | os.PathLike) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(format_patterns(cubes))
+
+
+def read_patterns(core: Core, path: str | os.PathLike) -> TestCubeSet:
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_patterns(core, handle.read())

@@ -1,0 +1,161 @@
+"""Test cubes: partially specified scan stimulus patterns.
+
+A *test cube* is a pattern whose bits are 0, 1 or X (unspecified).
+Compression schemes like selective encoding exploit the X bits: only the
+specified ("care") bits must be reproduced by the decompressor.
+
+Cubes are stored densely as an ``int8`` array of shape
+``(patterns, scan_in_bits)`` with the encoding ``0``, ``1`` and
+``X = 2``.  The bit order matches
+:meth:`repro.wrapper.design.WrapperDesign.scan_in_position_matrix`:
+internal scan-chain cells first (chain by chain, shift order), then the
+wrapper input cells.
+
+The original netlists behind the paper's cores are unavailable, so cube
+sets are synthesized with the per-core care-bit density and 1-fraction
+(see DESIGN.md section 5); generation is deterministic in the core seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.soc.core import Core
+from repro.wrapper.design import WrapperDesign
+
+X: int = 2
+"""Cell value marking an unspecified (don't-care) bit."""
+
+#: Refuse to materialize cube arrays above this size; industrial-scale
+#: cores must use the sampled estimator instead.
+DENSE_CELL_LIMIT: int = 200_000_000
+
+
+@dataclass(frozen=True)
+class TestCubeSet:
+    """A dense set of test cubes for one core."""
+
+    __test__ = False  # "Test" prefix is domain vocabulary, not a pytest class
+
+    core: Core
+    bits: np.ndarray  # int8, shape (patterns, scan_in_bits), values {0, 1, X}
+
+    def __post_init__(self) -> None:
+        bits = np.asarray(self.bits, dtype=np.int8)
+        expected = (self.core.patterns, self.core.scan_in_bits)
+        if bits.shape != expected:
+            raise ValueError(
+                f"cube array for {self.core.name} must have shape {expected}, "
+                f"got {bits.shape}"
+            )
+        if bits.size and (bits.min() < 0 or bits.max() > X):
+            raise ValueError("cube values must be 0, 1 or X(=2)")
+        bits.setflags(write=False)
+        object.__setattr__(self, "bits", bits)
+
+    @property
+    def patterns(self) -> int:
+        return int(self.bits.shape[0])
+
+    @property
+    def bits_per_pattern(self) -> int:
+        return int(self.bits.shape[1])
+
+    @property
+    def care_bits(self) -> int:
+        """Number of specified bits across the whole cube set."""
+        return int(np.count_nonzero(self.bits != X))
+
+    @property
+    def care_bit_density(self) -> float:
+        """Measured fraction of specified bits."""
+        if self.bits.size == 0:
+            return 0.0
+        return self.care_bits / self.bits.size
+
+    @property
+    def one_fraction(self) -> float:
+        """Measured fraction of care bits that are logic 1."""
+        care = self.care_bits
+        if care == 0:
+            return 0.0
+        return int(np.count_nonzero(self.bits == 1)) / care
+
+    def slices(self, design: WrapperDesign) -> np.ndarray:
+        """Scan slices of every pattern under a wrapper design.
+
+        Returns an ``int8`` array of shape ``(patterns, si, m)`` where
+        entry ``[q, j, h]`` is the bit pattern ``q`` shifts on wrapper
+        chain ``h`` in cycle ``j``.  Idle (pad) positions are X: they are
+        free for the encoder, exactly like unspecified cube bits.
+        """
+        if design.core != self.core:
+            raise ValueError("wrapper design belongs to a different core")
+        matrix = design.scan_in_position_matrix()  # (si, m)
+        flat = matrix.ravel()
+        valid = flat >= 0
+        out = np.full(
+            (self.patterns, flat.size), X, dtype=np.int8
+        )
+        out[:, valid] = self.bits[:, flat[valid]]
+        return out.reshape(self.patterns, *matrix.shape)
+
+    def is_compatible_with(self, other: np.ndarray) -> bool:
+        """True if ``other`` (fully specified) honors every care bit."""
+        other = np.asarray(other)
+        if other.shape != self.bits.shape:
+            return False
+        care = self.bits != X
+        return bool(np.array_equal(other[care], self.bits[care]))
+
+
+def generate_cubes(core: Core, *, patterns: int | None = None) -> TestCubeSet:
+    """Synthesize a deterministic cube set for ``core``.
+
+    Care bits are placed i.i.d. with probability ``core.care_bit_density``
+    and take value 1 with probability ``core.one_fraction``.  Generation
+    is deterministic in ``core.seed``.  ``patterns`` overrides the core's
+    test-set size (useful for scaled-down experiments).
+    """
+    count = core.patterns if patterns is None else patterns
+    if count < 1:
+        raise ValueError(f"patterns must be >= 1, got {count}")
+    cells = count * core.scan_in_bits
+    if cells > DENSE_CELL_LIMIT:
+        raise MemoryError(
+            f"{core.name}: {cells} cube cells exceed the dense limit "
+            f"({DENSE_CELL_LIMIT}); use repro.compression.estimator instead"
+        )
+    rng = np.random.default_rng(core.seed)
+    shape = (count, core.scan_in_bits)
+    care = rng.random(shape) < core.care_bit_density
+    ones = rng.random(shape) < core.one_fraction
+    bits = np.full(shape, X, dtype=np.int8)
+    bits[care & ones] = 1
+    bits[care & ~ones] = 0
+    if count == core.patterns:
+        return TestCubeSet(core=core, bits=bits)
+    scaled = core.with_patterns(count)
+    return TestCubeSet(core=scaled, bits=bits)
+
+
+def fill_random(cubes: TestCubeSet, seed: int = 0) -> np.ndarray:
+    """Random-fill the X bits (the no-compression ATE image).
+
+    Returns a fully specified ``{0,1}`` array of the cube shape.  Used by
+    the run-length baseline codecs, which operate on filled streams.
+    """
+    rng = np.random.default_rng(seed)
+    filled = cubes.bits.copy()
+    xs = filled == X
+    filled[xs] = rng.integers(0, 2, size=int(xs.sum()), dtype=np.int8)
+    return filled
+
+
+def fill_zero(cubes: TestCubeSet) -> np.ndarray:
+    """Zero-fill the X bits (the fill run-length coders assume)."""
+    filled = cubes.bits.copy()
+    filled[filled == X] = 0
+    return filled

@@ -1,0 +1,148 @@
+"""Cycle-level model of the on-chip selective-encoding decompressor.
+
+The decompressor sits between the TAM and the core wrapper (paper,
+Figure 1): it consumes one ``w``-bit codeword per ATE cycle and, when a
+slice is complete (END codeword), drives the reconstructed ``m``-bit
+slice onto the ``m`` wrapper chains and pulses one scan shift.
+
+The hardware the paper describes is tiny -- a 5-flip-flop/23-gate
+controller plus a ``w``-to-``m`` mapper -- and this model mirrors that
+split: :class:`Decompressor` is the controller FSM (feed one codeword at
+a time, observe emitted slices), while :func:`expand_stream` is the
+batch convenience wrapper used by tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compression.selective import (
+    CONTROL_END,
+    CONTROL_GROUP,
+    CONTROL_SINGLE0,
+    CONTROL_SINGLE1,
+    Codeword,
+    CompressedStream,
+    code_parameters,
+)
+
+
+class DecodeError(ValueError):
+    """Raised when the codeword stream is malformed."""
+
+
+@dataclass
+class Decompressor:
+    """Stateful decoder: feed codewords, collect expanded slices.
+
+    Parameters
+    ----------
+    m:
+        Slice width (number of wrapper chains driven).
+    """
+
+    m: int
+    _k: int = field(init=False)
+    _singles: list[tuple[int, int]] = field(init=False, default_factory=list)
+    _groups: list[tuple[int, int]] = field(init=False, default_factory=list)
+    _pending_group_start: int | None = field(init=False, default=None)
+    _cycles: int = field(init=False, default=0)
+    _slices_emitted: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self._k, _ = code_parameters(self.m)
+
+    @property
+    def cycles(self) -> int:
+        """ATE cycles consumed so far (one per codeword)."""
+        return self._cycles
+
+    @property
+    def slices_emitted(self) -> int:
+        return self._slices_emitted
+
+    @property
+    def mid_slice(self) -> bool:
+        """True if codewords of an unterminated slice are buffered."""
+        return bool(
+            self._singles or self._groups or self._pending_group_start is not None
+        )
+
+    def feed(self, word: Codeword) -> np.ndarray | None:
+        """Consume one codeword; return a completed slice or ``None``."""
+        self._cycles += 1
+        if self._pending_group_start is not None:
+            start = self._pending_group_start
+            self._pending_group_start = None
+            self._groups.append((start, word.payload))
+            return None
+        if word.control == CONTROL_GROUP:
+            if word.payload >= self.m:
+                raise DecodeError(
+                    f"group start {word.payload} out of range for m={self.m}"
+                )
+            self._pending_group_start = word.payload
+            return None
+        if word.control in (CONTROL_SINGLE0, CONTROL_SINGLE1):
+            if word.payload >= self.m:
+                raise DecodeError(
+                    f"bit index {word.payload} out of range for m={self.m}"
+                )
+            value = 1 if word.control == CONTROL_SINGLE1 else 0
+            self._singles.append((word.payload, value))
+            return None
+        if word.control == CONTROL_END:
+            fill = word.payload & 1
+            return self._emit(fill)
+        raise DecodeError(f"unknown control field {word.control}")
+
+    def _emit(self, fill: int) -> np.ndarray:
+        out = np.full(self.m, fill, dtype=np.int8)
+        for start, literal in self._groups:
+            for offset in range(self._k):
+                index = start + offset
+                if index < self.m:
+                    out[index] = (literal >> (self._k - 1 - offset)) & 1
+        for index, value in self._singles:
+            out[index] = value
+        self._singles.clear()
+        self._groups.clear()
+        self._slices_emitted += 1
+        return out
+
+
+def expand_stream(stream: CompressedStream) -> np.ndarray:
+    """Expand a whole stream; returns slices of shape ``(S, m)``.
+
+    Raises :class:`DecodeError` if the stream ends mid-slice or is
+    otherwise malformed.
+    """
+    decoder = Decompressor(stream.m)
+    slices: list[np.ndarray] = []
+    for word in stream.codewords:
+        emitted = decoder.feed(word)
+        if emitted is not None:
+            slices.append(emitted)
+    if decoder.mid_slice:
+        raise DecodeError("stream truncated: final slice not terminated")
+    if len(slices) != stream.slice_count:
+        raise DecodeError(
+            f"stream declares {stream.slice_count} slices, decoded {len(slices)}"
+        )
+    if not slices:
+        return np.empty((0, stream.m), dtype=np.int8)
+    return np.stack(slices)
+
+
+def slices_compatible(source: np.ndarray, decoded: np.ndarray) -> bool:
+    """True if ``decoded`` honors every care bit of ``source`` (X free)."""
+    from repro.compression.cubes import X
+
+    source = np.asarray(source)
+    decoded = np.asarray(decoded)
+    if source.shape != decoded.shape:
+        return False
+    care = source != X
+    return bool(np.array_equal(decoded[care], source[care]))

@@ -1,0 +1,186 @@
+"""Dictionary-based test-data compression with fixed-length indices.
+
+A reconstruction of the Li & Chakrabarty scheme (ACM TODAES 2003,
+"Test Data Compression Using Dictionaries with Selective Entries and
+Fixed-Length Indices"), the other major TDC family the paper's venue
+discusses.  The test set is viewed as a stream of ``m``-bit scan
+slices; the most frequent slices enter a dictionary of ``2^index_bits``
+entries.  Each slice is transmitted as
+
+* ``1`` flag bit + ``index_bits`` (a dictionary *hit*), or
+* ``0`` flag bit + the ``m`` literal bits (a *miss*).
+
+Don't-care handling: the original uses clique partitioning over
+X-compatible words; we use the simpler canonicalization that matches
+the selective-encoding decompressor's behavior -- every slice's X bits
+are filled with the slice's majority care symbol before frequency
+counting, so compatible sparse slices collapse onto the same canonical
+word (the all-fill word dominates sparse test sets, which is exactly
+where dictionaries shine).
+
+Timing model on a ``w``-wire TAM: the ATE delivers ``w`` bits per
+cycle, so a hit costs ``ceil((1 + index_bits) / w)`` cycles and a miss
+``ceil((1 + m) / w)`` cycles.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.cubes import X
+
+
+def canonicalize(slices: np.ndarray) -> np.ndarray:
+    """Fill every slice's X bits with its majority care symbol."""
+    arr = np.asarray(slices, dtype=np.int8)
+    if arr.ndim == 3:
+        arr = arr.reshape(-1, arr.shape[-1])
+    if arr.ndim != 2:
+        raise ValueError("slices must be 2-D (S, m) or 3-D (p, si, m)")
+    ones = (arr == 1).sum(axis=1)
+    zeros = (arr == 0).sum(axis=1)
+    fill = (ones > zeros).astype(np.int8)  # majority symbol (ties -> 0)
+    out = arr.copy()
+    xs = out == X
+    out[xs] = np.broadcast_to(fill[:, None], out.shape)[xs]
+    return out
+
+
+def _pack(rows: np.ndarray) -> list[bytes]:
+    return [row.tobytes() for row in rows]
+
+
+@dataclass(frozen=True)
+class Dictionary:
+    """A built dictionary: canonical words mapped to fixed indices."""
+
+    m: int
+    index_bits: int
+    words: tuple[bytes, ...]  # len <= 2**index_bits
+
+    @property
+    def capacity(self) -> int:
+        return 2**self.index_bits
+
+    @property
+    def ram_bits(self) -> int:
+        """On-chip dictionary storage: entries x slice width."""
+        return len(self.words) * self.m
+
+    def index_of(self, word: bytes) -> int | None:
+        try:
+            return self.words.index(word)
+        except ValueError:
+            return None
+
+
+@dataclass(frozen=True)
+class DictionaryStats:
+    """Compression outcome of one dictionary coding run."""
+
+    m: int
+    index_bits: int
+    slices: int
+    hits: int
+    compressed_bits: int
+
+    @property
+    def misses(self) -> int:
+        return self.slices - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.slices if self.slices else 0.0
+
+
+def build_dictionary(slices: np.ndarray, index_bits: int) -> Dictionary:
+    """Fill a ``2^index_bits``-entry dictionary with the top slices."""
+    if index_bits < 1:
+        raise ValueError(f"index_bits must be >= 1, got {index_bits}")
+    canonical = canonicalize(slices)
+    counts = Counter(_pack(canonical))
+    top = [word for word, _ in counts.most_common(2**index_bits)]
+    return Dictionary(
+        m=int(canonical.shape[1]), index_bits=index_bits, words=tuple(top)
+    )
+
+
+def compression_stats(
+    slices: np.ndarray, dictionary: Dictionary
+) -> DictionaryStats:
+    """Bits and hit statistics for coding ``slices`` with ``dictionary``."""
+    canonical = canonicalize(slices)
+    if canonical.shape[1] != dictionary.m:
+        raise ValueError(
+            f"slice width {canonical.shape[1]} != dictionary width "
+            f"{dictionary.m}"
+        )
+    table = set(dictionary.words)
+    hits = sum(1 for word in _pack(canonical) if word in table)
+    total = int(canonical.shape[0])
+    misses = total - hits
+    bits = hits * (1 + dictionary.index_bits) + misses * (1 + dictionary.m)
+    return DictionaryStats(
+        m=dictionary.m,
+        index_bits=dictionary.index_bits,
+        slices=total,
+        hits=hits,
+        compressed_bits=bits,
+    )
+
+
+def delivery_cycles(stats: DictionaryStats, tam_width: int) -> int:
+    """ATE cycles to stream the coded slices over ``tam_width`` wires."""
+    if tam_width < 1:
+        raise ValueError(f"TAM width must be >= 1, got {tam_width}")
+    hit_cost = -(-(1 + stats.index_bits) // tam_width)
+    miss_cost = -(-(1 + stats.m) // tam_width)
+    return stats.hits * hit_cost + stats.misses * miss_cost
+
+
+def encode(slices: np.ndarray, dictionary: Dictionary) -> list[int]:
+    """Encode to an explicit bit list (flag + index / flag + literal)."""
+    canonical = canonicalize(slices)
+    bits: list[int] = []
+    for row, word in zip(canonical, _pack(canonical)):
+        index = dictionary.index_of(word)
+        if index is not None:
+            bits.append(1)
+            bits.extend(
+                (index >> (dictionary.index_bits - 1 - i)) & 1
+                for i in range(dictionary.index_bits)
+            )
+        else:
+            bits.append(0)
+            bits.extend(int(b) for b in row)
+    return bits
+
+
+def decode(
+    bits: list[int], dictionary: Dictionary, slice_count: int
+) -> np.ndarray:
+    """Invert :func:`encode`; returns fully specified ``(S, m)`` slices."""
+    out = np.zeros((slice_count, dictionary.m), dtype=np.int8)
+    cursor = 0
+    for s in range(slice_count):
+        flag = bits[cursor]
+        cursor += 1
+        if flag:
+            index = 0
+            for _ in range(dictionary.index_bits):
+                index = (index << 1) | bits[cursor]
+                cursor += 1
+            word = dictionary.words[index]
+            out[s] = np.frombuffer(word, dtype=np.int8)
+        else:
+            for i in range(dictionary.m):
+                out[s, i] = bits[cursor]
+                cursor += 1
+    if cursor != len(bits):
+        raise ValueError(
+            f"stream length mismatch: consumed {cursor} of {len(bits)} bits"
+        )
+    return out

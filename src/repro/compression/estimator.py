@@ -1,0 +1,129 @@
+"""Sampled-slice estimator of the selective-encoding codeword count.
+
+Industrial cores carry gigabits of test data; materializing their cubes
+to run the exact encoder over every (w, m) candidate would be hopeless.
+This estimator reproduces the exact cost model of
+:func:`repro.compression.selective.slice_costs` on a *sample* of slices
+whose statistics follow the core's cube model:
+
+* the wrapper design fixes, per shift cycle ``j``, how many of the ``m``
+  slice positions carry a real stimulus bit (``active_j``) -- the rest
+  are idle pad bits (always free);
+* each active position is a care bit with probability
+  ``core.care_bit_density`` and, if care, is 1 with probability
+  ``core.one_fraction`` (the cube generator's model);
+* per slice the encoder pays one END codeword, one codeword per
+  minority-symbol care bit, except that groups of ``k`` positions
+  holding >= 3 such bits are copied for 2 codewords.
+
+Sampling is stratified over the shift cycles (``samples`` evenly spaced
+slice indices) and deterministic in ``(core.seed, m, samples)``, so every
+run of an experiment sees the same estimate.  Accuracy against the exact
+encoder is unit-tested on downscaled cores (a few percent at the default
+sample count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.selective import GROUP_COPY_THRESHOLD, code_parameters
+from repro.soc.core import Core
+from repro.wrapper.design import WrapperDesign
+
+DEFAULT_SAMPLES = 768
+
+
+@dataclass(frozen=True)
+class SliceStatistics:
+    """Summary of a sampled estimate."""
+
+    m: int
+    code_width: int
+    slices_per_pattern: int
+    total_slices: int
+    mean_cost: float
+    total_codewords: int
+
+    @property
+    def compressed_bits(self) -> int:
+        return self.total_codewords * self.code_width
+
+
+def _mix_seed(seed: int, m: int, samples: int) -> int:
+    """Stable seed mixing so each (core, m) pair gets its own stream."""
+    value = (seed & 0xFFFFFFFF) * 0x9E3779B1
+    value ^= (m * 0x85EBCA77) & 0xFFFFFFFFFFFF
+    value ^= samples * 0xC2B2AE3D
+    return value & 0x7FFFFFFFFFFFFFFF
+
+
+def estimate_slice_costs(
+    core: Core,
+    design: WrapperDesign,
+    *,
+    samples: int = DEFAULT_SAMPLES,
+) -> np.ndarray:
+    """Sampled per-slice codeword counts (length ``samples`` array)."""
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    m = design.num_chains
+    k, _ = code_parameters(m)
+    si = design.scan_in_max
+    if si == 0:
+        # Unscanned core: a single degenerate "slice" per pattern is not
+        # meaningful; callers guard on this, but stay safe.
+        return np.ones(samples, dtype=np.int64)
+
+    active = design.active_inputs_per_slice()  # (si,)
+    # Stratified slice indices over one pattern (patterns are i.i.d. in
+    # the cube model, so sampling within a pattern suffices).
+    picks = np.minimum(
+        ((np.arange(samples) + 0.5) * si / samples).astype(np.int64), si - 1
+    )
+    active_sampled = active[picks]
+
+    rng = np.random.default_rng(_mix_seed(core.seed, m, samples))
+    care = rng.binomial(active_sampled, core.care_bit_density)
+    ones = rng.binomial(care, core.one_fraction)
+    zeros = care - ones
+    targets = np.minimum(ones, zeros)
+
+    # Scatter each slice's target bits over the slice's group structure.
+    # Positions are drawn uniformly over the m slots; for the sparse
+    # industrial regime (targets << m) the with-replacement approximation
+    # is negligible, and the exact path covers the dense regime.
+    num_groups = -(-m // k)
+    total_targets = int(targets.sum())
+    slice_ids = np.repeat(np.arange(samples), targets)
+    group_ids = rng.integers(0, num_groups, size=total_targets)
+    per_group = np.bincount(
+        slice_ids * num_groups + group_ids, minlength=samples * num_groups
+    ).reshape(samples, num_groups)
+    group_cost = np.where(per_group >= GROUP_COPY_THRESHOLD, 2, per_group)
+    return 1 + group_cost.sum(axis=1)
+
+
+def estimate_codewords(
+    core: Core,
+    design: WrapperDesign,
+    *,
+    samples: int = DEFAULT_SAMPLES,
+) -> SliceStatistics:
+    """Estimate the total codeword count for ``core`` under ``design``."""
+    m = design.num_chains
+    _, w = code_parameters(m)
+    si = design.scan_in_max
+    costs = estimate_slice_costs(core, design, samples=samples)
+    total_slices = core.patterns * si
+    mean_cost = float(costs.mean())
+    return SliceStatistics(
+        m=m,
+        code_width=w,
+        slices_per_pattern=si,
+        total_slices=total_slices,
+        mean_cost=mean_cost,
+        total_codewords=int(round(mean_cost * total_slices)),
+    )

@@ -1,0 +1,100 @@
+"""Frequency-directed run-length (FDR) coding (ablation baseline).
+
+FDR (Chandra & Chakrabarty) assigns variable-length codewords to runs of
+0s terminated by a 1, with group ``A_k`` covering run lengths
+``2^k - 2 .. 2^(k+1) - 3`` (``A_1 = {0, 1}``, ``A_2 = {2..5}``, ...).  A
+run in group ``A_k`` costs ``2k`` bits: a ``k``-bit prefix (``k-1`` ones
+followed by a zero) and a ``k``-bit tail giving the offset within the
+group.  Short runs -- which dominate in test sets with moderate care
+density -- therefore get short codewords.
+
+Like :mod:`repro.compression.golomb`, this coder exists to benchmark the
+co-optimization flow against a different codec family (ablation A2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _group_of(run_length: int) -> int:
+    """Group index ``k`` with ``2^k - 2 <= run_length <= 2^(k+1) - 3``."""
+    return int(math.floor(math.log2(run_length + 2)))
+
+
+@dataclass(frozen=True)
+class FdrCode:
+    """The (parameter-free) FDR coder."""
+
+    def encode_run(self, length: int) -> list[int]:
+        """Encode one run of ``length`` 0s followed by a 1."""
+        if length < 0:
+            raise ValueError("run length must be >= 0")
+        k = _group_of(length)
+        offset = length - (2**k - 2)
+        prefix = [1] * (k - 1) + [0]
+        tail = [(offset >> (k - 1 - i)) & 1 for i in range(k)]
+        return prefix + tail
+
+    def run_cost(self, length: int) -> int:
+        return 2 * _group_of(length)
+
+    def encode(self, data: np.ndarray) -> list[int]:
+        stream = np.asarray(data, dtype=np.int8).ravel()
+        if stream.size and (stream.min() < 0 or stream.max() > 1):
+            raise ValueError("FDR coding needs a fully specified 0/1 stream")
+        bits: list[int] = []
+        run = 0
+        for value in stream:
+            if value == 0:
+                run += 1
+            else:
+                bits.extend(self.encode_run(run))
+                run = 0
+        if run:
+            # Trailing zeros: encode the full run so the virtual
+            # terminating 1 falls past the stream end (the decoder trims).
+            bits.extend(self.encode_run(run))
+        return bits
+
+    def decode(self, bits: list[int], length: int) -> np.ndarray:
+        out = np.zeros(length, dtype=np.int8)
+        pos = 0
+        cursor = 0
+        n = len(bits)
+        while cursor < n and pos < length:
+            k = 1
+            while cursor < n and bits[cursor] == 1:
+                k += 1
+                cursor += 1
+            cursor += 1  # prefix terminator
+            offset = 0
+            for _ in range(k):
+                offset = (offset << 1) | bits[cursor]
+                cursor += 1
+            run = (2**k - 2) + offset
+            pos += run
+            if pos < length:
+                out[pos] = 1
+                pos += 1
+        return out
+
+    def encoded_length(self, data: np.ndarray) -> int:
+        """Compressed bit count without materializing the bit list."""
+        stream = np.asarray(data, dtype=np.int8).ravel()
+        if stream.size == 0:
+            return 0
+        ones = np.flatnonzero(stream == 1)
+        if ones.size == 0:
+            run_lengths = np.array([stream.size])
+        else:
+            starts = np.concatenate(([-1], ones))
+            run_lengths = np.diff(starts) - 1
+            tail = stream.size - 1 - ones[-1]
+            if tail:
+                run_lengths = np.concatenate((run_lengths, [tail]))
+        groups = np.floor(np.log2(run_lengths + 2)).astype(np.int64)
+        return int((2 * groups).sum())

@@ -1,0 +1,119 @@
+"""Golomb run-length coding of test data (ablation baseline).
+
+Chandra & Chakrabarty's Golomb TDC encodes the 0-fill image of the test
+cubes as runs of 0s terminated by a 1.  A run of length ``L`` with group
+parameter ``b`` (a power of two here, making the remainder code trivial)
+is encoded as ``floor(L / b)`` in unary (that many 1s and a terminating
+0) followed by ``log2(b)`` bits of ``L mod b``.
+
+The paper's related-work section cites this family of coders; the repo
+uses it only to show (ablation A2) that the co-optimization flow is
+agnostic to the codec while selective encoding remains the better fit
+for wide slices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GolombCode:
+    """Golomb coder with power-of-two group size ``b``."""
+
+    b: int
+
+    def __post_init__(self) -> None:
+        if self.b < 1 or self.b & (self.b - 1):
+            raise ValueError(f"b must be a positive power of two, got {self.b}")
+
+    @property
+    def remainder_bits(self) -> int:
+        return int(math.log2(self.b))
+
+    # ------------------------------------------------------------------
+
+    def encode_run(self, length: int) -> list[int]:
+        """Encode one run of ``length`` 0s followed by a 1."""
+        if length < 0:
+            raise ValueError("run length must be >= 0")
+        quotient, remainder = divmod(length, self.b)
+        bits = [1] * quotient + [0]
+        bits.extend((remainder >> (self.remainder_bits - 1 - i)) & 1
+                    for i in range(self.remainder_bits))
+        return bits
+
+    def encode(self, data: np.ndarray) -> list[int]:
+        """Encode a 0/1 bit stream.
+
+        A trailing run without a terminating 1 is closed by appending a
+        virtual 1 (standard practice; the decoder trims it by length).
+        """
+        stream = np.asarray(data, dtype=np.int8).ravel()
+        if stream.size and (stream.min() < 0 or stream.max() > 1):
+            raise ValueError("Golomb coding needs a fully specified 0/1 stream")
+        bits: list[int] = []
+        run = 0
+        for value in stream:
+            if value == 0:
+                run += 1
+            else:
+                bits.extend(self.encode_run(run))
+                run = 0
+        if run:
+            # Trailing zeros: encode the full run; the virtual terminating
+            # 1 then falls just past the stream end and the decoder, which
+            # trims by length, never materializes it.
+            bits.extend(self.encode_run(run))
+        return bits
+
+    def decode(self, bits: list[int], length: int) -> np.ndarray:
+        """Decode back to a bit stream of ``length`` bits."""
+        out = np.zeros(length, dtype=np.int8)
+        pos = 0
+        cursor = 0
+        n = len(bits)
+        while cursor < n and pos < length:
+            quotient = 0
+            while cursor < n and bits[cursor] == 1:
+                quotient += 1
+                cursor += 1
+            cursor += 1  # the unary terminator
+            remainder = 0
+            for _ in range(self.remainder_bits):
+                remainder = (remainder << 1) | bits[cursor]
+                cursor += 1
+            run = quotient * self.b + remainder
+            pos += run
+            if pos < length:
+                out[pos] = 1
+                pos += 1
+        return out
+
+    # ------------------------------------------------------------------
+
+    def encoded_length(self, data: np.ndarray) -> int:
+        """Compressed bit count without materializing the bit list."""
+        stream = np.asarray(data, dtype=np.int8).ravel()
+        if stream.size == 0:
+            return 0
+        ones = np.flatnonzero(stream == 1)
+        if ones.size == 0:
+            run_lengths = np.array([stream.size])
+        else:
+            starts = np.concatenate(([-1], ones))
+            run_lengths = np.diff(starts) - 1
+            tail = stream.size - 1 - ones[-1]
+            if tail:
+                run_lengths = np.concatenate((run_lengths, [tail]))
+        quotients = run_lengths // self.b
+        return int((quotients + 1 + self.remainder_bits).sum())
+
+
+def best_golomb_parameter(data: np.ndarray, candidates: tuple[int, ...] = (2, 4, 8, 16, 32, 64)) -> GolombCode:
+    """Pick the group size minimizing the encoded length."""
+    best = min(candidates, key=lambda b: GolombCode(b).encoded_length(data))
+    return GolombCode(best)

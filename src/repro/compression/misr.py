@@ -1,0 +1,127 @@
+"""Multiple-input signature register (MISR) response compaction.
+
+The paper's Figure 1 shows an optional compactor behind the core's
+wrapper chains and leaves response handling out of scope; this module
+supplies that optional piece so end-to-end flows can also compact
+responses.  A MISR is an LFSR that XORs an ``m``-bit response slice
+into its state every cycle; after the test, the residual state (the
+*signature*) is compared against the fault-free signature.  A faulty
+response maps to the correct signature (aliases) with probability
+``2^-width`` for a ``width``-bit MISR.
+
+The implementation is a standard internal-XOR (Galois) MISR over a
+user-supplied characteristic polynomial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: Primitive polynomials (taps include bit 0) for common widths, given
+#: as integers whose bit i is the coefficient of x^i, excluding x^width.
+PRIMITIVE_POLYNOMIALS: dict[int, int] = {
+    8: 0b10001110,
+    16: 0b0010000000001011,
+    24: 0b000000000000000001100011,
+    32: 0b00000000010000000000000011000101,
+}
+
+
+@dataclass
+class Misr:
+    """A ``width``-bit multiple-input signature register.
+
+    Parameters
+    ----------
+    width:
+        Register width in bits.
+    polynomial:
+        Feedback polynomial as an integer (bit i = coefficient of x^i,
+        the implicit leading x^width term excluded).  Defaults to a
+        primitive polynomial when the width has one on file.
+    """
+
+    width: int
+    polynomial: int | None = None
+    _state: int = field(init=False, default=0)
+    _slices: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"width must be >= 1, got {self.width}")
+        if self.polynomial is None:
+            try:
+                self.polynomial = PRIMITIVE_POLYNOMIALS[self.width]
+            except KeyError:
+                raise ValueError(
+                    f"no default polynomial for width {self.width}; "
+                    f"supply one (defaults exist for "
+                    f"{sorted(PRIMITIVE_POLYNOMIALS)})"
+                ) from None
+        if not 0 < self.polynomial < (1 << self.width):
+            raise ValueError("polynomial must fit the register width")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    @property
+    def slices_absorbed(self) -> int:
+        return self._slices
+
+    def reset(self, seed: int = 0) -> None:
+        if not 0 <= seed < (1 << self.width):
+            raise ValueError("seed must fit the register width")
+        self._state = seed
+        self._slices = 0
+
+    def absorb(self, response_slice: Sequence[int] | np.ndarray) -> None:
+        """Clock in one response slice (at most ``width`` bits)."""
+        bits = np.asarray(response_slice, dtype=np.int64)
+        if bits.ndim != 1 or bits.size > self.width:
+            raise ValueError(
+                f"slice must be 1-D with at most {self.width} bits"
+            )
+        if bits.size and (bits.min() < 0 or bits.max() > 1):
+            raise ValueError("response bits must be 0/1")
+        word = 0
+        for bit in bits:
+            word = (word << 1) | int(bit)
+        # Galois step: shift, fold the carry through the polynomial,
+        # then XOR the parallel input.
+        carry = (self._state >> (self.width - 1)) & 1
+        self._state = ((self._state << 1) & ((1 << self.width) - 1))
+        if carry:
+            self._state ^= self.polynomial
+        self._state ^= word
+        self._slices += 1
+
+    def absorb_stream(self, slices: Iterable[Sequence[int]]) -> None:
+        for row in slices:
+            self.absorb(row)
+
+    def signature(self) -> int:
+        return self._state
+
+    # ------------------------------------------------------------------
+
+    @property
+    def aliasing_probability(self) -> float:
+        """Asymptotic probability a faulty stream matches the good
+        signature: ``2^-width``."""
+        return 2.0 ** -self.width
+
+
+def signature_of(
+    slices: np.ndarray, *, width: int = 16, polynomial: int | None = None, seed: int = 0
+) -> int:
+    """Convenience: the signature of a full response array ``(S, m)``."""
+    misr = Misr(width=width, polynomial=polynomial)
+    misr.reset(seed)
+    misr.absorb_stream(np.asarray(slices, dtype=np.int64))
+    return misr.signature()

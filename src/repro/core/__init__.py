@@ -1,0 +1,105 @@
+"""SOC-level co-optimization: TAM design + scheduling + compression.
+
+This package is the paper's primary contribution: given an SOC and a
+top-level TAM width (or ATE channel budget), jointly choose
+
+* the partition of the top-level width into fixed-width TAMs,
+* the assignment of cores to TAMs (the test schedule),
+* per core, the wrapper-chain count and the decompressor I/O widths,
+
+so that the SOC test time is minimized.
+
+Entry points:
+
+* :func:`repro.core.optimizer.optimize_soc` -- the four-step heuristic
+  with or without TDC (per-core decompressors);
+* :func:`repro.core.optimizer.optimize_per_tam` -- the decompressor-per-
+  TAM alternative of Figure 4(b);
+* :func:`repro.core.soclevel.optimize_soc_level_decompressor` -- the
+  SOC-level ("virtual TAM") decompressor architecture used as the
+  stand-in for the paper's comparator [18].
+"""
+
+from repro.core.architecture import (
+    CoreConfig,
+    ScheduledCore,
+    Tam,
+    TestArchitecture,
+    DecompressorPlacement,
+)
+from repro.core.scheduler import schedule_cores
+from repro.core.partition import iter_partitions, count_partitions
+from repro.core.optimizer import (
+    ConstrainedResult,
+    OptimizeResult,
+    optimize_per_tam,
+    optimize_soc,
+    optimize_soc_constrained,
+)
+from repro.core.soclevel import optimize_soc_level_decompressor
+from repro.core.hardware import decompressor_cost, DecompressorCost
+from repro.core.timeline import (
+    ConstrainedSchedule,
+    PrecedenceError,
+    schedule_constrained,
+)
+from repro.core.optimal import OptimalOutcome, optimal_schedule
+from repro.core.abort_on_fail import (
+    expected_improvement,
+    expected_session_time,
+    reorder_within_tams,
+)
+from repro.core.preemption import PreemptiveSchedule, Segment, schedule_preemptive
+from repro.core.multifrequency import (
+    FrequencyTam,
+    MultiFrequencyPlan,
+    optimize_multifrequency,
+)
+from repro.core.robust import (
+    RobustPlan,
+    UncertaintyReport,
+    evaluate_under_uncertainty,
+    robust_search,
+)
+from repro.core.anneal import anneal_search
+from repro.core.bus import BusPlan, optimize_bus
+
+__all__ = [
+    "CoreConfig",
+    "ScheduledCore",
+    "Tam",
+    "TestArchitecture",
+    "DecompressorPlacement",
+    "schedule_cores",
+    "iter_partitions",
+    "count_partitions",
+    "OptimizeResult",
+    "ConstrainedResult",
+    "optimize_soc",
+    "optimize_soc_constrained",
+    "optimize_per_tam",
+    "optimize_soc_level_decompressor",
+    "decompressor_cost",
+    "DecompressorCost",
+    "ConstrainedSchedule",
+    "PrecedenceError",
+    "schedule_constrained",
+    "OptimalOutcome",
+    "optimal_schedule",
+    "expected_session_time",
+    "expected_improvement",
+    "reorder_within_tams",
+    "PreemptiveSchedule",
+    "Segment",
+    "schedule_preemptive",
+    "FrequencyTam",
+    "MultiFrequencyPlan",
+    "optimize_multifrequency",
+    "RobustPlan",
+    "UncertaintyReport",
+    "evaluate_under_uncertainty",
+    "robust_search",
+    "anneal_search",
+    "BusPlan",
+    "optimize_bus",
+]

@@ -1,0 +1,94 @@
+"""Decompressor hardware cost model.
+
+The paper reports the selective-encoding decompressor as cheap: the
+control FSM synthesizes to 5 flip-flops and 23 combinational gates, the
+``w``-to-``m`` mapper scales with the interface widths, and a full
+instance costs well under 1% of a million-gate core.  This module
+provides an order-of-magnitude model calibrated to those statements,
+used by the hardware-overhead ablation (A3):
+
+* controller: 5 FFs + 23 gates (fixed);
+* slice register: one FF per output bit, plus a written-bit mask FF per
+  output bit (fill-at-END semantics), plus the ``w``-bit input register;
+* mapper logic: a payload decoder (~4 gates per output bit) and the
+  group-write multiplexing (~2 gates per output bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.selective import code_parameters
+
+CONTROLLER_FLIP_FLOPS = 5
+CONTROLLER_GATES = 23
+FLIP_FLOPS_PER_OUTPUT_BIT = 2  # slice register + written mask
+GATES_PER_OUTPUT_BIT = 6  # index decode + write mux
+
+
+@dataclass(frozen=True)
+class DecompressorCost:
+    """Gate/flip-flop cost of one decompressor instance."""
+
+    code_width: int
+    output_width: int
+    flip_flops: int
+    gates: int
+
+    def area_fraction(self, core_gates: int) -> float:
+        """Overhead relative to a core's gate count (FFs counted as gates)."""
+        if core_gates <= 0:
+            raise ValueError("core gate count must be > 0")
+        return (self.gates + self.flip_flops) / core_gates
+
+
+def decompressor_cost(m: int, w: int | None = None) -> DecompressorCost:
+    """Cost of a decompressor with ``m`` outputs (code width from ``m``).
+
+    ``w`` may be passed explicitly (it must match ``m``'s code width or
+    exceed it, for padded inputs); by default it is derived from ``m``.
+    """
+    _, natural_w = code_parameters(m)
+    if w is None:
+        w = natural_w
+    elif w < natural_w:
+        raise ValueError(
+            f"code width {w} too narrow for {m} outputs (needs >= {natural_w})"
+        )
+    flip_flops = CONTROLLER_FLIP_FLOPS + FLIP_FLOPS_PER_OUTPUT_BIT * m + w
+    gates = CONTROLLER_GATES + GATES_PER_OUTPUT_BIT * m
+    return DecompressorCost(
+        code_width=w, output_width=m, flip_flops=flip_flops, gates=gates
+    )
+
+
+def architecture_hardware_cost(architecture) -> DecompressorCost:
+    """Aggregate decompressor cost over a planned architecture.
+
+    Sums the per-core (or per-TAM) instances implied by the
+    architecture's placement; an uncompressed architecture costs zero.
+    """
+    total_ff = 0
+    total_gates = 0
+    widest_w = 0
+    widest_m = 0
+    seen_tams: set[int] = set()
+    for item in architecture.scheduled:
+        config = item.config
+        if not config.uses_compression or config.code_width is None:
+            continue
+        if architecture.placement.value == "per-tam":
+            if item.tam_index in seen_tams:
+                continue
+            seen_tams.add(item.tam_index)
+        cost = decompressor_cost(config.wrapper_chains, config.code_width)
+        total_ff += cost.flip_flops
+        total_gates += cost.gates
+        widest_w = max(widest_w, cost.code_width)
+        widest_m = max(widest_m, cost.output_width)
+    return DecompressorCost(
+        code_width=widest_w,
+        output_width=widest_m,
+        flip_flops=total_ff,
+        gates=total_gates,
+    )

@@ -1,0 +1,235 @@
+"""TAM partition search (the paper's step 3).
+
+The top-level width ``W_TAM`` must be cut into ``k`` fixed-width TAMs.
+Two search strategies are provided:
+
+* ``exhaustive`` -- enumerate every integer partition of ``W`` into at
+  most ``max_parts`` parts of at least ``min_width`` wires and schedule
+  each one.  Exact over the partition space and affordable for the
+  paper-scale problems (W <= 64, k <= 6: tens of thousands of
+  partitions, each scheduled in O(n k) table lookups).
+* ``greedy`` -- a TR-Architect-flavored local search: start from one TAM
+  of the full width, then repeatedly apply the best of three moves
+  (split the bottleneck TAM, shift one wire toward the bottleneck TAM,
+  merge the two least-loaded TAMs) while the makespan improves.  Used
+  for wide budgets / many TAMs where enumeration explodes.
+
+``search_partitions`` picks per the ``strategy`` argument ("auto" runs
+the exhaustive search when the partition count is small and falls back
+to greedy otherwise, keeping the better of greedy and the trivial
+single-TAM solution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.scheduler import ScheduleOutcome, TimeFn, schedule_cores
+
+#: "auto" switches from exhaustive to greedy above this many partitions.
+AUTO_PARTITION_LIMIT = 60_000
+
+
+def iter_partitions(
+    total: int, max_parts: int, min_width: int = 1
+) -> Iterator[tuple[int, ...]]:
+    """Yield integer partitions of ``total`` (non-increasing parts).
+
+    Every part is at least ``min_width``; at most ``max_parts`` parts.
+    Whenever ``total >= min_width`` the full-width single TAM ``(total,)``
+    is yielded first; otherwise nothing is yielded.
+    """
+    if total < 1:
+        raise ValueError(f"total width must be >= 1, got {total}")
+    if max_parts < 1:
+        raise ValueError(f"max_parts must be >= 1, got {max_parts}")
+    if min_width < 1:
+        raise ValueError(f"min_width must be >= 1, got {min_width}")
+
+    def recurse(
+        remaining: int, cap: int, parts_left: int, prefix: list[int]
+    ) -> Iterator[tuple[int, ...]]:
+        if remaining == 0:
+            yield tuple(prefix)
+            return
+        if parts_left == 0 or remaining < min_width:
+            return
+        # Largest part first keeps the non-increasing invariant; the part
+        # must leave room for the rest to be >= min_width each.
+        for part in range(min(cap, remaining), min_width - 1, -1):
+            rest = remaining - part
+            if rest and (parts_left - 1 == 0 or rest < min_width):
+                continue
+            prefix.append(part)
+            yield from recurse(rest, part, parts_left - 1, prefix)
+            prefix.pop()
+
+    yield from recurse(total, total, max_parts, [])
+
+
+def count_partitions(total: int, max_parts: int, min_width: int = 1) -> int:
+    """Number of partitions :func:`iter_partitions` would yield."""
+    # Dynamic program over (remaining, cap expressed as part sizes).
+    # Small enough inputs that a dict-memoized recursion is fine.
+    from functools import lru_cache
+
+    @lru_cache(maxsize=None)
+    def count(remaining: int, cap: int, parts_left: int) -> int:
+        if remaining == 0:
+            return 1
+        if parts_left == 0 or remaining < min_width:
+            return 0
+        return sum(
+            count(remaining - part, part, parts_left - 1)
+            for part in range(min(cap, remaining), min_width - 1, -1)
+            if not (
+                remaining - part
+                and (parts_left - 1 == 0 or remaining - part < min_width)
+            )
+        )
+
+    return count(total, total, max_parts)
+
+
+@dataclass(frozen=True)
+class PartitionSearchResult:
+    """Best partition found, with its schedule."""
+
+    outcome: ScheduleOutcome
+    partitions_evaluated: int
+    strategy: str
+
+    @property
+    def widths(self) -> tuple[int, ...]:
+        return self.outcome.widths
+
+    @property
+    def makespan(self) -> int:
+        return self.outcome.makespan
+
+
+def _exhaustive(
+    core_names: Sequence[str],
+    total_width: int,
+    time_of: TimeFn,
+    max_parts: int,
+    min_width: int,
+) -> PartitionSearchResult:
+    best: ScheduleOutcome | None = None
+    evaluated = 0
+    for widths in iter_partitions(total_width, max_parts, min_width):
+        outcome = schedule_cores(core_names, widths, time_of)
+        evaluated += 1
+        if best is None or outcome.makespan < best.makespan:
+            best = outcome
+    assert best is not None  # (total,) is always yielded
+    return PartitionSearchResult(
+        outcome=best, partitions_evaluated=evaluated, strategy="exhaustive"
+    )
+
+
+def _greedy_moves(widths: list[int], bottleneck: int, min_width: int) -> list[list[int]]:
+    """Candidate neighbor partitions for the local search."""
+    candidates: list[list[int]] = []
+    # Split the bottleneck TAM in two (parallelism for its cores).
+    w = widths[bottleneck]
+    if w >= 2 * min_width:
+        half = w // 2
+        split = widths[:bottleneck] + widths[bottleneck + 1 :] + [w - half, half]
+        candidates.append(split)
+    # Shift one wire from every other TAM toward the bottleneck TAM.
+    for donor in range(len(widths)):
+        if donor == bottleneck or widths[donor] <= min_width:
+            continue
+        shifted = list(widths)
+        shifted[donor] -= 1
+        shifted[bottleneck] += 1
+        candidates.append(shifted)
+    # Merge the two narrowest TAMs (serialize their cores, free width).
+    if len(widths) >= 2:
+        order = sorted(range(len(widths)), key=lambda i: widths[i])
+        a, b = order[0], order[1]
+        merged = [w for i, w in enumerate(widths) if i not in (a, b)]
+        merged.append(widths[a] + widths[b])
+        candidates.append(merged)
+    return candidates
+
+
+def _greedy(
+    core_names: Sequence[str],
+    total_width: int,
+    time_of: TimeFn,
+    max_parts: int,
+    min_width: int,
+) -> PartitionSearchResult:
+    current = [total_width]
+    best = schedule_cores(core_names, current, time_of)
+    evaluated = 1
+    improved = True
+    while improved:
+        improved = False
+        bottleneck = _bottleneck_tam(core_names, best, time_of)
+        for widths in _greedy_moves(list(best.widths), bottleneck, min_width):
+            if len(widths) > max_parts or any(w < min_width for w in widths):
+                continue
+            outcome = schedule_cores(
+                core_names, sorted(widths, reverse=True), time_of
+            )
+            evaluated += 1
+            if outcome.makespan < best.makespan:
+                best = outcome
+                improved = True
+                break
+    return PartitionSearchResult(
+        outcome=best, partitions_evaluated=evaluated, strategy="greedy"
+    )
+
+
+def _bottleneck_tam(
+    core_names: Sequence[str], outcome: ScheduleOutcome, time_of: TimeFn
+) -> int:
+    loads = [0] * len(outcome.widths)
+    for index, tam in enumerate(outcome.assignment):
+        loads[tam] += time_of(core_names[index], outcome.widths[tam])
+    return max(range(len(loads)), key=lambda i: loads[i])
+
+
+def search_partitions(
+    core_names: Sequence[str],
+    total_width: int,
+    time_of: TimeFn,
+    *,
+    max_parts: int | None = None,
+    min_width: int = 1,
+    strategy: str = "auto",
+) -> PartitionSearchResult:
+    """Find the best TAM partition + schedule for a width budget."""
+    if not core_names:
+        raise ValueError("cannot design an architecture for zero cores")
+    if max_parts is None:
+        max_parts = min(len(core_names), 6)
+    max_parts = min(max_parts, total_width // min_width)
+    if max_parts < 1:
+        raise ValueError(
+            f"width {total_width} cannot host a TAM of min width {min_width}"
+        )
+
+    if strategy == "auto":
+        size = count_partitions(total_width, max_parts, min_width)
+        strategy = "exhaustive" if size <= AUTO_PARTITION_LIMIT else "greedy"
+    if strategy == "exhaustive":
+        return _exhaustive(core_names, total_width, time_of, max_parts, min_width)
+    if strategy == "greedy":
+        return _greedy(core_names, total_width, time_of, max_parts, min_width)
+    if strategy == "anneal":
+        from repro.core.anneal import anneal_search
+
+        return anneal_search(
+            core_names,
+            total_width,
+            time_of,
+            max_parts=max_parts,
+            min_width=min_width,
+        )
+    raise ValueError(f"unknown strategy {strategy!r}")

@@ -1,0 +1,250 @@
+"""Preemptive test scheduling (extension).
+
+The SOC test-scheduling literature (e.g. Iyengar & Chakrabarty,
+"System-on-a-Chip Test Scheduling With Precedence Relationships,
+Preemption, and Power Constraints") allows a core's test to be *split*
+at pattern boundaries: when a power budget blocks a long test, its
+remainder can resume later, letting shorter tests fill the gap instead
+of leaving the TAM idle.  Preemption costs bounded bookkeeping on the
+ATE (each segment is a separate pattern burst), so the segment count
+per core is capped.
+
+:func:`schedule_preemptive` extends the constrained list scheduler: a
+core placed on a TAM fills the earliest power-feasible windows
+piecewise, up to ``max_segments`` pieces (the final piece runs to
+completion contiguously once started).  With an unconstrained power
+budget it degenerates to back-to-back non-preemptive scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.core.scheduler import TimeFn
+from repro.core.timeline import PrecedenceError, _check_precedence
+
+#: Windows smaller than this are not worth a preemption (ATE burst
+#: setup dominates); expressed in cycles.
+MIN_SEGMENT = 1
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous piece of a (possibly split) core test."""
+
+    name: str
+    tam: int
+    start: int
+    end: int
+    power: float
+    index: int  # 0-based segment number within the core's test
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class PreemptiveSchedule:
+    """Outcome of preemptive constrained scheduling."""
+
+    widths: tuple[int, ...]
+    segments: tuple[Segment, ...]
+    makespan: int
+    peak_power: float
+
+    def segments_for(self, name: str) -> tuple[Segment, ...]:
+        return tuple(
+            sorted(
+                (s for s in self.segments if s.name == name),
+                key=lambda s: s.start,
+            )
+        )
+
+    @property
+    def preemption_count(self) -> int:
+        """Total number of splits across all cores."""
+        by_name: dict[str, int] = {}
+        for segment in self.segments:
+            by_name[segment.name] = by_name.get(segment.name, 0) + 1
+        return sum(count - 1 for count in by_name.values())
+
+
+def _power_level_events(
+    segments: Sequence[Segment],
+) -> list[tuple[int, float]]:
+    events: list[tuple[int, float]] = []
+    for segment in segments:
+        events.append((segment.start, segment.power))
+        events.append((segment.end, -segment.power))
+    events.sort()
+    return events
+
+
+def _feasible_windows(
+    segments: Sequence[Segment],
+    tam: int,
+    ready: int,
+    power: float,
+    budget: float | None,
+    horizon: int,
+) -> list[tuple[int, int]]:
+    """Windows >= ready where TAM ``tam`` is free and power admits ``power``.
+
+    ``horizon`` is a time past every existing segment; the final window
+    extends to infinity (represented by ``horizon``... which callers
+    treat as open-ended).
+    """
+    # Candidate boundaries: every segment start/end plus `ready`.
+    points = {ready, horizon}
+    for segment in segments:
+        if segment.end > ready:
+            points.add(max(ready, segment.start))
+            points.add(segment.end)
+    ordered = sorted(points)
+
+    def ok(t0: int, t1: int) -> bool:
+        for segment in segments:
+            if segment.tam == tam and segment.start < t1 and t0 < segment.end:
+                return False
+        if budget is not None:
+            level = power
+            for segment in segments:
+                if segment.start < t1 and t0 < segment.end:
+                    level += segment.power
+            if level > budget + 1e-9:
+                return False
+        return True
+
+    windows: list[tuple[int, int]] = []
+    for t0, t1 in zip(ordered, ordered[1:]):
+        if t1 <= t0:
+            continue
+        if ok(t0, t1):
+            if windows and windows[-1][1] == t0:
+                windows[-1] = (windows[-1][0], t1)
+            else:
+                windows.append((t0, t1))
+    return windows
+
+
+def schedule_preemptive(
+    core_names: Sequence[str],
+    widths: Sequence[int],
+    time_of: TimeFn,
+    *,
+    power_of: Mapping[str, float] | Callable[[str], float] | None = None,
+    power_budget: float | None = None,
+    precedence: Sequence[tuple[str, str]] = (),
+    max_segments: int = 3,
+) -> PreemptiveSchedule:
+    """Constrained list scheduling with bounded preemption.
+
+    Each core may split into at most ``max_segments`` contiguous pieces;
+    the last piece always runs to completion.  Raises on malformed
+    precedence and on per-core power exceeding the budget.
+    """
+    if not widths:
+        raise ValueError("at least one TAM is required")
+    if any(w < 1 for w in widths):
+        raise ValueError(f"TAM widths must be >= 1, got {tuple(widths)}")
+    if max_segments < 1:
+        raise ValueError(f"max_segments must be >= 1, got {max_segments}")
+    preds = _check_precedence(core_names, precedence)
+
+    def power(name: str) -> float:
+        if power_of is None:
+            return 0.0
+        if callable(power_of):
+            return float(power_of(name))
+        return float(power_of[name])
+
+    if power_budget is not None:
+        for name in core_names:
+            if power(name) > power_budget:
+                raise ValueError(
+                    f"core {name!r} alone exceeds the power budget "
+                    f"({power(name):.2f} > {power_budget:.2f})"
+                )
+
+    widest = max(widths)
+    placed: list[Segment] = []
+    finished: dict[str, int] = {}
+    pending = set(core_names)
+
+    while pending:
+        ready_names = sorted(
+            (n for n in pending if preds[n] <= set(finished)),
+            key=lambda n: (-time_of(n, widest), n),
+        )
+        name = ready_names[0]
+        ready_at = max((finished[p] for p in preds[name]), default=0)
+        horizon = max((s.end for s in placed), default=0) + 1
+
+        best_pieces: list[tuple[int, int]] | None = None
+        best_tam = -1
+        best_finish: int | None = None
+        for tam, width in enumerate(widths):
+            duration = time_of(name, width)
+            windows = _feasible_windows(
+                placed, tam, ready_at, power(name), power_budget, horizon
+            )
+            pieces: list[tuple[int, int]] = []
+            remaining = duration
+            for w_index, (t0, t1) in enumerate(windows):
+                is_last_window = w_index == len(windows) - 1
+                if len(pieces) == max_segments - 1 or is_last_window:
+                    # Final allowed piece: must run to completion, so it
+                    # needs an open-ended window.
+                    if is_last_window:
+                        pieces.append((t0, t0 + remaining))
+                        remaining = 0
+                        break
+                    if t1 - t0 >= remaining:
+                        pieces.append((t0, t0 + remaining))
+                        remaining = 0
+                        break
+                    continue  # window too small for the final piece
+                take = min(remaining, t1 - t0)
+                if take < MIN_SEGMENT:
+                    continue
+                pieces.append((t0, t0 + take))
+                remaining -= take
+                if remaining == 0:
+                    break
+            if remaining:
+                continue  # no feasible piecewise placement on this TAM
+            finish = pieces[-1][1]
+            if best_finish is None or finish < best_finish:
+                best_finish = finish
+                best_pieces = pieces
+                best_tam = tam
+        if best_pieces is None:
+            raise ValueError(f"no feasible placement for core {name!r}")
+        for index, (t0, t1) in enumerate(best_pieces):
+            placed.append(
+                Segment(
+                    name=name,
+                    tam=best_tam,
+                    start=t0,
+                    end=t1,
+                    power=power(name),
+                    index=index,
+                )
+            )
+        finished[name] = best_pieces[-1][1]
+        pending.discard(name)
+
+    makespan = max((s.end for s in placed), default=0)
+    level = 0.0
+    peak = 0.0
+    for _, delta in _power_level_events(placed):
+        level += delta
+        peak = max(peak, level)
+    return PreemptiveSchedule(
+        widths=tuple(widths),
+        segments=tuple(placed),
+        makespan=makespan,
+        peak_power=peak,
+    )

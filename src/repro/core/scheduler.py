@@ -1,0 +1,137 @@
+"""Test scheduling (the paper's step 4).
+
+Given a TAM partition (a list of widths) and, per core, a test time at
+every width, the paper schedules with a longest-task-first list
+heuristic: sort the cores by test time, longest first, then assign each
+core to the TAM where the SOC test time grows the least.  Complexity is
+O(n k) lookups for n cores and k TAMs.
+
+Cores on a TAM are tested serially; TAMs run in parallel; the SOC test
+time is the largest TAM finish time (the makespan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.architecture import (
+    CoreConfig,
+    DecompressorPlacement,
+    ScheduledCore,
+    Tam,
+    TestArchitecture,
+)
+
+#: ``time_of(core_name, tam_width) -> test time`` lookup used while
+#: scheduling; the optimizer backs it with the DSE lookup tables.
+TimeFn = Callable[[str, int], int]
+
+#: ``config_of(core_name, tam_width) -> CoreConfig`` resolves the full
+#: per-core configuration once the assignment is fixed.
+ConfigFn = Callable[[str, int], CoreConfig]
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """Result of scheduling one partition."""
+
+    widths: tuple[int, ...]
+    makespan: int
+    assignment: tuple[int, ...]  # per core (input order), the TAM index
+
+
+def schedule_cores(
+    core_names: Sequence[str],
+    widths: Sequence[int],
+    time_of: TimeFn,
+) -> ScheduleOutcome:
+    """Assign cores to TAMs with the paper's list heuristic.
+
+    Cores are sorted by their test time on the *widest* TAM (their best
+    case), longest first, then greedily placed where the resulting
+    makespan is smallest; ties prefer the TAM that finishes earliest,
+    then the lowest TAM index, keeping the result deterministic.
+    """
+    if not widths:
+        raise ValueError("at least one TAM is required")
+    if any(w < 1 for w in widths):
+        raise ValueError(f"TAM widths must be >= 1, got {tuple(widths)}")
+
+    widest = max(widths)
+    order = sorted(
+        range(len(core_names)),
+        key=lambda i: (-time_of(core_names[i], widest), core_names[i]),
+    )
+
+    loads = [0] * len(widths)
+    assignment = [-1] * len(core_names)
+    for index in order:
+        name = core_names[index]
+        best_tam = -1
+        best_key: tuple[int, int, int] | None = None
+        current_makespan = max(loads)
+        for tam, width in enumerate(widths):
+            finish = loads[tam] + time_of(name, width)
+            key = (max(current_makespan, finish), finish, tam)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_tam = tam
+        assignment[index] = best_tam
+        loads[best_tam] += time_of(name, widths[best_tam])
+
+    return ScheduleOutcome(
+        widths=tuple(widths),
+        makespan=max(loads),
+        assignment=tuple(assignment),
+    )
+
+
+def build_architecture(
+    soc_name: str,
+    core_names: Sequence[str],
+    outcome: ScheduleOutcome,
+    config_of: ConfigFn,
+    *,
+    placement: DecompressorPlacement,
+    ate_channels: int,
+) -> TestArchitecture:
+    """Materialize a :class:`TestArchitecture` from a schedule outcome.
+
+    Start times are laid out serially per TAM in the same
+    longest-first order the scheduler used, so the architecture passes
+    its own overlap validation and the makespan is preserved.
+    """
+    widths = outcome.widths
+    tams = tuple(Tam(index=i, width=w) for i, w in enumerate(widths))
+
+    # Recreate the scheduling order to lay out serial slots per TAM.
+    widest = max(widths)
+    order = sorted(
+        range(len(core_names)),
+        key=lambda i: (
+            -config_of(core_names[i], widest).test_time,
+            core_names[i],
+        ),
+    )
+    loads = [0] * len(widths)
+    scheduled: list[ScheduledCore] = []
+    for index in order:
+        name = core_names[index]
+        tam = outcome.assignment[index]
+        config = config_of(name, widths[tam])
+        start = loads[tam]
+        end = start + config.test_time
+        loads[tam] = end
+        scheduled.append(
+            ScheduledCore(config=config, tam_index=tam, start=start, end=end)
+        )
+
+    arch = TestArchitecture(
+        soc_name=soc_name,
+        placement=placement,
+        tams=tams,
+        scheduled=tuple(scheduled),
+        ate_channels=ate_channels,
+    )
+    return arch

@@ -1,0 +1,285 @@
+"""Constrained test scheduling: power budgets and precedence (extension).
+
+The paper's scheduler packs cores back-to-back per TAM.  Real test
+plans carry two further constraint families the SOC test-scheduling
+literature (including the authors' follow-up work) treats as standard:
+
+* a **power budget** -- the summed flat power of concurrently running
+  core tests must stay below ``power_budget`` at all times (Chou et
+  al.'s model); and
+* **precedence** -- core B's test may only start after core A's test
+  completed (e.g. a memory built off a repaired block, or diagnostic
+  ordering).
+
+:func:`schedule_constrained` extends the longest-first list heuristic
+with both: a core's start on a TAM may be *delayed* past the bus-free
+time (inserting TAM idle time) until its predecessors are done and the
+power profile admits it.  With no constraints given it reduces exactly
+to the paper's scheduler (property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.core.architecture import (
+    CoreConfig,
+    DecompressorPlacement,
+    ScheduledCore,
+    Tam,
+    TestArchitecture,
+)
+from repro.core.scheduler import ConfigFn, TimeFn
+
+
+@dataclass(frozen=True)
+class PlacedInterval:
+    """One placed core test on the global timeline."""
+
+    name: str
+    tam: int
+    start: int
+    end: int
+    power: float
+
+
+@dataclass(frozen=True)
+class ConstrainedSchedule:
+    """Outcome of constrained scheduling for one TAM partition."""
+
+    widths: tuple[int, ...]
+    intervals: tuple[PlacedInterval, ...]
+    makespan: int
+    peak_power: float
+
+    def interval_for(self, name: str) -> PlacedInterval:
+        for interval in self.intervals:
+            if interval.name == name:
+                return interval
+        raise KeyError(name)
+
+    @property
+    def tam_idle_cycles(self) -> int:
+        """Total bus idle time inserted to satisfy the constraints."""
+        idle = 0
+        by_tam: dict[int, list[PlacedInterval]] = {}
+        for interval in self.intervals:
+            by_tam.setdefault(interval.tam, []).append(interval)
+        for items in by_tam.values():
+            items.sort(key=lambda iv: iv.start)
+            clock = 0
+            for iv in items:
+                idle += iv.start - clock
+                clock = iv.end
+        return idle
+
+
+class PrecedenceError(ValueError):
+    """Raised for cyclic or dangling precedence constraints."""
+
+
+def _check_precedence(
+    names: Sequence[str], precedence: Sequence[tuple[str, str]]
+) -> dict[str, set[str]]:
+    known = set(names)
+    preds: dict[str, set[str]] = {name: set() for name in names}
+    for before, after in precedence:
+        if before not in known or after not in known:
+            raise PrecedenceError(
+                f"precedence ({before!r} -> {after!r}) names unknown cores"
+            )
+        if before == after:
+            raise PrecedenceError(f"core {before!r} cannot precede itself")
+        preds[after].add(before)
+    # Cycle check via Kahn's algorithm.
+    remaining = {name: set(p) for name, p in preds.items()}
+    done: list[str] = []
+    ready = [n for n, p in remaining.items() if not p]
+    while ready:
+        node = ready.pop()
+        done.append(node)
+        for other, p in remaining.items():
+            if node in p:
+                p.discard(node)
+                if not p:
+                    ready.append(other)
+    if len(done) != len(names):
+        cyclic = sorted(set(names) - set(done))
+        raise PrecedenceError(f"cyclic precedence among {cyclic}")
+    return preds
+
+
+def _power_ok(
+    placed: Sequence[PlacedInterval],
+    start: int,
+    end: int,
+    power: float,
+    budget: float,
+) -> bool:
+    """Would adding (start, end, power) keep the profile within budget?"""
+    if power > budget:
+        return False
+    events: list[tuple[int, float]] = []
+    for iv in placed:
+        lo = max(start, iv.start)
+        hi = min(end, iv.end)
+        if lo < hi:
+            events.append((lo, iv.power))
+            events.append((hi, -iv.power))
+    events.sort()
+    level = power
+    for _, delta in events:
+        level += delta
+        if level > budget + 1e-9:
+            return False
+    return True
+
+
+def _earliest_power_feasible(
+    placed: Sequence[PlacedInterval],
+    ready: int,
+    duration: int,
+    power: float,
+    budget: float,
+) -> int | None:
+    """Earliest start >= ready where the window fits the power budget."""
+    if power > budget:
+        return None
+    candidates = sorted(
+        {ready} | {iv.end for iv in placed if iv.end > ready}
+    )
+    for start in candidates:
+        if _power_ok(placed, start, start + duration, power, budget):
+            return start
+    return None  # unreachable: past every placed end the profile is empty
+
+
+def schedule_constrained(
+    core_names: Sequence[str],
+    widths: Sequence[int],
+    time_of: TimeFn,
+    *,
+    power_of: Mapping[str, float] | Callable[[str], float] | None = None,
+    power_budget: float | None = None,
+    precedence: Sequence[tuple[str, str]] = (),
+) -> ConstrainedSchedule:
+    """Longest-first list scheduling with power and precedence constraints.
+
+    Raises :class:`PrecedenceError` for malformed precedence and
+    ``ValueError`` when a single core's power already exceeds the budget
+    (no schedule exists under the flat model).
+    """
+    if not widths:
+        raise ValueError("at least one TAM is required")
+    if any(w < 1 for w in widths):
+        raise ValueError(f"TAM widths must be >= 1, got {tuple(widths)}")
+    preds = _check_precedence(core_names, precedence)
+
+    def power(name: str) -> float:
+        if power_of is None:
+            return 0.0
+        if callable(power_of):
+            return float(power_of(name))
+        return float(power_of[name])
+
+    if power_budget is not None:
+        for name in core_names:
+            if power(name) > power_budget:
+                raise ValueError(
+                    f"core {name!r} alone exceeds the power budget "
+                    f"({power(name):.2f} > {power_budget:.2f})"
+                )
+
+    widest = max(widths)
+    placed: list[PlacedInterval] = []
+    finished: dict[str, int] = {}
+    tam_free = [0] * len(widths)
+    pending = set(core_names)
+
+    while pending:
+        ready_names = [
+            name for name in pending if preds[name] <= set(finished)
+        ]
+        # Longest-first among ready cores (deterministic tie-break).
+        ready_names.sort(key=lambda n: (-time_of(n, widest), n))
+        name = ready_names[0]
+        ready_at = max(
+            (finished[p] for p in preds[name]), default=0
+        )
+        best: tuple[int, int, int] | None = None  # (end, start, tam)
+        for tam, width in enumerate(widths):
+            duration = time_of(name, width)
+            earliest = max(tam_free[tam], ready_at)
+            if power_budget is not None:
+                start = _earliest_power_feasible(
+                    placed, earliest, duration, power(name), power_budget
+                )
+                if start is None:
+                    continue
+            else:
+                start = earliest
+            key = (start + duration, start, tam)
+            if best is None or key < best:
+                best = key
+        if best is None:
+            raise ValueError(f"no feasible placement for core {name!r}")
+        end, start, tam = best
+        placed.append(
+            PlacedInterval(
+                name=name, tam=tam, start=start, end=end, power=power(name)
+            )
+        )
+        finished[name] = end
+        tam_free[tam] = end
+        pending.discard(name)
+
+    makespan = max((iv.end for iv in placed), default=0)
+    peak = _peak_power(placed)
+    return ConstrainedSchedule(
+        widths=tuple(widths),
+        intervals=tuple(placed),
+        makespan=makespan,
+        peak_power=peak,
+    )
+
+
+def _peak_power(placed: Sequence[PlacedInterval]) -> float:
+    events: list[tuple[int, float]] = []
+    for iv in placed:
+        events.append((iv.start, iv.power))
+        events.append((iv.end, -iv.power))
+    events.sort()
+    level = 0.0
+    peak = 0.0
+    for _, delta in events:
+        level += delta
+        peak = max(peak, level)
+    return peak
+
+
+def constrained_architecture(
+    soc_name: str,
+    schedule: ConstrainedSchedule,
+    config_of: ConfigFn,
+    *,
+    placement: DecompressorPlacement,
+    ate_channels: int,
+) -> TestArchitecture:
+    """Materialize a constrained schedule as a :class:`TestArchitecture`."""
+    tams = tuple(Tam(index=i, width=w) for i, w in enumerate(schedule.widths))
+    scheduled = []
+    for iv in schedule.intervals:
+        config = config_of(iv.name, schedule.widths[iv.tam])
+        scheduled.append(
+            ScheduledCore(
+                config=config, tam_index=iv.tam, start=iv.start, end=iv.end
+            )
+        )
+    return TestArchitecture(
+        soc_name=soc_name,
+        placement=placement,
+        tams=tams,
+        scheduled=tuple(scheduled),
+        ate_channels=ate_channels,
+    )

@@ -1,0 +1,35 @@
+"""Per-core design-space exploration over decompressor I/O widths.
+
+For each core the paper sweeps all feasible (w, m) decompressor
+configurations -- w TAM input bits, m wrapper-chain output bits with
+``w = ceil(log2(m+1)) + 2`` -- and records the compressed test time
+``tau_c(w, m)``.  These lookup tables are what the SOC-level optimizer
+schedules from.
+"""
+
+from repro.explore.dse import (
+    CompressedPoint,
+    UncompressedPoint,
+    CoreAnalysis,
+    analysis_for,
+    clear_analysis_cache,
+)
+from repro.explore.pareto import pareto_front, is_non_increasing
+from repro.explore.selection import (
+    TechniqueChoice,
+    TechniqueSelector,
+    select_technique,
+)
+
+__all__ = [
+    "TechniqueChoice",
+    "TechniqueSelector",
+    "select_technique",
+    "CompressedPoint",
+    "UncompressedPoint",
+    "CoreAnalysis",
+    "analysis_for",
+    "clear_analysis_cache",
+    "pareto_front",
+    "is_non_increasing",
+]

@@ -1,0 +1,354 @@
+"""Design-space exploration of per-core decompressor configurations.
+
+:class:`CoreAnalysis` answers, for one core, the questions the SOC-level
+optimizer asks (the paper's steps 1-2):
+
+* ``uncompressed_point(w)`` -- wrapper design and test time on a
+  ``w``-wide TAM without TDC;
+* ``compressed_point(m)`` -- decompressor with ``m`` wrapper chains (the
+  code width ``w`` follows from ``m``), its codeword count, test time and
+  compressed volume;
+* ``sweep_code_width(w)`` / ``best_for_code_width(w)`` -- all / the best
+  ``m`` whose code width is exactly ``w`` (Figures 2 and 3);
+* ``best_compressed_for_tam(W)`` -- the best configuration whose code
+  width fits a ``W``-wide TAM (what scheduling uses; monotone in ``W``
+  by construction even though ``tau_c`` itself is non-monotonic).
+
+Small cores (d695/d2758 class) are analyzed *exactly*: their synthetic
+cubes are materialized and run through the bit-accurate slice-cost
+kernel.  Industrial-scale cores use the sampled estimator
+(:mod:`repro.compression.estimator`); the two paths share the same cost
+model and are cross-validated in the test suite.
+
+Compressed test-time model (DESIGN.md section 3)::
+
+    tau_c = total codewords + p + min(si, so)
+
+one ATE cycle per codeword, one capture cycle per pattern, and a final
+response flush.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.compression.cubes import TestCubeSet, generate_cubes
+from repro.compression.estimator import DEFAULT_SAMPLES, estimate_codewords
+from repro.compression.selective import code_parameters, slice_costs, slice_width_range
+from repro.soc.core import Core
+from repro.wrapper.design import design_wrapper
+from repro.wrapper.timing import scan_test_time, uncompressed_tam_volume
+
+Mode = Literal["auto", "exact", "estimate"]
+
+#: Cores with at most this many cube cells are analyzed exactly.
+EXACT_CELL_LIMIT = 4_000_000
+
+#: Smallest meaningful code width (w = 3 covers m = 1).
+MIN_CODE_WIDTH = 3
+
+#: At most this many m values are evaluated per code width.
+DEFAULT_GRID = 48
+
+
+@dataclass(frozen=True)
+class UncompressedPoint:
+    """Wrapper design outcome on a ``w``-wide TAM without TDC."""
+
+    tam_width: int
+    scan_in_max: int
+    scan_out_max: int
+    test_time: int
+    volume: int
+
+
+@dataclass(frozen=True)
+class CompressedPoint:
+    """Decompressor configuration outcome for one core."""
+
+    m: int
+    code_width: int
+    scan_in_max: int
+    scan_out_max: int
+    codewords: int
+    test_time: int
+    volume: int
+    exact: bool
+
+    @property
+    def w(self) -> int:
+        """Alias matching the paper's notation for the TAM-side width."""
+        return self.code_width
+
+
+class CoreAnalysis:
+    """Per-core (w, m) design-space exploration with caching."""
+
+    def __init__(
+        self,
+        core: Core,
+        *,
+        mode: Mode = "auto",
+        samples: int = DEFAULT_SAMPLES,
+        grid: int = DEFAULT_GRID,
+        cubes: TestCubeSet | None = None,
+    ) -> None:
+        if mode not in ("auto", "exact", "estimate"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if grid < 2:
+            raise ValueError(f"grid must be >= 2, got {grid}")
+        self.core = core
+        self.samples = samples
+        self.grid = grid
+        if cubes is not None:
+            # Externally supplied (e.g. real ATPG) cubes force the
+            # exact path: the estimator only knows the synthetic model.
+            if cubes.core != core:
+                raise ValueError("cube set belongs to a different core")
+            if mode == "estimate":
+                raise ValueError("cannot combine external cubes with estimate mode")
+            mode = "exact"
+        elif mode == "auto":
+            cells = core.patterns * core.scan_in_bits
+            mode = "exact" if cells <= EXACT_CELL_LIMIT else "estimate"
+        self.mode: str = mode
+        self._cubes: TestCubeSet | None = cubes
+        self._uncompressed: dict[int, UncompressedPoint] = {}
+        self._compressed: dict[int, CompressedPoint] = {}
+        self._best_by_width: dict[int, CompressedPoint | None] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cubes(self) -> TestCubeSet:
+        """Materialized cube set (exact mode only)."""
+        if self.mode != "exact":
+            raise RuntimeError(
+                f"{self.core.name} is analyzed in estimate mode; "
+                "cubes are not materialized"
+            )
+        if self._cubes is None:
+            self._cubes = generate_cubes(self.core)
+        return self._cubes
+
+    #: How many code widths beyond the core's useful range are explored.
+    #: A decompressor may be built wider than the core can exploit (its
+    #: surplus outputs idle); the paper's Figure 3 evaluates such widths
+    #: and finds them non-improving.
+    EXTRA_CODE_WIDTHS = 3
+
+    @property
+    def max_code_width(self) -> int:
+        """Largest code width the exploration considers."""
+        m = self.core.max_useful_wrapper_chains
+        _, w = code_parameters(m)
+        return w + self.EXTRA_CODE_WIDTHS
+
+    # ------------------------------------------------------------------
+    # Uncompressed side (paper step 1)
+    # ------------------------------------------------------------------
+
+    def uncompressed_point(self, tam_width: int) -> UncompressedPoint:
+        """Test time/volume on a plain ``tam_width``-wide TAM."""
+        if tam_width < 1:
+            raise ValueError(f"TAM width must be >= 1, got {tam_width}")
+        point = self._uncompressed.get(tam_width)
+        if point is None:
+            design = design_wrapper(self.core, tam_width)
+            time = scan_test_time(
+                self.core.patterns, design.scan_in_max, design.scan_out_max
+            )
+            point = UncompressedPoint(
+                tam_width=tam_width,
+                scan_in_max=design.scan_in_max,
+                scan_out_max=design.scan_out_max,
+                test_time=time,
+                volume=uncompressed_tam_volume(self.core, design),
+            )
+            self._uncompressed[tam_width] = point
+        return point
+
+    # ------------------------------------------------------------------
+    # Compressed side (paper step 2)
+    # ------------------------------------------------------------------
+
+    def compressed_point(self, m: int) -> CompressedPoint:
+        """Decompressor outcome for exactly ``m`` wrapper chains."""
+        if m < 1:
+            raise ValueError(f"wrapper chain count must be >= 1, got {m}")
+        point = self._compressed.get(m)
+        if point is not None:
+            return point
+        design = design_wrapper(self.core, m)
+        k, w = code_parameters(m)
+        if self.mode == "exact":
+            slices = self.cubes.slices(design)
+            codewords = int(slice_costs(slices).sum())
+            exact = True
+        else:
+            codewords = estimate_codewords(
+                self.core, design, samples=self.samples
+            ).total_codewords
+            exact = False
+        si, so = design.scan_in_max, design.scan_out_max
+        time = codewords + self.core.patterns + min(si, so)
+        point = CompressedPoint(
+            m=m,
+            code_width=w,
+            scan_in_max=si,
+            scan_out_max=so,
+            codewords=codewords,
+            test_time=time,
+            volume=codewords * w,
+            exact=exact,
+        )
+        self._compressed[m] = point
+        return point
+
+    def m_grid_for_code_width(self, w: int) -> list[int]:
+        """Slice widths evaluated for code width ``w`` (grid-limited).
+
+        All of ``slice_width_range(w)`` when small; otherwise an evenly
+        spaced subset that always includes both endpoints and -- when it
+        falls in range -- the core's scan-chain count (the structurally
+        interesting point where every scan chain gets its own wrapper
+        chain).
+        """
+        if w > self.max_code_width:
+            return []
+        full = slice_width_range(w)
+        rng = slice_width_range(w, self.core.max_useful_wrapper_chains)
+        values = list(rng)
+        if not values:
+            # The whole range lies beyond the useful chain count: the
+            # decompressor can still be built (surplus outputs idle); the
+            # narrowest such slice width dilutes the groups least.
+            return [full.start]
+        if len(values) <= self.grid:
+            return values
+        picks = np.unique(
+            np.linspace(values[0], values[-1], self.grid).round().astype(int)
+        )
+        chosen = set(int(v) for v in picks)
+        chains = self.core.num_scan_chains
+        if values[0] <= chains <= values[-1]:
+            chosen.add(chains)
+        return sorted(chosen)
+
+    def sweep_code_width(self, w: int) -> list[CompressedPoint]:
+        """All evaluated configurations with code width exactly ``w``."""
+        return [self.compressed_point(m) for m in self.m_grid_for_code_width(w)]
+
+    def sweep_wrapper_chains(self, m_values: list[int] | range) -> list[CompressedPoint]:
+        """Evaluate explicit wrapper-chain counts (Figure 2 style)."""
+        return [self.compressed_point(m) for m in m_values]
+
+    def best_for_code_width(self, w: int) -> CompressedPoint | None:
+        """Fastest configuration whose code width is exactly ``w``.
+
+        This is one point of the paper's Figure 3.  Returns ``None`` when
+        no useful slice width maps to ``w`` for this core.
+        """
+        if w in self._best_by_width:
+            return self._best_by_width[w]
+        points = self.sweep_code_width(w)
+        best = min(points, key=lambda p: (p.test_time, p.m), default=None)
+        self._best_by_width[w] = best
+        return best
+
+    def best_compressed_for_tam(self, tam_width: int) -> CompressedPoint | None:
+        """Fastest configuration whose code width fits ``tam_width`` wires.
+
+        Unlike :meth:`best_for_code_width` this is monotone non-improving
+        as ``tam_width`` shrinks, because narrower codes remain feasible
+        on wider TAMs (surplus wires idle).
+        """
+        best: CompressedPoint | None = None
+        top = min(tam_width, self.max_code_width)
+        for w in range(MIN_CODE_WIDTH, top + 1):
+            candidate = self.best_for_code_width(w)
+            if candidate is None:
+                continue
+            if best is None or candidate.test_time < best.test_time:
+                best = candidate
+        return best
+
+    # ------------------------------------------------------------------
+    # Scheduling-facing summary
+    # ------------------------------------------------------------------
+
+    def time_at_tam(self, tam_width: int, *, compression: bool) -> int:
+        """Core test time on a ``tam_width``-wide TAM.
+
+        With ``compression=True`` and no feasible code (TAM narrower than
+        3 wires, say), falls back to the uncompressed time -- the wrapper
+        is simply connected straight to the TAM.
+        """
+        if not compression:
+            return self.uncompressed_point(tam_width).test_time
+        best = self.best_compressed_for_tam(tam_width)
+        if best is None:
+            return self.uncompressed_point(tam_width).test_time
+        return best.test_time
+
+    def volume_at_tam(self, tam_width: int, *, compression: bool) -> int:
+        """Stimulus volume matching :meth:`time_at_tam`'s choice."""
+        if not compression:
+            return self.uncompressed_point(tam_width).volume
+        best = self.best_compressed_for_tam(tam_width)
+        if best is None:
+            return self.uncompressed_point(tam_width).volume
+        return best.volume
+
+    def relative_spread(self, w: int) -> float:
+        """``(tau_max - tau_min) / tau_max`` over code width ``w``'s sweep.
+
+        The quantity the paper annotates in Figure 2 (31% for ckt-7 at
+        w = 10).
+        """
+        points = self.sweep_code_width(w)
+        if not points:
+            raise ValueError(f"no feasible slice widths for code width {w}")
+        times = [p.test_time for p in points]
+        hi, lo = max(times), min(times)
+        return (hi - lo) / hi if hi else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Module-level analysis cache: experiments repeatedly analyze the same
+# cores (e.g. ckt-2 appears in System1, System2, System3 and System4).
+# ---------------------------------------------------------------------------
+
+_CACHE: dict[tuple[Core, str, int, int, int | None], CoreAnalysis] = {}
+
+
+def analysis_for(
+    core: Core,
+    *,
+    mode: Mode = "auto",
+    samples: int = DEFAULT_SAMPLES,
+    grid: int = DEFAULT_GRID,
+    cubes: TestCubeSet | None = None,
+) -> CoreAnalysis:
+    """Shared, memoized :class:`CoreAnalysis` for a core.
+
+    External ``cubes`` are keyed by object identity: reuse the same
+    :class:`TestCubeSet` instance to share the analysis.
+    """
+    key = (core, mode, samples, grid, id(cubes) if cubes is not None else None)
+    analysis = _CACHE.get(key)
+    if analysis is None:
+        analysis = CoreAnalysis(
+            core, mode=mode, samples=samples, grid=grid, cubes=cubes
+        )
+        _CACHE[key] = analysis
+    return analysis
+
+
+def clear_analysis_cache() -> None:
+    """Drop all memoized analyses (tests use this for isolation)."""
+    _CACHE.clear()

@@ -1,0 +1,48 @@
+"""Small Pareto-front utilities used across the exploration layer."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def pareto_front(
+    items: Iterable[T],
+    *,
+    cost: Callable[[T], float],
+    resource: Callable[[T], float],
+) -> list[T]:
+    """Keep the items where no other item is <= in both cost and resource.
+
+    Typical use: wrapper designs, keeping only (TAM width, test time)
+    pairs where widening the TAM actually helps.  Ties keep the first
+    occurrence (stable).
+    """
+    ordered = sorted(items, key=lambda it: (resource(it), cost(it)))
+    front: list[T] = []
+    best_cost = float("inf")
+    last_resource: float | None = None
+    for item in ordered:
+        c, r = cost(item), resource(item)
+        if c < best_cost:
+            if front and last_resource == r:
+                front.pop()  # same resource, strictly better cost
+            front.append(item)
+            best_cost = c
+            last_resource = r
+    return front
+
+
+def is_non_increasing(values: Sequence[float]) -> bool:
+    """True if the sequence never increases (monotonicity checks)."""
+    return all(b <= a for a, b in zip(values, values[1:]))
+
+
+def non_monotonic_indices(values: Sequence[float]) -> list[int]:
+    """Indices ``i`` where ``values[i] < values[i+1]`` (an uptick follows).
+
+    The paper's key observation is that compressed test time has such
+    upticks both over wrapper-chain counts and over TAM widths.
+    """
+    return [i for i in range(len(values) - 1) if values[i] < values[i + 1]]

@@ -1,0 +1,22 @@
+"""Test power modeling (extension).
+
+Scan testing dissipates far more power than functional operation, and
+SOC test schedules are routinely power-constrained: the sum of the
+power of concurrently tested cores must stay below a budget (the
+classic flat-power model of Chou et al., used throughout the test-
+scheduling literature, including the authors' own follow-up work on
+power-aware SOC test scheduling).
+
+:mod:`repro.power.model` estimates per-core scan power from the cube
+statistics and the X-fill policy; the constrained scheduler that
+consumes these estimates lives in :mod:`repro.core.timeline`.
+"""
+
+from repro.power.model import (
+    PowerModel,
+    core_test_power,
+    power_table,
+    toggle_rate,
+)
+
+__all__ = ["PowerModel", "core_test_power", "power_table", "toggle_rate"]

@@ -1,0 +1,93 @@
+"""Flat per-core scan power estimation.
+
+The model follows the standard weighted-transition reasoning: shift
+power is proportional to the number of scan cells toggling per shift
+cycle, and a cell toggles when consecutive bits of its shifted stream
+differ.  For a stream whose bits are 1 with probability ``p1`` (i.i.d.,
+the cube generator's model), the toggle rate is ``2 * p1 * (1 - p1)``.
+
+The X-fill policy decides ``p1``:
+
+* ``"random"`` -- ATE random-fill (the no-TDC default): every X becomes
+  a coin flip, so ``p1 = d*f1 + (1-d)/2`` for care density ``d`` and
+  care one-fraction ``f1``.  Near-maximal toggling.
+* ``"zero"`` -- 0-fill: ``p1 = d*f1``.  The classic low-power fill.
+* ``"majority"`` -- what the selective-encoding decompressor actually
+  produces: each slice is filled with its majority care symbol, so only
+  the minority care bits deviate; ``p1 ~= d * min(f1, 1-f1)``.  TDC is
+  therefore also a power reduction technique, which ablation A6 in the
+  benchmark harness quantifies.
+
+The resulting per-core power is a dimensionless "toggle unit" (cells
+toggling per cycle); budgets are expressed in the same unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+
+Fill = Literal["random", "zero", "majority"]
+
+
+def toggle_rate(
+    care_bit_density: float, one_fraction: float, fill: Fill = "random"
+) -> float:
+    """Probability that a scan cell toggles in one shift cycle."""
+    d = care_bit_density
+    f1 = one_fraction
+    if fill == "random":
+        p1 = d * f1 + (1.0 - d) * 0.5
+    elif fill == "zero":
+        p1 = d * f1
+    elif fill == "majority":
+        p1 = d * min(f1, 1.0 - f1)
+    else:
+        raise ValueError(f"unknown fill policy {fill!r}")
+    return 2.0 * p1 * (1.0 - p1)
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Calibration of the flat power model.
+
+    ``shift_weight`` scales shift toggling; ``io_weight`` accounts for
+    wrapper-cell and TAM switching (small); power is flat over a core's
+    test (the classic model used by power-constrained test scheduling).
+    """
+
+    shift_weight: float = 1.0
+    io_weight: float = 0.2
+
+    def core_power(self, core: Core, *, fill: Fill = "random") -> float:
+        rate = toggle_rate(core.care_bit_density, core.one_fraction, fill)
+        scan = self.shift_weight * core.scan_cells * rate
+        io = self.io_weight * (core.wrapper_input_cells + core.wrapper_output_cells)
+        return scan + io
+
+
+def core_test_power(
+    core: Core, *, fill: Fill = "random", model: PowerModel | None = None
+) -> float:
+    """Flat power of one core's test under the given X-fill policy."""
+    return (model or PowerModel()).core_power(core, fill=fill)
+
+
+def power_table(
+    soc: Soc,
+    *,
+    compression: bool = False,
+    model: PowerModel | None = None,
+) -> dict[str, float]:
+    """Per-core flat power for a whole SOC.
+
+    With ``compression`` the decompressor's majority fill applies;
+    without, the ATE image is random-filled.
+    """
+    fill: Fill = "majority" if compression else "random"
+    return {
+        core.name: core_test_power(core, fill=fill, model=model) for core in soc
+    }

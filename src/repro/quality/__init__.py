@@ -1,0 +1,25 @@
+"""Test quality versus tester memory (extension).
+
+The paper's introduction motivates compression with tester memory
+pressure.  When the full test set still does not fit the ATE, practice
+*truncates* it -- drops the least valuable patterns -- trading fault
+coverage for memory.  This subpackage implements the companion problem
+studied by the same group ("Test data truncation for test quality
+maximisation under ATE memory depth constraint", Larsson & Edbom):
+
+* :mod:`repro.quality.coverage` -- a saturating-exponential fault-
+  coverage model per core (the classic ATPG coverage curve);
+* :mod:`repro.quality.truncation` -- greedy truncation of per-core
+  pattern counts so a planned schedule fits a memory depth while
+  losing the least coverage.
+"""
+
+from repro.quality.coverage import CoverageModel, soc_quality
+from repro.quality.truncation import TruncationResult, truncate_for_depth
+
+__all__ = [
+    "CoverageModel",
+    "soc_quality",
+    "TruncationResult",
+    "truncate_for_depth",
+]

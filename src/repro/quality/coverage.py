@@ -1,0 +1,81 @@
+"""Fault-coverage model for pattern-count trade-offs.
+
+ATPG coverage curves saturate: early patterns detect many faults, late
+patterns few.  The standard parametric form is
+
+    coverage(p) = c_max * (1 - exp(-p / tau))
+
+where ``c_max`` is the achievable coverage of the full set and ``tau``
+sets how quickly it saturates.  We calibrate ``tau`` so that the full
+published pattern count reaches a configurable fraction (default 98%)
+of ``c_max`` -- i.e. the last patterns of the shipped test set are
+already in the flat tail, which is what makes truncation tolerable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+
+
+@dataclass(frozen=True)
+class CoverageModel:
+    """Saturating-exponential coverage curve for one core."""
+
+    full_patterns: int
+    max_coverage: float = 0.99
+    saturation: float = 0.98  # coverage fraction reached at full_patterns
+
+    def __post_init__(self) -> None:
+        if self.full_patterns < 1:
+            raise ValueError("full_patterns must be >= 1")
+        if not 0.0 < self.max_coverage <= 1.0:
+            raise ValueError("max_coverage must be in (0, 1]")
+        if not 0.0 < self.saturation < 1.0:
+            raise ValueError("saturation must be in (0, 1)")
+
+    @property
+    def tau(self) -> float:
+        """Decay constant: coverage(full) = saturation * c_max."""
+        return -self.full_patterns / math.log(1.0 - self.saturation)
+
+    def coverage(self, patterns: int) -> float:
+        """Fault coverage reached after ``patterns`` patterns."""
+        if patterns < 0:
+            raise ValueError("patterns must be >= 0")
+        return self.max_coverage * (1.0 - math.exp(-patterns / self.tau))
+
+    def marginal(self, patterns: int) -> float:
+        """Coverage gained by the ``patterns``-th pattern (derivative)."""
+        return self.max_coverage * math.exp(-patterns / self.tau) / self.tau
+
+    @classmethod
+    def for_core(cls, core: Core, **kwargs) -> "CoverageModel":
+        return cls(full_patterns=core.patterns, **kwargs)
+
+
+def soc_quality(
+    soc: Soc,
+    pattern_counts: Mapping[str, int],
+    *,
+    models: Mapping[str, CoverageModel] | None = None,
+) -> float:
+    """SOC test quality: scan-cell-weighted average core coverage.
+
+    Weighting by scan cells approximates weighting by fault count, so
+    big cores dominate the metric (as they dominate the defect budget).
+    """
+    if models is None:
+        models = {c.name: CoverageModel.for_core(c) for c in soc}
+    total_weight = 0.0
+    accumulated = 0.0
+    for core in soc:
+        weight = max(1, core.scan_cells)
+        count = pattern_counts.get(core.name, core.patterns)
+        accumulated += weight * models[core.name].coverage(count)
+        total_weight += weight
+    return accumulated / total_weight if total_weight else 0.0

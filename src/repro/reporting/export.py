@@ -1,0 +1,117 @@
+"""JSON export/import of planned architectures.
+
+A planned :class:`~repro.core.architecture.TestArchitecture` is the
+hand-off artifact to downstream DFT tooling (wrapper insertion, TAM
+routing, ATE program generation), so it needs a stable serialized form.
+The schema is versioned; :func:`architecture_from_json` refuses schemas
+it does not understand.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.architecture import (
+    CoreConfig,
+    DecompressorPlacement,
+    ScheduledCore,
+    Tam,
+    TestArchitecture,
+)
+from repro.core.optimizer import OptimizeResult
+
+SCHEMA_VERSION = 1
+
+
+def architecture_to_dict(architecture: TestArchitecture) -> dict[str, Any]:
+    """Serialize an architecture to plain JSON-ready data."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "soc": architecture.soc_name,
+        "placement": architecture.placement.value,
+        "ate_channels": architecture.ate_channels,
+        "test_time": architecture.test_time,
+        "test_data_volume": architecture.test_data_volume,
+        "tams": [
+            {"index": t.index, "width": t.width} for t in architecture.tams
+        ],
+        "schedule": [
+            {
+                "core": s.config.core_name,
+                "tam": s.tam_index,
+                "start": s.start,
+                "end": s.end,
+                "compressed": s.config.uses_compression,
+                "technique": s.config.technique,
+                "wrapper_chains": s.config.wrapper_chains,
+                "code_width": s.config.code_width,
+                "test_time": s.config.test_time,
+                "volume": s.config.volume,
+            }
+            for s in sorted(
+                architecture.scheduled, key=lambda s: (s.tam_index, s.start)
+            )
+        ],
+    }
+
+
+def architecture_to_json(architecture: TestArchitecture, *, indent: int = 2) -> str:
+    return json.dumps(architecture_to_dict(architecture), indent=indent)
+
+
+def result_to_dict(result: OptimizeResult) -> dict[str, Any]:
+    """Serialize a full optimizer result (architecture + provenance)."""
+    payload = architecture_to_dict(result.architecture)
+    payload["optimizer"] = {
+        "width_budget": result.width_budget,
+        "compression": result.compression,
+        "cpu_seconds": result.cpu_seconds,
+        "partitions_evaluated": result.partitions_evaluated,
+        "strategy": result.strategy,
+    }
+    return payload
+
+
+def result_to_json(result: OptimizeResult, *, indent: int = 2) -> str:
+    return json.dumps(result_to_dict(result), indent=indent)
+
+
+def architecture_from_dict(data: dict[str, Any]) -> TestArchitecture:
+    """Rebuild an architecture from :func:`architecture_to_dict` data."""
+    schema = data.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema {schema!r} (this build reads {SCHEMA_VERSION})"
+        )
+    tams = tuple(Tam(index=t["index"], width=t["width"]) for t in data["tams"])
+    scheduled = []
+    for entry in data["schedule"]:
+        config = CoreConfig(
+            core_name=entry["core"],
+            uses_compression=entry["compressed"],
+            wrapper_chains=entry["wrapper_chains"],
+            code_width=entry["code_width"],
+            test_time=entry["test_time"],
+            volume=entry["volume"],
+            technique=entry.get("technique", "auto"),
+        )
+        scheduled.append(
+            ScheduledCore(
+                config=config,
+                tam_index=entry["tam"],
+                start=entry["start"],
+                end=entry["end"],
+            )
+        )
+    return TestArchitecture(
+        soc_name=data["soc"],
+        placement=DecompressorPlacement(data["placement"]),
+        tams=tams,
+        scheduled=tuple(scheduled),
+        ate_channels=data["ate_channels"],
+    )
+
+
+def architecture_from_json(text: str) -> TestArchitecture:
+    return architecture_from_dict(json.loads(text))

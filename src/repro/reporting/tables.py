@@ -1,0 +1,57 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Compact float formatting: integers stay integral."""
+    if value == float("inf"):
+        return "inf"
+    if abs(value - round(value)) < 10 ** (-digits - 2):
+        return str(int(round(value)))
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numeric cells are right-aligned, text cells left-aligned; the header
+    row is separated by a rule.  Cells may be any object; floats go
+    through :func:`format_float`.
+    """
+    def cell_text(cell: object) -> str:
+        if isinstance(cell, float):
+            return format_float(cell)
+        return str(cell)
+
+    grid = [[cell_text(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in grid:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def align(cell: str, width: int, original: object) -> str:
+        if isinstance(original, (int, float)):
+            return cell.rjust(width)
+        return cell.ljust(width)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row, original in zip(grid, rows):
+        lines.append(
+            "  ".join(
+                align(cell, width, orig)
+                for cell, width, orig in zip(row, widths, original)
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Cycle-accurate simulation of planned test architectures.
+
+The optimizer's test times come from an analytic model.  This package
+*executes* a planned :class:`~repro.core.architecture.TestArchitecture`
+bit by bit -- ATE codewords in, decompressor expansion, wrapper-chain
+shifting, capture cycles -- and checks that
+
+* every core's wrapper chains end each load with exactly the stimulus
+  bits its test cubes specify (X-compatible), and
+* the cycle count of every scheduled slot equals the planned one.
+
+This closes the loop between the scheduling model and the bit-level
+machinery; the integration suite simulates whole SOC plans.
+"""
+
+from repro.sim.components import WrapperChainRegister, CoreSimulator
+from repro.sim.simulator import SimulationError, SimulationReport, simulate_architecture
+
+__all__ = [
+    "WrapperChainRegister",
+    "CoreSimulator",
+    "SimulationError",
+    "SimulationReport",
+    "simulate_architecture",
+]

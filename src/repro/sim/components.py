@@ -1,0 +1,195 @@
+"""Bit-level components for the architecture simulator.
+
+:class:`WrapperChainRegister` models one wrapper chain as a shift
+register; :class:`CoreSimulator` drives one core's whole test -- either
+straight from the TAM (no TDC) or through a
+:class:`~repro.compression.decompressor.Decompressor` instance -- and
+verifies after every scan load that the chain registers hold exactly
+the stimulus the core's test cubes specify.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.cubes import TestCubeSet, X
+from repro.compression.decompressor import Decompressor
+from repro.compression.selective import encode_slice
+from repro.core.architecture import CoreConfig
+from repro.soc.core import Core
+from repro.wrapper.design import WrapperDesign, design_wrapper
+
+
+class SimulationError(AssertionError):
+    """Raised when the simulated hardware contradicts the plan."""
+
+
+class WrapperChainRegister:
+    """A wrapper chain's scan path as a shift register.
+
+    New bits enter at the scan-in port; once the register is full, the
+    oldest bit falls off the scan-out end.  ``contents`` lists cells
+    from the scan-in end (most recently shifted first).
+    """
+
+    def __init__(self, length: int):
+        if length < 0:
+            raise ValueError(f"register length must be >= 0, got {length}")
+        self.length = length
+        self._cells: deque[int] = deque(maxlen=length) if length else deque(maxlen=1)
+
+    def shift_in(self, bit: int) -> None:
+        if self.length:
+            self._cells.appendleft(bit)
+
+    @property
+    def contents(self) -> list[int]:
+        """Cell values, scan-in end first."""
+        return list(self._cells) if self.length else []
+
+    def loaded_sequence(self) -> list[int]:
+        """The bits in shift order (first-shifted first).
+
+        After a full load the register holds the last ``length`` bits
+        shifted; in shift order that is ``reversed(contents)``.
+        """
+        return list(reversed(self.contents))
+
+
+@dataclass(frozen=True)
+class CoreSimResult:
+    """Outcome of simulating one core's test."""
+
+    core_name: str
+    cycles: int
+    patterns_applied: int
+    codewords_consumed: int
+    bits_streamed: int
+
+
+class CoreSimulator:
+    """Cycle-accurate execution of one scheduled core test."""
+
+    def __init__(self, core: Core, config: CoreConfig, cubes: TestCubeSet):
+        if cubes.core != core:
+            raise ValueError("cube set belongs to a different core")
+        self.core = core
+        self.config = config
+        self.cubes = cubes
+        self.design: WrapperDesign = design_wrapper(core, config.wrapper_chains)
+        self._matrix = self.design.scan_in_position_matrix()  # (si, m)
+        self._slices = cubes.slices(self.design)  # (p, si, m)
+
+    # ------------------------------------------------------------------
+
+    def _fresh_registers(self) -> list[WrapperChainRegister]:
+        return [WrapperChainRegister(L) for L in self.design.scan_in_lengths]
+
+    def _verify_load(
+        self, registers: list[WrapperChainRegister], pattern: int
+    ) -> None:
+        """Check chain contents against the cube's care bits."""
+        si = self.design.scan_in_max
+        for h, register in enumerate(registers):
+            loaded = register.loaded_sequence()
+            length = self.design.scan_in_lengths[h]
+            if len(loaded) != length:
+                raise SimulationError(
+                    f"{self.core.name} chain {h}: loaded {len(loaded)} bits, "
+                    f"expected {length}"
+                )
+            for depth, actual in enumerate(loaded):
+                position = self._matrix[si - length + depth, h]
+                if position < 0:
+                    continue
+                expected = self.cubes.bits[pattern, position]
+                if expected != X and actual != expected:
+                    raise SimulationError(
+                        f"{self.core.name} pattern {pattern} chain {h} "
+                        f"depth {depth}: got {actual}, cube wants {expected}"
+                    )
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> CoreSimResult:
+        if self.config.uses_compression:
+            return self._run_compressed()
+        return self._run_uncompressed()
+
+    def _run_uncompressed(self) -> CoreSimResult:
+        """Shift the ATE image straight off the TAM, one slice per cycle."""
+        si = self.design.scan_in_max
+        so = self.design.scan_out_max
+        shift_window = max(si, so)
+        m = self.design.num_chains
+        cycles = 0
+        bits = 0
+        for q in range(self.core.patterns):
+            registers = self._fresh_registers()
+            # Stimulus occupies the *last* si cycles of the window; the
+            # leading (window - si) cycles exist only for response
+            # shift-out and carry pad data.
+            for j in range(shift_window):
+                slice_index = j - (shift_window - si)
+                for h in range(m):
+                    if slice_index >= 0:
+                        value = self._slices[q, slice_index, h]
+                        bit = 0 if value == X else int(value)
+                    else:
+                        bit = 0
+                    registers[h].shift_in(bit)
+                cycles += 1
+                bits += m
+            self._verify_load(registers, q)
+            cycles += 1  # capture
+        cycles += min(si, so)  # flush the final response
+        return CoreSimResult(
+            core_name=self.core.name,
+            cycles=cycles,
+            patterns_applied=self.core.patterns,
+            codewords_consumed=0,
+            bits_streamed=bits,
+        )
+
+    def _run_compressed(self) -> CoreSimResult:
+        """Stream codewords through the decompressor onto the chains."""
+        si = self.design.scan_in_max
+        so = self.design.scan_out_max
+        m = self.design.num_chains
+        decoder = Decompressor(m)
+        cycles = 0
+        bits = 0
+        codewords = 0
+        width = self.config.code_width or 0
+        for q in range(self.core.patterns):
+            registers = self._fresh_registers()
+            emitted = 0
+            for j in range(si):
+                words = encode_slice(self._slices[q, j])
+                for word in words:
+                    out = decoder.feed(word)
+                    cycles += 1
+                    codewords += 1
+                    bits += width
+                    if out is not None:
+                        emitted += 1
+                        for h in range(m):
+                            registers[h].shift_in(int(out[h]))
+            if emitted != si:
+                raise SimulationError(
+                    f"{self.core.name} pattern {q}: decompressor emitted "
+                    f"{emitted} slices, expected {si}"
+                )
+            self._verify_load(registers, q)
+            cycles += 1  # capture
+        cycles += min(si, so)
+        return CoreSimResult(
+            core_name=self.core.name,
+            cycles=cycles,
+            patterns_applied=self.core.patterns,
+            codewords_consumed=codewords,
+            bits_streamed=bits,
+        )

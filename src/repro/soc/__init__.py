@@ -1,0 +1,38 @@
+"""SOC and core data model, benchmark definitions, and ITC'02-style I/O.
+
+This subpackage provides the structural substrate the optimizer works on:
+
+* :mod:`repro.soc.core` -- the :class:`~repro.soc.core.Core` description
+  (functional I/O, internal scan chains, pattern counts, care-bit density).
+* :mod:`repro.soc.soc` -- the :class:`~repro.soc.soc.Soc` container.
+* :mod:`repro.soc.itc02` -- a parser/writer for an ITC'02-style ``.soc``
+  text format so externally supplied benchmarks can be loaded.
+* :mod:`repro.soc.benchmarks` -- embedded reconstructions of the d695 and
+  d2758 benchmark SOCs used in the paper.
+* :mod:`repro.soc.industrial` -- synthetic industrial cores (ckt-1 ..
+  ckt-12) and the System1..System4 SOCs crafted from them.
+"""
+
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+from repro.soc.itc02 import parse_soc, parse_soc_file, format_soc, write_soc_file
+from repro.soc.benchmarks import load_benchmark, benchmark_names
+from repro.soc.industrial import industrial_core, industrial_system, INDUSTRIAL_CORE_NAMES
+from repro.soc.hierarchy import ChildSocCore, HierarchicalPlan, optimize_hierarchical
+
+__all__ = [
+    "ChildSocCore",
+    "HierarchicalPlan",
+    "optimize_hierarchical",
+    "Core",
+    "Soc",
+    "parse_soc",
+    "parse_soc_file",
+    "format_soc",
+    "write_soc_file",
+    "load_benchmark",
+    "benchmark_names",
+    "industrial_core",
+    "industrial_system",
+    "INDUSTRIAL_CORE_NAMES",
+]

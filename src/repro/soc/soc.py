@@ -1,0 +1,105 @@
+"""SOC container: a named collection of wrapped cores plus chip-level pins.
+
+The paper's optimizer operates on a flat list of cores sharing a top-level
+TAM width (``W_TAM``) or a number of ATE channels (``W_ATE``).  The
+:class:`Soc` class is that list plus bookkeeping used for reporting
+(gate count, initial test data volume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Sequence
+
+from repro.soc.core import Core, validate_cores
+
+
+@dataclass(frozen=True)
+class Soc:
+    """A core-based system-on-chip.
+
+    Parameters
+    ----------
+    name:
+        Benchmark or design name (``"d695"``, ``"System1"``, ...).
+    cores:
+        The embedded cores, in no particular order.
+    gates:
+        Approximate total logic gate count (reporting only).
+    latches:
+        Approximate total latch/flip-flop count (reporting only).
+    """
+
+    name: str
+    cores: tuple[Core, ...] = field(default_factory=tuple)
+    gates: int = 0
+    latches: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("SOC name must be non-empty")
+        cores = tuple(self.cores)
+        validate_cores(cores)
+        object.__setattr__(self, "cores", cores)
+
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Core]:
+        return iter(self.cores)
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def core(self, name: str) -> Core:
+        """Look up a core by name; raises ``KeyError`` if absent."""
+        for core in self.cores:
+            if core.name == name:
+                return core
+        raise KeyError(f"no core named {name!r} in SOC {self.name!r}")
+
+    @property
+    def core_names(self) -> tuple[str, ...]:
+        return tuple(core.name for core in self.cores)
+
+    @property
+    def total_scan_cells(self) -> int:
+        return sum(core.scan_cells for core in self.cores)
+
+    @property
+    def total_patterns(self) -> int:
+        return sum(core.patterns for core in self.cores)
+
+    @property
+    def initial_test_data_volume(self) -> int:
+        """``V_i`` of Table 3: raw stimulus bits over all cores."""
+        return sum(core.test_data_volume for core in self.cores)
+
+    @property
+    def max_useful_tam_width(self) -> int:
+        """Widest single TAM any core in the SOC could exploit."""
+        return max((c.max_useful_wrapper_chains for c in self.cores), default=1)
+
+    # ------------------------------------------------------------------
+
+    def with_cores(self, cores: Sequence[Core]) -> "Soc":
+        """Return a copy of this SOC with a replaced core list."""
+        return replace(self, cores=tuple(cores))
+
+    def subset(self, names: Sequence[str]) -> "Soc":
+        """Return an SOC restricted to the named cores (order preserved)."""
+        wanted = list(names)
+        missing = set(wanted) - set(self.core_names)
+        if missing:
+            raise KeyError(f"cores not in {self.name!r}: {sorted(missing)}")
+        picked = tuple(core for core in self.cores if core.name in set(wanted))
+        return replace(self, name=f"{self.name}-subset", cores=picked)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"SOC {self.name}: {len(self.cores)} cores, "
+            f"{self.total_scan_cells} scan cells, "
+            f"{self.initial_test_data_volume / 1e6:.2f} Mbit initial volume"
+        ]
+        lines.extend("  " + core.describe() for core in self.cores)
+        return "\n".join(lines)

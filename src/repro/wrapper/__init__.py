@@ -1,0 +1,26 @@
+"""Test-wrapper design for embedded cores (IEEE 1500 style).
+
+Implements the Best-Fit-Decreasing wrapper-chain design heuristic of
+Iyengar, Chakrabarty and Marinissen (the paper's refs [5]/[15]) and the
+associated scan test-time model.
+"""
+
+from repro.wrapper.design import WrapperDesign, design_wrapper, pareto_wrapper_designs
+from repro.wrapper.timing import (
+    scan_test_time,
+    uncompressed_test_time,
+    uncompressed_tam_volume,
+)
+from repro.wrapper.stitching import StitchingChoice, best_stitching, restitch
+
+__all__ = [
+    "StitchingChoice",
+    "best_stitching",
+    "restitch",
+    "WrapperDesign",
+    "design_wrapper",
+    "pareto_wrapper_designs",
+    "scan_test_time",
+    "uncompressed_test_time",
+    "uncompressed_tam_volume",
+]

@@ -1,0 +1,49 @@
+"""Scan test-time and test-data-volume models for wrapped cores.
+
+The standard modular-test timing model (paper refs [5]/[15]): with ``p``
+patterns, longest scan-in chain ``si`` and longest scan-out chain ``so``,
+and shift-in of pattern q+1 overlapped with shift-out of pattern q, the
+core test time on its TAM is::
+
+    tau = (1 + max(si, so)) * p + min(si, so)
+
+clock cycles.  The ``1 +`` accounts for the capture cycle per pattern and
+the trailing ``min(si, so)`` flushes the final response.
+"""
+
+from __future__ import annotations
+
+from repro.soc.core import Core
+from repro.wrapper.design import WrapperDesign, design_wrapper
+
+
+def scan_test_time(patterns: int, scan_in_max: int, scan_out_max: int) -> int:
+    """Core test time in clock cycles for the standard wrapper model."""
+    if patterns < 1:
+        raise ValueError(f"patterns must be >= 1, got {patterns}")
+    longer = max(scan_in_max, scan_out_max)
+    shorter = min(scan_in_max, scan_out_max)
+    return (1 + longer) * patterns + shorter
+
+
+def uncompressed_test_time(core: Core, tam_width: int) -> int:
+    """Test time of ``core`` on a ``tam_width``-wide TAM without TDC.
+
+    Without a decompressor every TAM wire drives one wrapper chain, so
+    ``m = tam_width`` (surplus width beyond the core's useful chain count
+    simply cannot reduce the time further).
+    """
+    design = design_wrapper(core, tam_width)
+    return scan_test_time(core.patterns, design.scan_in_max, design.scan_out_max)
+
+
+def uncompressed_tam_volume(core: Core, design: WrapperDesign) -> int:
+    """Stimulus bits the ATE stores/streams for ``core`` without TDC.
+
+    One bit per wrapper chain per shift cycle: ``p * max(si, so) * m``.
+    This includes the idle (pad) bits needed to balance the wrapper
+    chains, which is why it exceeds the raw cube volume
+    ``core.test_data_volume``.
+    """
+    shift_cycles = max(design.scan_in_max, design.scan_out_max)
+    return core.patterns * shift_cycles * design.num_chains

@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+
+# Deterministic property testing: the estimator-accuracy and scheduling
+# properties assert quantitative bands, which must not depend on the
+# run-to-run randomness of hypothesis' example search.
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def small_core() -> Core:
+    """A small sequential core, cheap to analyze exactly."""
+    return Core(
+        name="small",
+        inputs=6,
+        outputs=4,
+        scan_chain_lengths=(12, 10, 9, 7),
+        patterns=20,
+        care_bit_density=0.3,
+        seed=42,
+    )
+
+
+@pytest.fixture
+def comb_core() -> Core:
+    """A combinational core (wrapper cells only)."""
+    return Core(
+        name="comb",
+        inputs=16,
+        outputs=8,
+        patterns=10,
+        care_bit_density=0.7,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def sparse_core() -> Core:
+    """A sparse core, the regime where compression pays."""
+    return Core(
+        name="sparse",
+        inputs=10,
+        outputs=10,
+        scan_chain_lengths=tuple([40] * 12),
+        patterns=50,
+        care_bit_density=0.03,
+        seed=11,
+    )
+
+
+@pytest.fixture
+def tiny_soc(small_core, comb_core, sparse_core) -> Soc:
+    return Soc(name="tiny", cores=(small_core, comb_core, sparse_core))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_analysis_cache():
+    """Keep the module-level DSE cache from leaking between tests."""
+    from repro.explore.dse import clear_analysis_cache
+
+    yield
+    clear_analysis_cache()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(123)

@@ -1,0 +1,71 @@
+"""Tests for the simulated-annealing architecture search."""
+
+import pytest
+
+from repro.core.anneal import anneal_search
+from repro.core.partition import iter_partitions, search_partitions
+from repro.core.scheduler import schedule_cores
+
+
+def divisible(work):
+    return lambda name, width: -(-work[name] // width)
+
+
+WORK = {"a": 300, "b": 240, "c": 150, "d": 80, "e": 40}
+
+
+class TestAnnealSearch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            anneal_search([], 8, lambda n, w: 1)
+        with pytest.raises(ValueError):
+            anneal_search(["a"], 1, lambda n, w: 1, min_width=2)
+        with pytest.raises(ValueError):
+            anneal_search(["a"], 8, lambda n, w: 1, cooling=1.0)
+
+    def test_deterministic_in_seed(self):
+        time_of = divisible(WORK)
+        a = anneal_search(list(WORK), 10, time_of, seed=3, iterations=800)
+        b = anneal_search(list(WORK), 10, time_of, seed=3, iterations=800)
+        assert a.outcome == b.outcome
+
+    def test_widths_respect_budget_and_floor(self):
+        result = anneal_search(
+            list(WORK), 10, divisible(WORK), min_width=2, iterations=800
+        )
+        assert sum(result.widths) <= 10
+        assert all(w >= 2 for w in result.widths)
+        assert all(a >= b for a, b in zip(result.widths, result.widths[1:]))
+
+    def test_makespan_matches_assignment(self):
+        time_of = divisible(WORK)
+        result = anneal_search(list(WORK), 10, time_of, iterations=1000)
+        loads = [0] * len(result.widths)
+        for name, tam in zip(WORK, result.outcome.assignment):
+            loads[tam] += time_of(name, result.widths[tam])
+        assert max(loads) == result.makespan
+
+    def test_close_to_exhaustive(self):
+        time_of = divisible(WORK)
+        exact = search_partitions(
+            list(WORK), 10, time_of, strategy="exhaustive"
+        )
+        sa = anneal_search(list(WORK), 10, time_of, iterations=4000, seed=1)
+        assert sa.makespan <= exact.makespan * 1.10
+
+    def test_never_worse_than_serial(self):
+        time_of = divisible(WORK)
+        serial = schedule_cores(list(WORK), [10], time_of).makespan
+        sa = anneal_search(list(WORK), 10, time_of, iterations=500)
+        assert sa.makespan <= serial
+
+    def test_strategy_dispatch(self):
+        result = search_partitions(
+            list(WORK), 10, divisible(WORK), strategy="anneal"
+        )
+        assert result.strategy == "anneal"
+
+    def test_single_core(self):
+        result = anneal_search(["a"], 6, divisible({"a": 60}), iterations=200)
+        # Best for one core is the full width.
+        assert result.makespan == 10

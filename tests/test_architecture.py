@@ -1,0 +1,127 @@
+"""Unit tests for the architecture data model and its validation."""
+
+import pytest
+
+from repro.core.architecture import (
+    CoreConfig,
+    DecompressorPlacement,
+    ScheduledCore,
+    Tam,
+    TestArchitecture,
+    architecture_summary,
+    validate_width_budget,
+)
+
+
+def _config(name, time=10, volume=100, compressed=False):
+    return CoreConfig(
+        core_name=name,
+        uses_compression=compressed,
+        wrapper_chains=4,
+        code_width=5 if compressed else None,
+        test_time=time,
+        volume=volume,
+    )
+
+
+def _slot(name, tam, start, time=10, **kw):
+    return ScheduledCore(
+        config=_config(name, time=time, **kw), tam_index=tam, start=start, end=start + time
+    )
+
+
+def _arch(slots, tams=None):
+    tams = tams or (Tam(0, 4), Tam(1, 2))
+    return TestArchitecture(
+        soc_name="soc",
+        placement=DecompressorPlacement.NONE,
+        tams=tams,
+        scheduled=tuple(slots),
+        ate_channels=6,
+    )
+
+
+class TestValidation:
+    def test_tam_width_positive(self):
+        with pytest.raises(ValueError):
+            Tam(0, 0)
+
+    def test_compressed_config_needs_code_width(self):
+        with pytest.raises(ValueError, match="code width"):
+            CoreConfig(
+                core_name="a",
+                uses_compression=True,
+                wrapper_chains=4,
+                code_width=None,
+                test_time=1,
+                volume=1,
+            )
+
+    def test_slot_length_must_match_test_time(self):
+        with pytest.raises(ValueError, match="slot length"):
+            ScheduledCore(config=_config("a", time=5), tam_index=0, start=0, end=9)
+
+    def test_unknown_tam_rejected(self):
+        with pytest.raises(ValueError, match="unknown TAM"):
+            _arch([_slot("a", 7, 0)])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            _arch([_slot("a", 0, 0), _slot("b", 0, 5)])
+
+    def test_back_to_back_allowed(self):
+        arch = _arch([_slot("a", 0, 0), _slot("b", 0, 10)])
+        assert arch.test_time == 20
+
+    def test_parallel_tams_allowed(self):
+        arch = _arch([_slot("a", 0, 0), _slot("b", 1, 0)])
+        assert arch.test_time == 10
+
+
+class TestDerived:
+    def test_totals(self):
+        arch = _arch([_slot("a", 0, 0), _slot("b", 1, 0, time=25)])
+        assert arch.total_tam_width == 6
+        assert arch.test_time == 25
+        assert arch.test_data_volume == 200
+
+    def test_cores_per_tam_in_start_order(self):
+        arch = _arch([_slot("b", 0, 10), _slot("a", 0, 0)])
+        assert arch.cores_per_tam[0] == ("a", "b")
+
+    def test_tam_finish_times(self):
+        arch = _arch([_slot("a", 0, 0), _slot("b", 1, 0, time=3)])
+        assert arch.tam_finish_times() == {0: 10, 1: 3}
+
+    def test_config_lookup(self):
+        arch = _arch([_slot("a", 0, 0)])
+        assert arch.config_for("a").core_name == "a"
+        with pytest.raises(KeyError):
+            arch.config_for("zzz")
+
+    def test_empty_schedule(self):
+        arch = _arch([])
+        assert arch.test_time == 0
+        assert arch.render_gantt() == "(empty schedule)"
+
+
+class TestRendering:
+    def test_gantt_mentions_cores_and_totals(self):
+        arch = _arch([_slot("alpha", 0, 0), _slot("beta", 1, 0)])
+        text = arch.render_gantt()
+        assert "TAM0" in text and "TAM1" in text
+        assert "total: 10 cycles" in text
+
+    def test_summary(self):
+        arch = _arch([_slot("alpha", 0, 0)])
+        text = architecture_summary(arch)
+        assert "soc" in text and "alpha" in text and "(idle)" in text
+
+
+class TestWidthBudget:
+    def test_within_budget(self):
+        validate_width_budget([Tam(0, 3), Tam(1, 2)], 5)
+
+    def test_exceeded(self):
+        with pytest.raises(ValueError, match="budget exceeded"):
+            validate_width_budget([Tam(0, 4), Tam(1, 2)], 5)

@@ -1,0 +1,45 @@
+"""Unit tests for the ATE model."""
+
+import pytest
+
+from repro.ate.tester import Ate
+
+
+class TestAteValidation:
+    def test_channels_positive(self):
+        with pytest.raises(ValueError):
+            Ate(channels=0)
+
+    def test_memory_positive(self):
+        with pytest.raises(ValueError):
+            Ate(channels=1, memory_depth=0)
+
+    def test_clock_positive(self):
+        with pytest.raises(ValueError):
+            Ate(channels=1, clock_hz=0)
+
+
+class TestAteAccounting:
+    def test_seconds(self):
+        ate = Ate(channels=8, clock_hz=10e6)
+        assert ate.seconds(10_000_000) == pytest.approx(1.0)
+
+    def test_fit_divides_over_channels(self):
+        ate = Ate(channels=4, memory_depth=100)
+        fit = ate.fit(volume_bits=400)
+        assert fit.fits and fit.required_depth == 100
+
+    def test_fit_rounds_up(self):
+        ate = Ate(channels=3, memory_depth=100)
+        assert ate.fit(volume_bits=301).required_depth == 101
+
+    def test_fit_fails_when_too_deep(self):
+        ate = Ate(channels=2, memory_depth=10)
+        fit = ate.fit(volume_bits=50)
+        assert not fit.fits
+        assert fit.utilization == pytest.approx(2.5)
+
+    def test_depth_for_schedule(self):
+        ate = Ate(channels=2, memory_depth=1000)
+        assert ate.depth_for_schedule(999).fits
+        assert not ate.depth_for_schedule(1001).fits

@@ -1,0 +1,157 @@
+"""Tests of the embedded benchmark and industrial designs.
+
+These tests pin the structural claims the paper makes about its
+workloads (see DESIGN.md section 5): d695/d2758 pattern counts between
+12 and 234, industrial scan-cell counts between 10k and 110k, care-bit
+densities of 1-5%, and multi-gigabit per-system volumes.
+"""
+
+import pytest
+
+from repro.soc.benchmarks import benchmark_names, load_benchmark
+from repro.soc.industrial import (
+    INDUSTRIAL_CORE_NAMES,
+    SYSTEM_NAMES,
+    industrial_core,
+    industrial_system,
+    load_design,
+)
+
+
+class TestD695:
+    def test_ten_cores(self):
+        assert len(load_benchmark("d695")) == 10
+
+    def test_known_cores_present(self):
+        names = load_benchmark("d695").core_names
+        for expected in ("c6288", "s5378", "s38417", "s35932"):
+            assert expected in names
+
+    def test_s5378_published_chain_lengths(self):
+        core = load_benchmark("d695").core("s5378")
+        assert core.scan_chain_lengths == (46, 45, 45, 43)
+
+    def test_pattern_counts_in_paper_range(self):
+        soc = load_benchmark("d695")
+        patterns = [c.patterns for c in soc.cores]
+        assert min(patterns) == 12
+        assert max(patterns) == 234
+
+    def test_scan_chain_counts_below_33(self):
+        soc = load_benchmark("d695")
+        assert all(c.num_scan_chains <= 32 for c in soc.cores)
+
+    def test_average_density_near_two_thirds(self):
+        soc = load_benchmark("d695")
+        avg = sum(c.care_bit_density for c in soc.cores) / len(soc)
+        assert 0.55 <= avg <= 0.75  # the paper reports 66% on average
+
+    def test_deterministic(self):
+        assert load_benchmark("d695") == load_benchmark("d695")
+
+
+class TestD2758:
+    def test_iscas_class_cores(self):
+        soc = load_benchmark("d2758")
+        assert len(soc) >= 20
+        assert all(c.patterns >= 12 and c.patterns <= 234 for c in soc.cores)
+
+    def test_scan_chains_small(self):
+        soc = load_benchmark("d2758")
+        assert all(c.num_scan_chains <= 32 for c in soc.cores)
+
+    def test_unique_names(self):
+        soc = load_benchmark("d2758")
+        assert len(set(soc.core_names)) == len(soc)
+
+    def test_replicas_differ_in_test_size(self):
+        soc = load_benchmark("d2758")
+        replicas = [c for c in soc.cores if c.name.startswith("s5378")]
+        assert len({c.patterns for c in replicas}) > 1
+
+
+class TestBenchmarkRegistry:
+    def test_names(self):
+        assert set(benchmark_names()) == {"d695", "d2758"}
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            load_benchmark("p22810")
+
+
+class TestIndustrialCores:
+    def test_twelve_cores(self):
+        assert len(INDUSTRIAL_CORE_NAMES) == 12
+
+    def test_scan_cell_range_matches_paper(self):
+        for name in INDUSTRIAL_CORE_NAMES:
+            core = industrial_core(name)
+            assert 10_000 <= core.scan_cells <= 110_000
+
+    def test_care_density_range_matches_paper(self):
+        for name in INDUSTRIAL_CORE_NAMES:
+            core = industrial_core(name)
+            assert 0.01 <= core.care_bit_density <= 0.05
+
+    def test_chain_lengths_sum(self):
+        core = industrial_core("ckt-7")
+        assert sum(core.scan_chain_lengths) == core.scan_cells
+
+    def test_ckt7_has_253_chains(self):
+        # The Figure 2 sweet spot (m = 253) needs exactly this.
+        assert industrial_core("ckt-7").num_scan_chains == 253
+
+    def test_chains_unbalanced(self):
+        core = industrial_core("ckt-1")
+        assert len(set(core.scan_chain_lengths)) > 1
+
+    def test_deterministic(self):
+        assert industrial_core("ckt-3") == industrial_core("ckt-3")
+
+    def test_distinct_seeds(self):
+        seeds = {industrial_core(n).seed for n in INDUSTRIAL_CORE_NAMES}
+        assert len(seeds) == len(INDUSTRIAL_CORE_NAMES)
+
+    def test_unknown_core(self):
+        with pytest.raises(KeyError, match="unknown industrial core"):
+            industrial_core("ckt-99")
+
+
+class TestSystems:
+    def test_four_systems(self):
+        assert len(SYSTEM_NAMES) == 4
+
+    def test_system1_contains_figure4_cores(self):
+        names = industrial_system("System1").core_names
+        for expected in ("ckt-1", "ckt-9", "ckt-11"):
+            assert expected in names
+
+    def test_system4_has_all_cores(self):
+        assert len(industrial_system("System4")) == 12
+
+    def test_volumes_are_gigabit_scale(self):
+        for name in SYSTEM_NAMES:
+            soc = industrial_system(name)
+            assert soc.initial_test_data_volume >= 1e9, name
+
+    def test_gates_aggregate(self):
+        soc = industrial_system("System2")
+        assert soc.gates == sum(c.gates for c in soc.cores)
+
+    def test_unknown_system(self):
+        with pytest.raises(KeyError, match="unknown system"):
+            industrial_system("System9")
+
+
+class TestLoadDesign:
+    @pytest.mark.parametrize(
+        "name", ["d695", "d2758", "System1", "System2", "System3", "System4"]
+    )
+    def test_loads_every_paper_design(self, name):
+        soc = load_design(name)
+        assert soc.name == name
+        assert len(soc) > 0
+
+    def test_unknown_design(self):
+        with pytest.raises(KeyError, match="unknown design"):
+            load_design("nope")

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_args(self):
+        args = build_parser().parse_args(
+            ["plan", "d695", "--width", "16", "--no-compression", "--gantt"]
+        )
+        assert args.design == "d695"
+        assert args.width == 16
+        assert args.no_compression and args.gantt
+
+
+class TestCommands:
+    def test_describe(self, capsys):
+        assert main(["describe", "d695"]) == 0
+        out = capsys.readouterr().out
+        assert "d695" in out and "s5378" in out
+
+    def test_plan_small(self, capsys):
+        assert main(["plan", "d695", "--width", "8", "--no-compression"]) == 0
+        out = capsys.readouterr().out
+        assert "test time=" in out
+        assert "partitions evaluated" in out
+
+    def test_plan_with_gantt(self, capsys):
+        code = main(
+            ["plan", "d695", "--width", "8", "--no-compression", "--gantt"]
+        )
+        assert code == 0
+        assert "TAM0" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "9"]) == 2
+        assert "no figure 9" in capsys.readouterr().err
+
+    def test_unknown_table(self, capsys):
+        assert main(["table", "9"]) == 2
+        assert "no table 9" in capsys.readouterr().err
+
+    def test_unknown_design_raises(self):
+        with pytest.raises(KeyError):
+            main(["describe", "bogus"])
+
+    def test_simulate_matches_plan(self, capsys):
+        code = main(["simulate", "d695", "--width", "8", "--compression", "none"])
+        assert code == 0
+        assert "MATCH" in capsys.readouterr().out
+
+    def test_export_to_stdout(self, capsys):
+        assert main(["export", "d695", "--width", "8"]) == 0
+        out = capsys.readouterr().out
+        assert '"schema": 1' in out
+
+    def test_export_to_file(self, tmp_path, capsys):
+        target = tmp_path / "plan.json"
+        assert main(["export", "d695", "--width", "8", "--out", str(target)]) == 0
+        assert target.exists()
+        from repro.reporting.export import architecture_from_json
+
+        rebuilt = architecture_from_json(target.read_text())
+        assert rebuilt.soc_name == "d695"
+
+    def test_power_command(self, capsys):
+        code = main(
+            [
+                "power",
+                "d695",
+                "--width",
+                "8",
+                "--compression",
+                "none",
+                "--budget-fraction",
+                "0.9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "peak power" in out

@@ -1,0 +1,118 @@
+"""Unit tests for the Golomb and FDR baseline run-length codecs."""
+
+import numpy as np
+import pytest
+
+from repro.compression.fdr import FdrCode, _group_of
+from repro.compression.golomb import GolombCode, best_golomb_parameter
+
+
+class TestGolomb:
+    def test_parameter_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            GolombCode(3)
+        with pytest.raises(ValueError):
+            GolombCode(0)
+
+    def test_encode_run_known(self):
+        code = GolombCode(4)
+        # run 0: quotient 0 -> "0", remainder "00"
+        assert code.encode_run(0) == [0, 0, 0]
+        # run 5: quotient 1 -> "10", remainder 1 -> "01"
+        assert code.encode_run(5) == [1, 0, 0, 1]
+
+    def test_rejects_negative_run(self):
+        with pytest.raises(ValueError):
+            GolombCode(4).encode_run(-1)
+
+    @pytest.mark.parametrize("b", [2, 4, 8])
+    def test_roundtrip_random(self, b, rng):
+        data = (rng.random(500) < 0.1).astype(np.int8)
+        code = GolombCode(b)
+        bits = code.encode(data)
+        decoded = code.decode(bits, len(data))
+        assert np.array_equal(decoded, data)
+
+    def test_roundtrip_trailing_zeros(self):
+        data = np.array([1, 0, 0, 0, 0], dtype=np.int8)
+        code = GolombCode(2)
+        assert np.array_equal(code.decode(code.encode(data), 5), data)
+
+    def test_roundtrip_all_zeros(self):
+        data = np.zeros(37, dtype=np.int8)
+        code = GolombCode(4)
+        assert np.array_equal(code.decode(code.encode(data), 37), data)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            GolombCode(4).encode(np.array([0, 2], dtype=np.int8))
+
+    def test_encoded_length_matches_encode(self, rng):
+        data = (rng.random(800) < 0.05).astype(np.int8)
+        for b in (2, 4, 16):
+            code = GolombCode(b)
+            assert code.encoded_length(data) == len(code.encode(data))
+
+    def test_compresses_sparse_streams(self, rng):
+        data = (rng.random(4000) < 0.01).astype(np.int8)
+        code = best_golomb_parameter(data)
+        assert code.encoded_length(data) < data.size / 2
+
+    def test_best_parameter_is_best(self, rng):
+        data = (rng.random(2000) < 0.03).astype(np.int8)
+        best = best_golomb_parameter(data)
+        for b in (2, 4, 8, 16, 32, 64):
+            assert best.encoded_length(data) <= GolombCode(b).encoded_length(data)
+
+
+class TestFdr:
+    @pytest.mark.parametrize(
+        "run,k",
+        [(0, 1), (1, 1), (2, 2), (5, 2), (6, 3), (13, 3), (14, 4)],
+    )
+    def test_group_boundaries(self, run, k):
+        assert _group_of(run) == k
+
+    def test_run_cost_is_2k(self):
+        code = FdrCode()
+        assert code.run_cost(0) == 2
+        assert code.run_cost(2) == 4
+        assert code.run_cost(6) == 6
+
+    def test_encode_run_known(self):
+        code = FdrCode()
+        # run 0: group 1, prefix "0", tail "0"
+        assert code.encode_run(0) == [0, 0]
+        # run 3: group 2 (offset 1), prefix "10", tail "01"
+        assert code.encode_run(3) == [1, 0, 0, 1]
+
+    def test_rejects_negative_run(self):
+        with pytest.raises(ValueError):
+            FdrCode().encode_run(-2)
+
+    def test_roundtrip_random(self, rng):
+        data = (rng.random(600) < 0.08).astype(np.int8)
+        code = FdrCode()
+        decoded = code.decode(code.encode(data), len(data))
+        assert np.array_equal(decoded, data)
+
+    def test_roundtrip_all_zeros(self):
+        data = np.zeros(50, dtype=np.int8)
+        code = FdrCode()
+        assert np.array_equal(code.decode(code.encode(data), 50), data)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            FdrCode().encode(np.array([0, 1, 2], dtype=np.int8))
+
+    def test_encoded_length_matches_encode(self, rng):
+        data = (rng.random(900) < 0.04).astype(np.int8)
+        code = FdrCode()
+        assert code.encoded_length(data) == len(code.encode(data))
+
+    def test_beats_golomb_on_very_sparse(self, rng):
+        # FDR's variable groups shine on long runs.
+        data = (rng.random(8000) < 0.002).astype(np.int8)
+        fdr = FdrCode().encoded_length(data)
+        golomb = GolombCode(4).encoded_length(data)
+        assert fdr < golomb

@@ -1,0 +1,164 @@
+"""Unit tests for the Core data model and chain-length helpers."""
+
+import pytest
+
+from repro.soc.core import (
+    Core,
+    balanced_chain_lengths,
+    total_scan_elements,
+    validate_cores,
+    varied_chain_lengths,
+)
+
+
+class TestCoreValidation:
+    def test_minimal_core(self):
+        core = Core(name="c", inputs=1, outputs=1)
+        assert core.scan_cells == 0
+        assert core.is_combinational
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            Core(name="", inputs=1, outputs=1)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError, match="inputs"):
+            Core(name="c", inputs=-1, outputs=1)
+
+    def test_negative_outputs_rejected(self):
+        with pytest.raises(ValueError, match="outputs"):
+            Core(name="c", inputs=1, outputs=-2)
+
+    def test_zero_patterns_rejected(self):
+        with pytest.raises(ValueError, match="patterns"):
+            Core(name="c", inputs=1, outputs=1, patterns=0)
+
+    def test_density_bounds(self):
+        with pytest.raises(ValueError, match="care_bit_density"):
+            Core(name="c", inputs=1, outputs=1, care_bit_density=0.0)
+        with pytest.raises(ValueError, match="care_bit_density"):
+            Core(name="c", inputs=1, outputs=1, care_bit_density=1.5)
+
+    def test_one_fraction_bounds(self):
+        with pytest.raises(ValueError, match="one_fraction"):
+            Core(name="c", inputs=1, outputs=1, one_fraction=-0.1)
+
+    def test_zero_length_chain_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Core(name="c", inputs=1, outputs=1, scan_chain_lengths=(4, 0))
+
+    def test_chain_lengths_coerced_to_ints(self):
+        core = Core(name="c", inputs=1, outputs=1, scan_chain_lengths=[3, 4])
+        assert core.scan_chain_lengths == (3, 4)
+        assert isinstance(core.scan_chain_lengths, tuple)
+
+
+class TestCoreDerived:
+    def test_scan_cells(self, small_core):
+        assert small_core.scan_cells == 12 + 10 + 9 + 7
+
+    def test_wrapper_cells_with_bidirs(self):
+        core = Core(name="c", inputs=4, outputs=3, bidirs=2)
+        assert core.wrapper_input_cells == 6
+        assert core.wrapper_output_cells == 5
+
+    def test_scan_in_out_bits(self, small_core):
+        assert small_core.scan_in_bits == 38 + 6
+        assert small_core.scan_out_bits == 38 + 4
+
+    def test_max_useful_wrapper_chains(self, small_core):
+        # 4 scan chains + max(6 inputs, 4 outputs) = 10
+        assert small_core.max_useful_wrapper_chains == 10
+
+    def test_max_useful_at_least_one(self):
+        core = Core(name="c", inputs=0, outputs=0, patterns=1)
+        assert core.max_useful_wrapper_chains == 1
+
+    def test_test_data_volume(self, small_core):
+        assert small_core.test_data_volume == 20 * 44
+
+    def test_with_patterns(self, small_core):
+        other = small_core.with_patterns(5)
+        assert other.patterns == 5
+        assert other.name == small_core.name
+        assert small_core.patterns == 20  # original untouched
+
+    def test_with_seed(self, small_core):
+        assert small_core.with_seed(99).seed == 99
+
+    def test_describe_mentions_name_and_chains(self, small_core):
+        text = small_core.describe()
+        assert "small" in text
+        assert "4 scan chains" in text
+
+    def test_cores_are_hashable(self, small_core):
+        assert hash(small_core) == hash(small_core)
+        assert {small_core: 1}[small_core] == 1
+
+
+class TestBalancedChains:
+    def test_even_split(self):
+        assert balanced_chain_lengths(12, 4) == (3, 3, 3, 3)
+
+    def test_remainder_goes_first(self):
+        assert balanced_chain_lengths(14, 4) == (4, 4, 3, 3)
+
+    def test_sum_preserved(self):
+        for total in (17, 100, 638):
+            for chains in (1, 3, 16):
+                assert sum(balanced_chain_lengths(total, chains)) == total
+
+    def test_zero_chains_with_cells_rejected(self):
+        with pytest.raises(ValueError):
+            balanced_chain_lengths(5, 0)
+
+    def test_zero_everything(self):
+        assert balanced_chain_lengths(0, 0) == ()
+
+    def test_more_chains_than_cells_rejected(self):
+        with pytest.raises(ValueError):
+            balanced_chain_lengths(3, 5)
+
+
+class TestVariedChains:
+    def test_sum_preserved(self):
+        lengths = varied_chain_lengths(1000, 13, spread=0.2, seed=3)
+        assert sum(lengths) == 1000
+        assert len(lengths) == 13
+
+    def test_all_positive(self):
+        lengths = varied_chain_lengths(50, 20, spread=0.5, seed=1)
+        assert all(x >= 1 for x in lengths)
+
+    def test_deterministic(self):
+        a = varied_chain_lengths(997, 10, spread=0.15, seed=5)
+        b = varied_chain_lengths(997, 10, spread=0.15, seed=5)
+        assert a == b
+
+    def test_seed_changes_result(self):
+        a = varied_chain_lengths(997, 10, spread=0.15, seed=5)
+        b = varied_chain_lengths(997, 10, spread=0.15, seed=6)
+        assert a != b
+
+    def test_zero_spread_is_balanced(self):
+        assert varied_chain_lengths(100, 4, spread=0.0, seed=9) == (25, 25, 25, 25)
+
+    def test_spread_bounds(self):
+        with pytest.raises(ValueError, match="spread"):
+            varied_chain_lengths(100, 4, spread=1.0, seed=0)
+
+    def test_actually_varies(self):
+        lengths = varied_chain_lengths(10_000, 40, spread=0.2, seed=2)
+        assert len(set(lengths)) > 1
+
+
+class TestHelpers:
+    def test_total_scan_elements(self, small_core, comb_core):
+        assert total_scan_elements([small_core, comb_core]) == 38
+
+    def test_validate_cores_rejects_duplicates(self, small_core):
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_cores([small_core, small_core])
+
+    def test_validate_cores_accepts_unique(self, small_core, comb_core):
+        validate_cores([small_core, comb_core])

@@ -1,0 +1,115 @@
+"""Tests for cube import/export and external-cube analysis."""
+
+import numpy as np
+import pytest
+
+from repro.compression.cubeio import (
+    format_patterns,
+    load_cubes_npz,
+    parse_patterns,
+    read_patterns,
+    save_cubes_npz,
+    write_patterns,
+)
+from repro.compression.cubes import TestCubeSet, X, generate_cubes
+from repro.explore.dse import CoreAnalysis, analysis_for
+
+
+class TestNpzRoundTrip:
+    def test_roundtrip(self, small_core, tmp_path):
+        cubes = generate_cubes(small_core)
+        path = tmp_path / "cubes.npz"
+        save_cubes_npz(cubes, path)
+        loaded = load_cubes_npz(path)
+        assert loaded.core == small_core
+        assert np.array_equal(loaded.bits, cubes.bits)
+
+    def test_combinational_roundtrip(self, comb_core, tmp_path):
+        cubes = generate_cubes(comb_core)
+        path = tmp_path / "c.npz"
+        save_cubes_npz(cubes, path)
+        assert load_cubes_npz(path).core == comb_core
+
+
+class TestPatternText:
+    def test_roundtrip(self, small_core, tmp_path):
+        cubes = generate_cubes(small_core)
+        path = tmp_path / "pats.txt"
+        write_patterns(cubes, path)
+        loaded = read_patterns(small_core, path)
+        assert np.array_equal(loaded.bits, cubes.bits)
+
+    def test_format_uses_x_for_dont_care(self, small_core):
+        cubes = generate_cubes(small_core)
+        text = format_patterns(cubes)
+        assert "X" in text and "#" in text
+
+    def test_accepts_dash_and_lowercase(self, small_core):
+        cubes = generate_cubes(small_core)
+        text = format_patterns(cubes).replace("X", "-")
+        loaded = parse_patterns(small_core, text)
+        assert np.array_equal(loaded.bits, cubes.bits)
+
+    def test_rejects_bad_character(self, small_core):
+        text = "2" * small_core.scan_in_bits
+        with pytest.raises(ValueError, match="invalid pattern character"):
+            parse_patterns(small_core, text)
+
+    def test_rejects_wrong_width(self, small_core):
+        text = "01"
+        with pytest.raises(ValueError, match="bits"):
+            parse_patterns(small_core, text)
+
+    def test_rejects_wrong_count(self, small_core):
+        one_line = "0" * small_core.scan_in_bits
+        with pytest.raises(ValueError, match="declares"):
+            parse_patterns(small_core, one_line)
+
+
+class TestExternalCubeAnalysis:
+    def test_injected_cubes_used(self, small_core):
+        """A hand-made all-X cube set must compress to the floor."""
+        bits = np.full(
+            (small_core.patterns, small_core.scan_in_bits), X, dtype=np.int8
+        )
+        empty = TestCubeSet(core=small_core, bits=bits)
+        with_data = CoreAnalysis(small_core, cubes=generate_cubes(small_core))
+        with_empty = CoreAnalysis(small_core, cubes=empty)
+        m = 4
+        assert (
+            with_empty.compressed_point(m).codewords
+            < with_data.compressed_point(m).codewords
+        )
+        # All-X: exactly one END codeword per slice.
+        design_si = with_empty.compressed_point(m).scan_in_max
+        assert (
+            with_empty.compressed_point(m).codewords
+            == small_core.patterns * design_si
+        )
+
+    def test_foreign_cubes_rejected(self, small_core, comb_core):
+        with pytest.raises(ValueError, match="different core"):
+            CoreAnalysis(small_core, cubes=generate_cubes(comb_core))
+
+    def test_estimate_mode_conflict(self, small_core):
+        with pytest.raises(ValueError, match="estimate"):
+            CoreAnalysis(
+                small_core, mode="estimate", cubes=generate_cubes(small_core)
+            )
+
+    def test_cache_keyed_by_cube_identity(self, small_core):
+        cubes = generate_cubes(small_core)
+        a = analysis_for(small_core, cubes=cubes)
+        b = analysis_for(small_core, cubes=cubes)
+        c = analysis_for(small_core)
+        assert a is b
+        assert a is not c
+
+    def test_default_analysis_matches_generated_cubes(self, small_core):
+        """Injecting the generator's own output changes nothing."""
+        default = analysis_for(small_core)
+        injected = CoreAnalysis(small_core, cubes=generate_cubes(small_core))
+        assert (
+            default.compressed_point(5).codewords
+            == injected.compressed_point(5).codewords
+        )

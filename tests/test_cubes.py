@@ -1,0 +1,156 @@
+"""Unit tests for the test-cube model and generator."""
+
+import numpy as np
+import pytest
+
+from repro.compression.cubes import (
+    DENSE_CELL_LIMIT,
+    TestCubeSet,
+    X,
+    fill_random,
+    fill_zero,
+    generate_cubes,
+)
+from repro.soc.core import Core
+from repro.wrapper.design import design_wrapper
+
+
+class TestCubeSetValidation:
+    def test_shape_checked(self, small_core):
+        with pytest.raises(ValueError, match="shape"):
+            TestCubeSet(core=small_core, bits=np.zeros((2, 3), dtype=np.int8))
+
+    def test_value_range_checked(self, small_core):
+        bits = np.full((small_core.patterns, small_core.scan_in_bits), 5, np.int8)
+        with pytest.raises(ValueError, match="values"):
+            TestCubeSet(core=small_core, bits=bits)
+
+    def test_bits_become_readonly(self, small_core):
+        cubes = generate_cubes(small_core)
+        with pytest.raises(ValueError):
+            cubes.bits[0, 0] = 1
+
+
+class TestGenerator:
+    def test_deterministic(self, small_core):
+        a = generate_cubes(small_core)
+        b = generate_cubes(small_core)
+        assert np.array_equal(a.bits, b.bits)
+
+    def test_seed_changes_bits(self, small_core):
+        a = generate_cubes(small_core)
+        b = generate_cubes(small_core.with_seed(small_core.seed + 1))
+        assert not np.array_equal(a.bits, b.bits)
+
+    def test_density_close_to_target(self):
+        core = Core(
+            name="big",
+            inputs=0,
+            outputs=0,
+            scan_chain_lengths=(1000,),
+            patterns=100,
+            care_bit_density=0.25,
+            seed=1,
+        )
+        cubes = generate_cubes(core)
+        assert abs(cubes.care_bit_density - 0.25) < 0.01
+
+    def test_one_fraction_close_to_target(self):
+        core = Core(
+            name="big",
+            inputs=0,
+            outputs=0,
+            scan_chain_lengths=(1000,),
+            patterns=100,
+            care_bit_density=0.5,
+            one_fraction=0.7,
+            seed=1,
+        )
+        cubes = generate_cubes(core)
+        assert abs(cubes.one_fraction - 0.7) < 0.02
+
+    def test_pattern_override(self, small_core):
+        cubes = generate_cubes(small_core, patterns=5)
+        assert cubes.patterns == 5
+        assert cubes.core.patterns == 5
+
+    def test_pattern_override_rejects_zero(self, small_core):
+        with pytest.raises(ValueError):
+            generate_cubes(small_core, patterns=0)
+
+    def test_dense_limit_guard(self):
+        huge = Core(
+            name="huge",
+            inputs=0,
+            outputs=0,
+            scan_chain_lengths=(100_000,) * 10,
+            patterns=100_000,
+            care_bit_density=0.01,
+        )
+        assert huge.patterns * huge.scan_in_bits > DENSE_CELL_LIMIT
+        with pytest.raises(MemoryError):
+            generate_cubes(huge)
+
+
+class TestSlices:
+    def test_slices_shape(self, small_core):
+        cubes = generate_cubes(small_core)
+        design = design_wrapper(small_core, 3)
+        slices = cubes.slices(design)
+        assert slices.shape == (small_core.patterns, design.scan_in_max, 3)
+
+    def test_slices_preserve_care_bits(self, small_core):
+        cubes = generate_cubes(small_core)
+        design = design_wrapper(small_core, 3)
+        slices = cubes.slices(design)
+        matrix = design.scan_in_position_matrix()
+        for q in (0, small_core.patterns - 1):
+            for j in range(matrix.shape[0]):
+                for h in range(matrix.shape[1]):
+                    pos = matrix[j, h]
+                    if pos >= 0:
+                        assert slices[q, j, h] == cubes.bits[q, pos]
+                    else:
+                        assert slices[q, j, h] == X
+
+    def test_slices_reject_foreign_design(self, small_core, comb_core):
+        cubes = generate_cubes(small_core)
+        design = design_wrapper(comb_core, 2)
+        with pytest.raises(ValueError, match="different core"):
+            cubes.slices(design)
+
+    def test_total_care_preserved_across_m(self, small_core):
+        cubes = generate_cubes(small_core)
+        for m in (1, 2, 5, 9):
+            design = design_wrapper(small_core, m)
+            slices = cubes.slices(design)
+            assert int((slices != X).sum()) == cubes.care_bits
+
+
+class TestFills:
+    def test_fill_zero(self, small_core):
+        cubes = generate_cubes(small_core)
+        filled = fill_zero(cubes)
+        assert set(np.unique(filled)) <= {0, 1}
+        assert cubes.is_compatible_with(filled)
+
+    def test_fill_random_compatible(self, small_core):
+        cubes = generate_cubes(small_core)
+        filled = fill_random(cubes, seed=3)
+        assert cubes.is_compatible_with(filled)
+
+    def test_fill_random_deterministic(self, small_core):
+        cubes = generate_cubes(small_core)
+        assert np.array_equal(fill_random(cubes, 3), fill_random(cubes, 3))
+
+    def test_is_compatible_rejects_flipped_care_bit(self, small_core):
+        cubes = generate_cubes(small_core)
+        filled = fill_zero(cubes)
+        care = np.argwhere(cubes.bits != X)
+        q, b = care[0]
+        filled[q, b] = 1 - filled[q, b]
+        assert not cubes.is_compatible_with(filled)
+
+    def test_is_compatible_rejects_wrong_shape(self, small_core):
+        cubes = generate_cubes(small_core)
+        assert not cubes.is_compatible_with(np.zeros((1, 1)))

@@ -1,0 +1,125 @@
+"""Unit tests for the decompressor model (losslessness, FSM behavior)."""
+
+import numpy as np
+import pytest
+
+from repro.compression.cubes import X, generate_cubes
+from repro.compression.decompressor import (
+    DecodeError,
+    Decompressor,
+    expand_stream,
+    slices_compatible,
+)
+from repro.compression.selective import (
+    CONTROL_END,
+    CONTROL_GROUP,
+    CONTROL_SINGLE1,
+    Codeword,
+    CompressedStream,
+    encode_slice,
+    encode_slices,
+)
+from repro.wrapper.design import design_wrapper
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("m", [1, 2, 5, 8, 16, 33])
+    def test_random_slices_roundtrip(self, m, rng):
+        slices = rng.integers(0, 3, size=(40, m)).astype(np.int8)
+        stream = encode_slices(slices)
+        decoded = expand_stream(stream)
+        assert decoded.shape == slices.shape
+        assert slices_compatible(slices, decoded)
+
+    def test_x_positions_get_fill_symbol(self):
+        slice_bits = np.array([X, 1, X, 0, 0, 0, 0], dtype=np.int8)
+        stream = encode_slices(slice_bits[None, :])
+        decoded = expand_stream(stream)[0]
+        assert decoded[1] == 1
+        # fill symbol is 0 (majority care symbol), so X positions read 0
+        assert decoded[0] == 0 and decoded[2] == 0
+
+    def test_core_cubes_roundtrip(self, small_core):
+        cubes = generate_cubes(small_core)
+        design = design_wrapper(small_core, 4)
+        slices = cubes.slices(design).reshape(-1, 4)
+        stream = encode_slices(slices)
+        decoded = expand_stream(stream)
+        assert slices_compatible(slices, decoded)
+
+    def test_group_copy_roundtrip(self):
+        slice_bits = np.array([1, 1, 1, 0, 1, 0, 0, 0], dtype=np.int8)
+        stream = encode_slices(slice_bits[None, :])
+        decoded = expand_stream(stream)[0]
+        assert slices_compatible(slice_bits[None, :], decoded[None, :])
+
+
+class TestDecompressorFsm:
+    def test_cycle_count_matches_codewords(self, rng):
+        slices = rng.integers(0, 3, size=(10, 9)).astype(np.int8)
+        stream = encode_slices(slices)
+        decoder = Decompressor(stream.m)
+        emitted = [s for w in stream.codewords if (s := decoder.feed(w)) is not None]
+        assert decoder.cycles == len(stream.codewords)
+        assert decoder.slices_emitted == len(emitted) == 10
+
+    def test_mid_slice_flag(self):
+        decoder = Decompressor(8)
+        assert not decoder.mid_slice
+        decoder.feed(Codeword(CONTROL_SINGLE1, 2))
+        assert decoder.mid_slice
+        decoder.feed(Codeword(CONTROL_END, 0))
+        assert not decoder.mid_slice
+
+    def test_out_of_range_single_rejected(self):
+        decoder = Decompressor(8)
+        with pytest.raises(DecodeError, match="out of range"):
+            decoder.feed(Codeword(CONTROL_SINGLE1, 8))
+
+    def test_out_of_range_group_rejected(self):
+        decoder = Decompressor(8)
+        with pytest.raises(DecodeError, match="group start"):
+            decoder.feed(Codeword(CONTROL_GROUP, 9))
+
+    def test_group_data_word_not_validated_as_control(self):
+        # After a GROUP header, the next word is literal data: any
+        # control bits are acceptable.
+        decoder = Decompressor(8)
+        decoder.feed(Codeword(CONTROL_GROUP, 4))
+        out = decoder.feed(Codeword(CONTROL_END, 0b1010))  # literal data
+        assert out is None
+        out = decoder.feed(Codeword(CONTROL_END, 0))
+        assert out is not None
+        assert out[4:8].tolist() == [1, 0, 1, 0]
+
+
+class TestStreamValidation:
+    def test_truncated_stream_rejected(self):
+        words = encode_slice([0, 1, 0, 0, 0])[:-1]  # drop END
+        stream = CompressedStream(m=5, codewords=tuple(words), slice_count=1)
+        with pytest.raises(DecodeError, match="truncated"):
+            expand_stream(stream)
+
+    def test_slice_count_mismatch_rejected(self):
+        words = encode_slice([0, 1, 0, 0, 0])
+        stream = CompressedStream(m=5, codewords=tuple(words), slice_count=2)
+        with pytest.raises(DecodeError, match="declares 2"):
+            expand_stream(stream)
+
+    def test_empty_stream(self):
+        stream = CompressedStream(m=4, codewords=(), slice_count=0)
+        assert expand_stream(stream).shape == (0, 4)
+
+
+class TestSlicesCompatible:
+    def test_shape_mismatch(self):
+        assert not slices_compatible(np.zeros((1, 2)), np.zeros((2, 2)))
+
+    def test_x_is_free(self):
+        src = np.array([[X, 1]], dtype=np.int8)
+        assert slices_compatible(src, np.array([[0, 1]], dtype=np.int8))
+        assert slices_compatible(src, np.array([[1, 1]], dtype=np.int8))
+
+    def test_care_mismatch_detected(self):
+        src = np.array([[0, 1]], dtype=np.int8)
+        assert not slices_compatible(src, np.array([[0, 0]], dtype=np.int8))

@@ -1,0 +1,150 @@
+"""Unit tests for the fixed-length-index dictionary codec."""
+
+import numpy as np
+import pytest
+
+from repro.compression.cubes import X, generate_cubes
+from repro.compression.dictionary import (
+    Dictionary,
+    build_dictionary,
+    canonicalize,
+    compression_stats,
+    decode,
+    delivery_cycles,
+    encode,
+)
+from repro.wrapper.design import design_wrapper
+
+
+class TestCanonicalize:
+    def test_x_filled_with_majority(self):
+        slices = np.array([[1, 1, X, 0]], dtype=np.int8)
+        out = canonicalize(slices)
+        assert out.tolist() == [[1, 1, 1, 0]]
+
+    def test_zero_majority(self):
+        slices = np.array([[0, 0, X, 1]], dtype=np.int8)
+        assert canonicalize(slices).tolist() == [[0, 0, 0, 1]]
+
+    def test_tie_fills_zero(self):
+        slices = np.array([[1, 0, X, X]], dtype=np.int8)
+        assert canonicalize(slices).tolist() == [[1, 0, 0, 0]]
+
+    def test_compatible_sparse_slices_collapse(self):
+        a = np.array([0, X, 1, X, X], dtype=np.int8)
+        b = np.array([0, X, 1, X, 0], dtype=np.int8)
+        ca, cb = canonicalize(np.stack([a, b]))
+        assert ca.tolist() == cb.tolist()
+
+    def test_3d_input(self, rng):
+        slices = rng.integers(0, 3, size=(3, 4, 6)).astype(np.int8)
+        assert canonicalize(slices).shape == (12, 6)
+
+
+class TestBuildDictionary:
+    def test_most_frequent_first(self):
+        slices = np.array(
+            [[0, 0, 0]] * 5 + [[1, 1, 1]] * 3 + [[1, 0, 1]] * 1, dtype=np.int8
+        )
+        dictionary = build_dictionary(slices, index_bits=1)
+        assert len(dictionary.words) == 2
+        assert dictionary.index_of(np.array([0, 0, 0], dtype=np.int8).tobytes()) == 0
+
+    def test_capacity_respected(self, rng):
+        slices = rng.integers(0, 2, size=(100, 8)).astype(np.int8)
+        dictionary = build_dictionary(slices, index_bits=3)
+        assert len(dictionary.words) <= 8
+
+    def test_index_bits_guard(self):
+        with pytest.raises(ValueError):
+            build_dictionary(np.zeros((2, 3), dtype=np.int8), index_bits=0)
+
+    def test_ram_bits(self):
+        slices = np.array([[0, 0, 0, 0]] * 4, dtype=np.int8)
+        dictionary = build_dictionary(slices, index_bits=2)
+        assert dictionary.ram_bits == len(dictionary.words) * 4
+
+
+class TestStatsAndTiming:
+    def test_all_hits_when_dictionary_covers(self):
+        slices = np.array([[0, 1, 0]] * 10, dtype=np.int8)
+        dictionary = build_dictionary(slices, index_bits=1)
+        stats = compression_stats(slices, dictionary)
+        assert stats.hits == 10 and stats.hit_rate == 1.0
+        assert stats.compressed_bits == 10 * (1 + 1)
+
+    def test_miss_costs_literal(self, rng):
+        slices = rng.integers(0, 2, size=(64, 12)).astype(np.int8)
+        dictionary = Dictionary(m=12, index_bits=2, words=())
+        stats = compression_stats(slices, dictionary)
+        assert stats.hits == 0
+        assert stats.compressed_bits == 64 * 13
+
+    def test_width_mismatch(self):
+        dictionary = Dictionary(m=4, index_bits=2, words=())
+        with pytest.raises(ValueError, match="width"):
+            compression_stats(np.zeros((2, 5), dtype=np.int8), dictionary)
+
+    def test_delivery_cycles(self):
+        stats = compression_stats(
+            np.array([[0, 0, 0, 0]] * 3, dtype=np.int8),
+            build_dictionary(np.array([[0, 0, 0, 0]] * 3, dtype=np.int8), 1),
+        )
+        # All hits: 2 bits per slice over 2 wires -> 1 cycle per slice.
+        assert delivery_cycles(stats, 2) == 3
+        with pytest.raises(ValueError):
+            delivery_cycles(stats, 0)
+
+
+class TestRoundTrip:
+    def test_encode_decode(self, rng):
+        slices = rng.integers(0, 3, size=(40, 9)).astype(np.int8)
+        dictionary = build_dictionary(slices, index_bits=3)
+        bits = encode(slices, dictionary)
+        decoded = decode(bits, dictionary, 40)
+        canonical = canonicalize(slices)
+        assert np.array_equal(decoded, canonical)
+
+    def test_decoded_honors_care_bits(self, small_core):
+        cubes = generate_cubes(small_core)
+        design = design_wrapper(small_core, 4)
+        slices = cubes.slices(design).reshape(-1, 4)
+        dictionary = build_dictionary(slices, index_bits=4)
+        decoded = decode(encode(slices, dictionary), dictionary, slices.shape[0])
+        care = slices != X
+        assert np.array_equal(decoded[care], slices[care])
+
+    def test_bit_count_matches_stats(self, rng):
+        slices = rng.integers(0, 3, size=(30, 7)).astype(np.int8)
+        dictionary = build_dictionary(slices, index_bits=2)
+        stats = compression_stats(slices, dictionary)
+        assert len(encode(slices, dictionary)) == stats.compressed_bits
+
+    def test_stream_length_validated(self, rng):
+        slices = rng.integers(0, 2, size=(5, 6)).astype(np.int8)
+        dictionary = build_dictionary(slices, index_bits=2)
+        bits = encode(slices, dictionary)
+        with pytest.raises(ValueError, match="mismatch"):
+            decode(bits + [0], dictionary, 5)
+
+    def test_sparse_cubes_hit_hard(self):
+        """Sparse test sets collapse onto few canonical words."""
+        from repro.soc.core import Core
+
+        core = Core(
+            name="sp",
+            inputs=4,
+            outputs=4,
+            scan_chain_lengths=(40,) * 8,
+            patterns=60,
+            care_bit_density=0.02,
+            seed=3,
+        )
+        cubes = generate_cubes(core)
+        design = design_wrapper(core, 8)
+        slices = cubes.slices(design).reshape(-1, 8)
+        dictionary = build_dictionary(slices, index_bits=4)
+        stats = compression_stats(slices, dictionary)
+        assert stats.hit_rate > 0.8
+        # All-hit coding costs (1 + index_bits) vs m raw bits per slice.
+        assert stats.compressed_bits < 0.7 * slices.size

@@ -1,0 +1,210 @@
+"""Unit tests for the per-core design-space exploration layer."""
+
+import pytest
+
+from repro.compression.cubes import generate_cubes
+from repro.compression.selective import code_parameters, slice_costs, slice_width_range
+from repro.explore.dse import CoreAnalysis, analysis_for, clear_analysis_cache
+from repro.soc.core import Core
+from repro.wrapper.design import design_wrapper
+
+
+class TestModeSelection:
+    def test_small_core_analyzed_exactly(self, small_core):
+        assert CoreAnalysis(small_core).mode == "exact"
+
+    def test_huge_core_estimated(self):
+        huge = Core(
+            name="huge",
+            inputs=10,
+            outputs=10,
+            scan_chain_lengths=(500,) * 100,
+            patterns=5000,
+            care_bit_density=0.02,
+        )
+        assert CoreAnalysis(huge).mode == "estimate"
+
+    def test_explicit_mode_respected(self, small_core):
+        assert CoreAnalysis(small_core, mode="estimate").mode == "estimate"
+
+    def test_unknown_mode_rejected(self, small_core):
+        with pytest.raises(ValueError):
+            CoreAnalysis(small_core, mode="guess")
+
+    def test_cubes_unavailable_in_estimate_mode(self, small_core):
+        analysis = CoreAnalysis(small_core, mode="estimate")
+        with pytest.raises(RuntimeError, match="estimate mode"):
+            analysis.cubes
+
+
+class TestUncompressedPoints:
+    def test_matches_wrapper_timing(self, small_core):
+        from repro.wrapper.timing import uncompressed_test_time
+
+        analysis = CoreAnalysis(small_core)
+        for w in (1, 3, 7):
+            assert (
+                analysis.uncompressed_point(w).test_time
+                == uncompressed_test_time(small_core, w)
+            )
+
+    def test_rejects_zero_width(self, small_core):
+        with pytest.raises(ValueError):
+            CoreAnalysis(small_core).uncompressed_point(0)
+
+    def test_cached(self, small_core):
+        analysis = CoreAnalysis(small_core)
+        assert analysis.uncompressed_point(4) is analysis.uncompressed_point(4)
+
+
+class TestCompressedPoints:
+    def test_exact_matches_direct_encoding(self, small_core):
+        analysis = CoreAnalysis(small_core, mode="exact")
+        m = 4
+        point = analysis.compressed_point(m)
+        design = design_wrapper(small_core, m)
+        cubes = generate_cubes(small_core)
+        codewords = int(slice_costs(cubes.slices(design)).sum())
+        assert point.codewords == codewords
+        expected_time = codewords + small_core.patterns + min(
+            design.scan_in_max, design.scan_out_max
+        )
+        assert point.test_time == expected_time
+        assert point.volume == codewords * code_parameters(m)[1]
+        assert point.exact
+
+    def test_estimate_mode_flag(self, small_core):
+        analysis = CoreAnalysis(small_core, mode="estimate")
+        assert not analysis.compressed_point(4).exact
+
+    def test_w_alias(self, small_core):
+        point = CoreAnalysis(small_core).compressed_point(6)
+        assert point.w == point.code_width == code_parameters(6)[1]
+
+    def test_rejects_zero_m(self, small_core):
+        with pytest.raises(ValueError):
+            CoreAnalysis(small_core).compressed_point(0)
+
+
+class TestGrids:
+    def test_small_range_fully_enumerated(self, small_core):
+        analysis = CoreAnalysis(small_core)
+        # w=5 -> m in [4, 7]
+        assert analysis.m_grid_for_code_width(5) == [4, 5, 6, 7]
+
+    def test_grid_limited(self):
+        core = Core(
+            name="wide",
+            inputs=50,
+            outputs=50,
+            scan_chain_lengths=(30,) * 300,
+            patterns=10,
+            care_bit_density=0.05,
+        )
+        analysis = CoreAnalysis(core, grid=16, mode="estimate")
+        grid = analysis.m_grid_for_code_width(10)  # m in [128, 255]
+        assert len(grid) <= 17
+        assert grid[0] == 128 and grid[-1] == 255
+        assert 300 not in grid  # out of the w=10 range
+
+    def test_grid_includes_chain_count_when_in_range(self):
+        core = Core(
+            name="wide",
+            inputs=50,
+            outputs=50,
+            scan_chain_lengths=(30,) * 200,
+            patterns=10,
+            care_bit_density=0.05,
+        )
+        analysis = CoreAnalysis(core, grid=8, mode="estimate")
+        assert 200 in analysis.m_grid_for_code_width(10)
+
+    def test_beyond_useful_range_gives_single_point(self, small_core):
+        # small_core max useful = 10 -> w(10) = 6; w = 8 has m in [32, 63].
+        analysis = CoreAnalysis(small_core)
+        assert analysis.m_grid_for_code_width(8) == [32]
+
+    def test_beyond_max_code_width_empty(self, small_core):
+        analysis = CoreAnalysis(small_core)
+        assert analysis.m_grid_for_code_width(analysis.max_code_width + 1) == []
+
+
+class TestBestLookups:
+    def test_best_for_code_width_is_minimum(self, small_core):
+        analysis = CoreAnalysis(small_core)
+        best = analysis.best_for_code_width(5)
+        sweep = analysis.sweep_code_width(5)
+        assert best.test_time == min(p.test_time for p in sweep)
+
+    def test_best_for_tam_monotone(self, sparse_core):
+        analysis = CoreAnalysis(sparse_core)
+        times = [
+            analysis.best_compressed_for_tam(w).test_time for w in range(3, 12)
+        ]
+        assert all(b <= a for a, b in zip(times, times[1:]))
+
+    def test_best_for_tam_none_below_min_width(self, small_core):
+        analysis = CoreAnalysis(small_core)
+        assert analysis.best_compressed_for_tam(2) is None
+
+    def test_time_at_tam_fallback_to_uncompressed(self, small_core):
+        analysis = CoreAnalysis(small_core)
+        assert (
+            analysis.time_at_tam(2, compression=True)
+            == analysis.uncompressed_point(2).test_time
+        )
+
+    def test_time_at_tam_compressed_uses_best(self, sparse_core):
+        analysis = CoreAnalysis(sparse_core)
+        assert (
+            analysis.time_at_tam(8, compression=True)
+            == analysis.best_compressed_for_tam(8).test_time
+        )
+
+    def test_volume_at_tam(self, sparse_core):
+        analysis = CoreAnalysis(sparse_core)
+        best = analysis.best_compressed_for_tam(8)
+        assert analysis.volume_at_tam(8, compression=True) == best.volume
+        plain = analysis.uncompressed_point(8)
+        assert analysis.volume_at_tam(8, compression=False) == plain.volume
+
+    def test_relative_spread_in_unit_interval(self, sparse_core):
+        analysis = CoreAnalysis(sparse_core)
+        spread = analysis.relative_spread(6)
+        assert 0.0 <= spread < 1.0
+
+    def test_relative_spread_rejects_empty(self, small_core):
+        analysis = CoreAnalysis(small_core)
+        with pytest.raises(ValueError):
+            analysis.relative_spread(analysis.max_code_width + 2)
+
+
+class TestCompressionPaysOnSparseCores:
+    def test_sparse_core_compresses(self, sparse_core):
+        analysis = CoreAnalysis(sparse_core)
+        w = 6
+        compressed = analysis.best_compressed_for_tam(w).test_time
+        plain = analysis.uncompressed_point(w).test_time
+        assert compressed < plain
+
+    def test_dense_core_may_not_compress(self, comb_core):
+        # 70% care density: compression should not be forced to win.
+        analysis = CoreAnalysis(comb_core)
+        assert analysis.time_at_tam(4, compression=False) > 0
+
+
+class TestAnalysisCache:
+    def test_shared_instance(self, small_core):
+        a = analysis_for(small_core)
+        b = analysis_for(small_core)
+        assert a is b
+
+    def test_cleared(self, small_core):
+        a = analysis_for(small_core)
+        clear_analysis_cache()
+        assert analysis_for(small_core) is not a
+
+    def test_different_params_different_instances(self, small_core):
+        assert analysis_for(small_core, grid=8) is not analysis_for(
+            small_core, grid=16
+        )

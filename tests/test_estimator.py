@@ -1,0 +1,101 @@
+"""Tests of the sampled-slice codeword estimator against the exact coder."""
+
+import numpy as np
+import pytest
+
+from repro.compression.cubes import generate_cubes
+from repro.compression.estimator import (
+    SliceStatistics,
+    estimate_codewords,
+    estimate_slice_costs,
+)
+from repro.compression.selective import code_parameters, slice_costs
+from repro.soc.core import Core
+from repro.wrapper.design import design_wrapper
+
+
+def _mid_core(density: float, seed: int = 5) -> Core:
+    """A core large enough for meaningful statistics, small enough to
+    materialize exactly."""
+    return Core(
+        name=f"mid-{density}-{seed}",
+        inputs=20,
+        outputs=20,
+        scan_chain_lengths=tuple([60] * 30),
+        patterns=80,
+        care_bit_density=density,
+        seed=seed,
+    )
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("density", [0.02, 0.05, 0.15])
+    @pytest.mark.parametrize("m", [10, 30, 45])
+    def test_within_ten_percent_of_exact(self, density, m):
+        core = _mid_core(density)
+        design = design_wrapper(core, m)
+        exact = int(slice_costs(generate_cubes(core).slices(design)).sum())
+        estimate = estimate_codewords(core, design, samples=2048).total_codewords
+        assert abs(estimate - exact) / exact < 0.10
+
+    def test_dense_regime_still_sane(self):
+        # The estimator's with-replacement approximation is worst when
+        # targets approach m; allow a wider band there.
+        core = _mid_core(0.5)
+        design = design_wrapper(core, 30)
+        exact = int(slice_costs(generate_cubes(core).slices(design)).sum())
+        estimate = estimate_codewords(core, design, samples=2048).total_codewords
+        assert abs(estimate - exact) / exact < 0.20
+
+
+class TestDeterminism:
+    def test_same_inputs_same_estimate(self):
+        core = _mid_core(0.03)
+        design = design_wrapper(core, 25)
+        a = estimate_codewords(core, design)
+        b = estimate_codewords(core, design)
+        assert a == b
+
+    def test_m_changes_stream(self):
+        core = _mid_core(0.03)
+        a = estimate_slice_costs(core, design_wrapper(core, 25), samples=256)
+        b = estimate_slice_costs(core, design_wrapper(core, 26), samples=256)
+        assert not np.array_equal(a, b)
+
+    def test_seed_changes_stream(self):
+        core = _mid_core(0.03, seed=5)
+        other = _mid_core(0.03, seed=6)
+        a = estimate_slice_costs(core, design_wrapper(core, 25), samples=256)
+        b = estimate_slice_costs(other, design_wrapper(other, 25), samples=256)
+        assert not np.array_equal(a, b)
+
+
+class TestStatistics:
+    def test_fields_consistent(self):
+        core = _mid_core(0.03)
+        design = design_wrapper(core, 25)
+        stats = estimate_codewords(core, design, samples=512)
+        assert isinstance(stats, SliceStatistics)
+        assert stats.m == 25
+        assert stats.code_width == code_parameters(25)[1]
+        assert stats.slices_per_pattern == design.scan_in_max
+        assert stats.total_slices == core.patterns * design.scan_in_max
+        assert stats.total_codewords == round(stats.mean_cost * stats.total_slices)
+        assert stats.compressed_bits == stats.total_codewords * stats.code_width
+
+    def test_cost_floor_is_one(self):
+        core = _mid_core(0.01)
+        costs = estimate_slice_costs(core, design_wrapper(core, 40), samples=512)
+        assert costs.min() >= 1
+
+    def test_rejects_zero_samples(self):
+        core = _mid_core(0.03)
+        with pytest.raises(ValueError):
+            estimate_slice_costs(core, design_wrapper(core, 25), samples=0)
+
+    def test_cost_scales_with_density(self):
+        lo = _mid_core(0.01)
+        hi = _mid_core(0.10)
+        lo_cost = estimate_codewords(lo, design_wrapper(lo, 30)).total_codewords
+        hi_cost = estimate_codewords(hi, design_wrapper(hi, 30)).total_codewords
+        assert hi_cost > lo_cost

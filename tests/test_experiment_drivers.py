@@ -1,0 +1,86 @@
+"""Tests of the experiment drivers at reduced scale.
+
+The full paper-scale runs live in the benchmark harness; these tests
+make sure the drivers produce well-formed data quickly (one design /
+one width each) so regressions surface in the unit suite.
+"""
+
+import pytest
+
+from repro.reporting.experiments import (
+    figure4_data,
+    format_figure4,
+    format_table1,
+    format_table2,
+    format_table3,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+
+
+class TestTable1Driver:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table1_rows(designs=("d695",), channels=(10,))
+
+    def test_row_shape(self, rows):
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.design == "d695"
+        assert row.ate_channels == 10
+        assert row.proposed_time > 0
+        assert row.soc_level_time and row.soc_level_time > 0
+
+    def test_ratio(self, rows):
+        row = rows[0]
+        assert row.ratio == pytest.approx(
+            row.proposed_time / row.soc_level_time
+        )
+
+    def test_format(self, rows):
+        text = format_table1(rows)
+        assert "Table 1" in text and "d695" in text
+
+    def test_without_comparator(self):
+        rows = table1_rows(
+            designs=("d695",), channels=(10,), include_soc_level=False
+        )
+        assert rows[0].soc_level_time is None
+        assert rows[0].ratio is None
+        assert "n.a." in format_table1(rows)
+
+
+class TestTable2Driver:
+    def test_row_shape(self):
+        rows = table2_rows(designs=("d695",), widths=(12,))
+        row = rows[0]
+        assert row.tam_width == 12
+        assert row.soc_level_channels is not None
+        assert row.soc_level_channels < 12
+        assert "Table 2" in format_table2(rows)
+
+
+class TestTable3Driver:
+    def test_row_shape(self):
+        rows = table3_rows(designs=("d695",), widths=(10,))
+        row = rows[0]
+        assert row.time_no_tdc > 0 and row.time_tdc > 0
+        assert row.initial_volume_bits > 0
+        assert row.time_reduction == pytest.approx(
+            row.time_no_tdc / row.time_tdc
+        )
+        text = format_table3(rows)
+        assert "average time reduction" in text
+
+    def test_auto_compression_mode(self):
+        rows = table3_rows(designs=("d695",), widths=(10,), compression="auto")
+        assert rows[0].time_reduction >= 0.999
+
+
+class TestFigure4Driver:
+    def test_small_system(self):
+        data = figure4_data("System2", 12, max_tams=2)
+        assert data.no_tdc.test_time > data.per_core.test_time
+        text = format_figure4(data)
+        assert "(b) decompressor per TAM" in text

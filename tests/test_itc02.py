@@ -1,0 +1,128 @@
+"""Unit tests for the ITC'02-style .soc parser/writer."""
+
+import pytest
+
+from repro.soc.benchmarks import load_benchmark
+from repro.soc.itc02 import (
+    SocFormatError,
+    format_soc,
+    parse_soc,
+    parse_soc_file,
+    write_soc_file,
+)
+
+MINIMAL = """
+SocName demo
+Module 1 alpha
+  Inputs 4
+  Outputs 3
+  Patterns 7
+End
+"""
+
+FULL = """
+# a comment
+SocName demo2
+TotalModules 2
+SocGates 1234
+SocLatches 99
+
+Module 1 alpha
+  Inputs 4
+  Outputs 3
+  Bidirs 1
+  ScanChains 2 : 10 8
+  Patterns 7
+  CareBitDensity 0.25
+  OneFraction 0.4
+  Seed 77
+  Gates 500
+End
+Module 2 beta  # trailing comment
+  Inputs 2
+  Outputs 2
+  Patterns 3
+End
+"""
+
+
+class TestParsing:
+    def test_minimal(self):
+        soc = parse_soc(MINIMAL)
+        assert soc.name == "demo"
+        assert soc.core_names == ("alpha",)
+        core = soc.core("alpha")
+        assert (core.inputs, core.outputs, core.patterns) == (4, 3, 7)
+
+    def test_full_fields(self):
+        soc = parse_soc(FULL)
+        assert soc.gates == 1234
+        assert soc.latches == 99
+        alpha = soc.core("alpha")
+        assert alpha.bidirs == 1
+        assert alpha.scan_chain_lengths == (10, 8)
+        assert alpha.care_bit_density == 0.25
+        assert alpha.one_fraction == 0.4
+        assert alpha.seed == 77
+        assert alpha.gates == 500
+
+    def test_comments_and_blanks_ignored(self):
+        soc = parse_soc(FULL)
+        assert len(soc) == 2
+
+    def test_module_without_end_is_closed_at_eof(self):
+        soc = parse_soc("SocName x\nModule 1 a\n  Inputs 1\n  Outputs 1\n  Patterns 2\n")
+        assert soc.core("a").patterns == 2
+
+    def test_missing_soc_name(self):
+        with pytest.raises(SocFormatError, match="SocName"):
+            parse_soc("Module 1 a\nEnd\n")
+
+    def test_end_without_module(self):
+        with pytest.raises(SocFormatError, match="End without"):
+            parse_soc("SocName x\nEnd\n")
+
+    def test_unknown_module_field(self):
+        with pytest.raises(SocFormatError, match="unknown module field"):
+            parse_soc("SocName x\nModule 1 a\n  Bogus 3\nEnd\n")
+
+    def test_unknown_toplevel_directive(self):
+        with pytest.raises(SocFormatError, match="unexpected"):
+            parse_soc("SocName x\nBogus 1\n")
+
+    def test_scanchains_count_mismatch(self):
+        bad = "SocName x\nModule 1 a\n  ScanChains 3 : 1 2\nEnd\n"
+        with pytest.raises(SocFormatError, match="declares 3"):
+            parse_soc(bad)
+
+    def test_scanchains_missing_colon(self):
+        bad = "SocName x\nModule 1 a\n  ScanChains 2 1 2\nEnd\n"
+        with pytest.raises(SocFormatError, match="count"):
+            parse_soc(bad)
+
+    def test_invalid_module_values_report_line(self):
+        bad = "SocName x\nModule 1 a\n  Inputs -4\nEnd\n"
+        with pytest.raises(SocFormatError, match="invalid module"):
+            parse_soc(bad)
+
+    def test_module_without_name_gets_index_name(self):
+        soc = parse_soc("SocName x\nModule 3\n  Inputs 1\n  Outputs 1\nEnd\n")
+        assert soc.core_names == ("module3",)
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self):
+        original = parse_soc(FULL)
+        again = parse_soc(format_soc(original))
+        assert again == original
+
+    def test_roundtrip_d695(self):
+        d695 = load_benchmark("d695")
+        again = parse_soc(format_soc(d695))
+        assert again == d695
+
+    def test_file_roundtrip(self, tmp_path):
+        d695 = load_benchmark("d695")
+        path = tmp_path / "d695.soc"
+        write_soc_file(d695, path)
+        assert parse_soc_file(path) == d695

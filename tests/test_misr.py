@@ -1,0 +1,113 @@
+"""Tests for the MISR response compactor."""
+
+import numpy as np
+import pytest
+
+from repro.compression.misr import PRIMITIVE_POLYNOMIALS, Misr, signature_of
+
+
+class TestConstruction:
+    def test_default_polynomial(self):
+        misr = Misr(width=16)
+        assert misr.polynomial == PRIMITIVE_POLYNOMIALS[16]
+
+    def test_missing_default(self):
+        with pytest.raises(ValueError, match="no default polynomial"):
+            Misr(width=5)
+
+    def test_explicit_polynomial(self):
+        misr = Misr(width=5, polynomial=0b10100)
+        assert misr.polynomial == 0b10100
+
+    def test_polynomial_bounds(self):
+        with pytest.raises(ValueError):
+            Misr(width=4, polynomial=1 << 4)
+
+    def test_width_positive(self):
+        with pytest.raises(ValueError):
+            Misr(width=0)
+
+
+class TestAbsorption:
+    def test_state_changes(self):
+        misr = Misr(width=8)
+        misr.absorb([1, 0, 1])
+        assert misr.state != 0
+        assert misr.slices_absorbed == 1
+
+    def test_slice_width_guard(self):
+        misr = Misr(width=8)
+        with pytest.raises(ValueError, match="at most 8"):
+            misr.absorb([0] * 9)
+
+    def test_binary_guard(self):
+        misr = Misr(width=8)
+        with pytest.raises(ValueError, match="0/1"):
+            misr.absorb([0, 2])
+
+    def test_reset(self):
+        misr = Misr(width=8)
+        misr.absorb([1, 1, 1])
+        misr.reset()
+        assert misr.state == 0 and misr.slices_absorbed == 0
+
+    def test_reset_seed_guard(self):
+        with pytest.raises(ValueError):
+            Misr(width=8).reset(seed=256)
+
+    def test_deterministic_signature(self, rng):
+        slices = rng.integers(0, 2, size=(40, 8)).astype(np.int64)
+        assert signature_of(slices, width=16) == signature_of(slices, width=16)
+
+    def test_known_small_example(self):
+        # width 3, poly x^3 + x + 1 -> taps 0b011; absorb [1,0,0] twice.
+        misr = Misr(width=3, polynomial=0b011)
+        misr.absorb([1, 0, 0])  # state = 0 shifted ^ 0b100 = 4
+        assert misr.state == 0b100
+        misr.absorb([0, 0, 0])  # carry out -> (000) ^ poly = 0b011
+        assert misr.state == 0b011
+
+
+class TestErrorDetection:
+    def test_linearity(self, rng):
+        """MISRs are linear: sig(a ^ b) = sig(a) ^ sig(b) from seed 0."""
+        a = rng.integers(0, 2, size=(30, 16)).astype(np.int64)
+        b = rng.integers(0, 2, size=(30, 16)).astype(np.int64)
+        sig_a = signature_of(a)
+        sig_b = signature_of(b)
+        sig_ab = signature_of(a ^ b)
+        assert sig_ab == sig_a ^ sig_b
+
+    def test_single_bit_error_detected(self, rng):
+        good = rng.integers(0, 2, size=(50, 16)).astype(np.int64)
+        bad = good.copy()
+        bad[17, 3] ^= 1
+        assert signature_of(good) != signature_of(bad)
+
+    def test_every_single_bit_error_detected(self, rng):
+        """Single-bit errors never alias (the error polynomial is a
+        monomial, never divisible by the characteristic polynomial)."""
+        good = rng.integers(0, 2, size=(12, 8)).astype(np.int64)
+        base = signature_of(good, width=8)
+        for s in range(12):
+            for b in range(8):
+                bad = good.copy()
+                bad[s, b] ^= 1
+                assert signature_of(bad, width=8) != base, (s, b)
+
+    def test_aliasing_probability(self):
+        assert Misr(width=16).aliasing_probability == pytest.approx(2.0**-16)
+
+    def test_random_corruption_mostly_detected(self, rng):
+        good = rng.integers(0, 2, size=(64, 16)).astype(np.int64)
+        base = signature_of(good)
+        misses = 0
+        for trial in range(50):
+            bad = good.copy()
+            flips = rng.integers(0, 2, size=bad.shape).astype(np.int64)
+            bad ^= flips
+            if np.array_equal(bad, good):
+                continue
+            if signature_of(bad) == base:
+                misses += 1
+        assert misses <= 1  # 2^-16 aliasing; 50 trials

@@ -1,0 +1,42 @@
+"""Unit tests for the Pareto utilities."""
+
+from repro.explore.pareto import is_non_increasing, non_monotonic_indices, pareto_front
+
+
+class TestParetoFront:
+    def test_dominated_points_removed(self):
+        points = [(1, 10), (2, 8), (3, 9), (4, 5)]  # (resource, cost)
+        front = pareto_front(points, cost=lambda p: p[1], resource=lambda p: p[0])
+        assert (3, 9) not in front
+        assert front == [(1, 10), (2, 8), (4, 5)]
+
+    def test_equal_resource_keeps_cheaper(self):
+        points = [(2, 8), (2, 5)]
+        front = pareto_front(points, cost=lambda p: p[1], resource=lambda p: p[0])
+        assert front == [(2, 5)]
+
+    def test_empty(self):
+        assert pareto_front([], cost=lambda p: p, resource=lambda p: p) == []
+
+    def test_single(self):
+        assert pareto_front(
+            [(1, 1)], cost=lambda p: p[1], resource=lambda p: p[0]
+        ) == [(1, 1)]
+
+    def test_front_costs_strictly_decrease(self):
+        points = [(i, c) for i, c in enumerate([9, 9, 7, 8, 7, 3, 4])]
+        front = pareto_front(points, cost=lambda p: p[1], resource=lambda p: p[0])
+        costs = [c for _, c in front]
+        assert all(b < a for a, b in zip(costs, costs[1:]))
+
+
+class TestMonotonicity:
+    def test_is_non_increasing(self):
+        assert is_non_increasing([5, 5, 3, 1])
+        assert not is_non_increasing([5, 3, 4])
+        assert is_non_increasing([])
+        assert is_non_increasing([7])
+
+    def test_non_monotonic_indices(self):
+        assert non_monotonic_indices([5, 3, 4, 4, 6]) == [1, 3]
+        assert non_monotonic_indices([3, 2, 1]) == []

@@ -1,0 +1,120 @@
+"""Unit tests for partition enumeration and the architecture search."""
+
+import pytest
+
+from repro.core.partition import (
+    count_partitions,
+    iter_partitions,
+    search_partitions,
+)
+
+
+class TestIterPartitions:
+    def test_single_tam_first(self):
+        assert next(iter_partitions(7, 3)) == (7,)
+
+    def test_known_enumeration(self):
+        got = set(iter_partitions(5, 2))
+        assert got == {(5,), (4, 1), (3, 2)}
+
+    def test_min_width_respected(self):
+        got = set(iter_partitions(7, 3, min_width=2))
+        assert got == {(7,), (5, 2), (4, 3), (3, 2, 2)}
+
+    def test_parts_non_increasing(self):
+        for widths in iter_partitions(12, 4):
+            assert all(a >= b for a, b in zip(widths, widths[1:]))
+
+    def test_sums_correct(self):
+        for widths in iter_partitions(12, 4, min_width=2):
+            assert sum(widths) == 12
+
+    def test_max_parts_respected(self):
+        for widths in iter_partitions(10, 3):
+            assert len(widths) <= 3
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            list(iter_partitions(0, 1))
+        with pytest.raises(ValueError):
+            list(iter_partitions(4, 0))
+        with pytest.raises(ValueError):
+            list(iter_partitions(4, 2, min_width=0))
+
+    @pytest.mark.parametrize(
+        "total,parts,min_width", [(10, 3, 1), (16, 4, 2), (24, 6, 1), (9, 9, 1)]
+    )
+    def test_count_matches_enumeration(self, total, parts, min_width):
+        enumerated = len(list(iter_partitions(total, parts, min_width)))
+        assert count_partitions(total, parts, min_width) == enumerated
+
+    def test_no_duplicates(self):
+        partitions = list(iter_partitions(15, 5))
+        assert len(partitions) == len(set(partitions))
+
+
+class TestSearchPartitions:
+    @staticmethod
+    def divisible_work(work):
+        return lambda name, width: -(-work[name] // width)
+
+    def test_exhaustive_finds_optimum(self):
+        # Two heavy cores, width 4: both the serial full-width plan and
+        # the (2, 2) parallel plan reach 50; nothing beats it.
+        work = {"a": 100, "b": 100}
+        result = search_partitions(
+            ["a", "b"], 4, self.divisible_work(work), strategy="exhaustive"
+        )
+        assert result.makespan == 50
+
+    def test_single_core_prefers_full_width(self):
+        work = {"a": 100}
+        result = search_partitions(
+            ["a"], 8, self.divisible_work(work), strategy="exhaustive"
+        )
+        assert result.widths == (8,)
+        assert result.makespan == 13  # ceil(100/8)
+
+    def test_greedy_improves_on_single_tam(self):
+        work = {c: 60 for c in "abcdef"}
+        single = search_partitions(
+            list(work), 6, self.divisible_work(work), max_parts=1
+        )
+        greedy = search_partitions(
+            list(work), 6, self.divisible_work(work), strategy="greedy"
+        )
+        assert greedy.makespan <= single.makespan
+
+    def test_greedy_not_far_from_exhaustive(self):
+        work = {"a": 120, "b": 80, "c": 60, "d": 20}
+        exact = search_partitions(
+            list(work), 8, self.divisible_work(work), strategy="exhaustive"
+        )
+        greedy = search_partitions(
+            list(work), 8, self.divisible_work(work), strategy="greedy"
+        )
+        assert greedy.makespan <= exact.makespan * 1.5
+
+    def test_auto_picks_exhaustive_for_small(self):
+        work = {"a": 10, "b": 10}
+        result = search_partitions(["a", "b"], 6, self.divisible_work(work))
+        assert result.strategy == "exhaustive"
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="strategy"):
+            search_partitions(["a"], 4, lambda n, w: 1, strategy="magic")
+
+    def test_no_cores_rejected(self):
+        with pytest.raises(ValueError):
+            search_partitions([], 4, lambda n, w: 1)
+
+    def test_min_width_larger_than_budget_rejected(self):
+        with pytest.raises(ValueError):
+            search_partitions(["a"], 2, lambda n, w: 1, min_width=3)
+
+    def test_partitions_evaluated_counted(self):
+        work = {"a": 10}
+        result = search_partitions(
+            ["a"], 5, self.divisible_work(work), strategy="exhaustive", max_parts=2
+        )
+        assert result.partitions_evaluated == count_partitions(5, 2)

@@ -1,0 +1,97 @@
+"""Unit tests for the power model."""
+
+import pytest
+
+from repro.power.model import PowerModel, core_test_power, power_table, toggle_rate
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+
+
+class TestToggleRate:
+    def test_random_fill_near_half_for_sparse(self):
+        # Sparse cubes random-filled toggle almost maximally.
+        assert toggle_rate(0.02, 0.5, "random") == pytest.approx(0.5, abs=0.01)
+
+    def test_zero_fill_small_for_sparse(self):
+        assert toggle_rate(0.02, 0.5, "zero") < 0.02
+
+    def test_majority_fill_below_zero_fill_when_ones_dominate(self):
+        # With 1-heavy care bits, 0-fill toggles at every care bit while
+        # majority fill only exposes the minority (0) care bits.
+        d, f1 = 0.05, 0.8
+        assert toggle_rate(d, f1, "majority") < toggle_rate(d, f1, "zero")
+
+    def test_majority_matches_zero_fill_when_zeros_dominate(self):
+        # 0 is already the majority symbol: the fills coincide.
+        assert toggle_rate(0.05, 0.3, "majority") == pytest.approx(
+            toggle_rate(0.05, 0.3, "zero")
+        )
+
+    def test_unknown_fill(self):
+        with pytest.raises(ValueError):
+            toggle_rate(0.1, 0.5, "mt")
+
+    def test_rate_bounds(self):
+        for d in (0.01, 0.3, 0.9):
+            for f1 in (0.0, 0.3, 1.0):
+                for fill in ("random", "zero", "majority"):
+                    assert 0.0 <= toggle_rate(d, f1, fill) <= 0.5
+
+
+class TestCorePower:
+    def test_scales_with_scan_cells(self):
+        small = Core(name="a", inputs=2, outputs=2, scan_chain_lengths=(50,), patterns=1)
+        large = Core(
+            name="b", inputs=2, outputs=2, scan_chain_lengths=(500,), patterns=1
+        )
+        assert core_test_power(large) > core_test_power(small)
+
+    def test_compression_fill_reduces_power(self):
+        core = Core(
+            name="c",
+            inputs=10,
+            outputs=10,
+            scan_chain_lengths=(100,) * 5,
+            patterns=1,
+            care_bit_density=0.03,
+            one_fraction=0.3,
+        )
+        assert core_test_power(core, fill="majority") < core_test_power(
+            core, fill="random"
+        )
+
+    def test_io_weight_counts_wrapper_cells(self):
+        combo = Core(name="c", inputs=10, outputs=10, patterns=1)
+        assert core_test_power(combo) == pytest.approx(PowerModel().io_weight * 20)
+
+    def test_custom_model(self):
+        core = Core(name="c", inputs=0, outputs=0, scan_chain_lengths=(100,), patterns=1)
+        doubled = PowerModel(shift_weight=2.0)
+        assert core_test_power(core, model=doubled) == pytest.approx(
+            2 * core_test_power(core)
+        )
+
+
+class TestPowerTable:
+    def test_covers_every_core(self, tiny_soc):
+        table = power_table(tiny_soc)
+        assert set(table) == set(tiny_soc.core_names)
+        assert all(v >= 0 for v in table.values())
+
+    def test_compression_lowers_table(self):
+        cores = tuple(
+            Core(
+                name=f"c{i}",
+                inputs=4,
+                outputs=4,
+                scan_chain_lengths=(80,) * 4,
+                patterns=1,
+                care_bit_density=0.05,
+                one_fraction=0.3,
+            )
+            for i in range(2)
+        )
+        soc = Soc(name="s", cores=cores)
+        plain = power_table(soc, compression=False)
+        packed = power_table(soc, compression=True)
+        assert all(packed[n] < plain[n] for n in soc.core_names)

@@ -1,0 +1,128 @@
+"""Tests for schedule profiling (utilization + power envelope)."""
+
+import pytest
+
+import repro
+from repro.core.optimizer import optimize_soc_constrained
+from repro.power.model import power_table
+from repro.reporting.profile import (
+    peak_power,
+    power_profile,
+    render_power_profile,
+    render_utilization,
+    tam_utilization,
+)
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+
+
+@pytest.fixture(scope="module")
+def planned():
+    cores = tuple(
+        Core(
+            name=f"c{i}",
+            inputs=6,
+            outputs=6,
+            scan_chain_lengths=(30,) * (8 + 2 * i),
+            patterns=40,
+            care_bit_density=0.04,
+            seed=970 + i,
+        )
+        for i in range(3)
+    )
+    soc = Soc(name="prof", cores=cores)
+    return soc, repro.optimize_soc(soc, 10, compression=True)
+
+
+class TestUtilization:
+    def test_per_tam_entries(self, planned):
+        _, plan = planned
+        stats = tam_utilization(plan.architecture)
+        assert len(stats) == len(plan.tam_widths)
+        assert all(0.0 <= s.utilization <= 1.0 for s in stats)
+
+    def test_some_tam_fully_busy(self, planned):
+        """The bottleneck TAM is busy from 0 to the makespan."""
+        _, plan = planned
+        stats = tam_utilization(plan.architecture)
+        assert any(s.utilization == pytest.approx(1.0) for s in stats)
+
+    def test_busy_cycles_sum(self, planned):
+        _, plan = planned
+        stats = tam_utilization(plan.architecture)
+        total_busy = sum(s.busy_cycles for s in stats)
+        expected = sum(
+            s.end - s.start for s in plan.architecture.scheduled
+        )
+        assert total_busy == expected
+
+    def test_render(self, planned):
+        _, plan = planned
+        text = render_utilization(plan.architecture)
+        assert "TAM utilization" in text
+        assert "% busy" in text
+        assert "wire-cycles" in text
+
+
+class TestPowerProfile:
+    def test_profile_starts_at_zero_time(self, planned):
+        soc, plan = planned
+        table = power_table(soc, compression=True)
+        profile = power_profile(plan.architecture, table)
+        assert profile[0][0] == 0
+        # The session ends with all tests done: final level is zero.
+        assert profile[-1][1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_peak_matches_constrained_scheduler(self):
+        cores = tuple(
+            Core(
+                name=f"p{i}",
+                inputs=4,
+                outputs=4,
+                scan_chain_lengths=(25,) * 10,
+                patterns=30,
+                care_bit_density=0.04,
+                seed=980 + i,
+            )
+            for i in range(3)
+        )
+        soc = Soc(name="pp", cores=cores)
+        table = power_table(soc, compression=True)
+        budget = sum(table.values())  # loose
+        plan = optimize_soc_constrained(
+            soc, 9, compression=True, power_budget=budget
+        )
+        profile = power_profile(plan.architecture, table)
+        assert peak_power(profile) == pytest.approx(plan.peak_power)
+
+    def test_levels_never_negative(self, planned):
+        soc, plan = planned
+        table = power_table(soc, compression=True)
+        profile = power_profile(plan.architecture, table)
+        assert all(level >= -1e-9 for _, level in profile)
+
+    def test_render_with_budget_marker(self, planned):
+        soc, plan = planned
+        table = power_table(soc, compression=True)
+        text = render_power_profile(
+            plan.architecture, table, budget=1.2 * max(table.values())
+        )
+        assert "power profile" in text
+        assert "budget" in text
+        assert "#" in text
+
+    def test_render_empty(self):
+        from repro.core.architecture import (
+            DecompressorPlacement,
+            Tam,
+            TestArchitecture,
+        )
+
+        empty = TestArchitecture(
+            soc_name="e",
+            placement=DecompressorPlacement.NONE,
+            tams=(Tam(0, 1),),
+            scheduled=(),
+            ate_channels=1,
+        )
+        assert render_power_profile(empty, {}) == "(empty schedule)"

@@ -1,0 +1,161 @@
+"""Property tests for the serialization boundaries.
+
+Everything that crosses a file/JSON boundary must round-trip exactly:
+.soc documents, cube files, and exported architectures.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.cubeio import format_patterns, parse_patterns
+from repro.compression.cubes import TestCubeSet
+from repro.core.architecture import (
+    CoreConfig,
+    DecompressorPlacement,
+    ScheduledCore,
+    Tam,
+    TestArchitecture,
+)
+from repro.reporting.export import architecture_from_json, architecture_to_json
+from repro.soc.core import Core
+from repro.soc.itc02 import format_soc, parse_soc
+from repro.soc.soc import Soc
+
+name_strategy = st.from_regex(r"[A-Za-z][A-Za-z0-9_\-]{0,10}", fullmatch=True)
+
+core_strategy = st.builds(
+    lambda name, inputs, outputs, bidirs, chains, patterns, density, ones, seed, gates: Core(
+        name=name,
+        inputs=inputs,
+        outputs=outputs,
+        bidirs=bidirs,
+        scan_chain_lengths=tuple(chains),
+        patterns=patterns,
+        care_bit_density=density,
+        one_fraction=ones,
+        seed=seed,
+        gates=gates,
+    ),
+    name=name_strategy,
+    inputs=st.integers(0, 50),
+    outputs=st.integers(0, 50),
+    bidirs=st.integers(0, 10),
+    chains=st.lists(st.integers(1, 100), min_size=0, max_size=8),
+    patterns=st.integers(1, 300),
+    density=st.floats(0.01, 1.0, exclude_min=False),
+    ones=st.floats(0.0, 1.0),
+    seed=st.integers(0, 2**31),
+    gates=st.integers(0, 10**6),
+)
+
+
+def unique_cores(cores):
+    seen = set()
+    out = []
+    for core in cores:
+        if core.name not in seen:
+            seen.add(core.name)
+            out.append(core)
+    return tuple(out)
+
+
+soc_strategy = st.builds(
+    lambda name, cores, gates, latches: Soc(
+        name=name, cores=unique_cores(cores), gates=gates, latches=latches
+    ),
+    name=name_strategy,
+    cores=st.lists(core_strategy, min_size=0, max_size=6),
+    gates=st.integers(0, 10**7),
+    latches=st.integers(0, 10**6),
+)
+
+
+class TestSocFormatRoundTrip:
+    @given(soc_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_format_parse_identity(self, soc):
+        assert parse_soc(format_soc(soc)) == soc
+
+
+small_core_strategy = st.builds(
+    lambda name, inputs, chains, patterns, seed: Core(
+        name=name,
+        inputs=inputs,
+        outputs=inputs,
+        scan_chain_lengths=tuple(chains),
+        patterns=patterns,
+        care_bit_density=0.3,
+        seed=seed,
+    ),
+    name=name_strategy,
+    inputs=st.integers(1, 12),
+    chains=st.lists(st.integers(1, 20), min_size=0, max_size=5),
+    patterns=st.integers(1, 40),
+    seed=st.integers(0, 2**31),
+)
+
+
+class TestPatternTextRoundTrip:
+    @given(small_core_strategy, st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_patterns_roundtrip(self, core, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 3, size=(core.patterns, core.scan_in_bits))
+        cubes = TestCubeSet(core=core, bits=bits.astype(np.int8))
+        again = parse_patterns(core, format_patterns(cubes))
+        assert np.array_equal(again.bits, cubes.bits)
+
+
+def _random_architecture(rng: np.random.Generator) -> TestArchitecture:
+    num_tams = int(rng.integers(1, 4))
+    tams = tuple(Tam(index=i, width=int(rng.integers(1, 20))) for i in range(num_tams))
+    scheduled = []
+    loads = [0] * num_tams
+    for index in range(int(rng.integers(0, 6))):
+        tam = int(rng.integers(0, num_tams))
+        duration = int(rng.integers(1, 500))
+        compressed = bool(rng.integers(0, 2))
+        config = CoreConfig(
+            core_name=f"core{index}",
+            uses_compression=compressed,
+            wrapper_chains=int(rng.integers(1, 64)),
+            code_width=int(rng.integers(3, 12)) if compressed else None,
+            test_time=duration,
+            volume=int(rng.integers(0, 10**6)),
+            technique="selective" if compressed else "none",
+        )
+        scheduled.append(
+            ScheduledCore(
+                config=config,
+                tam_index=tam,
+                start=loads[tam],
+                end=loads[tam] + duration,
+            )
+        )
+        loads[tam] += duration
+    return TestArchitecture(
+        soc_name="rand",
+        placement=DecompressorPlacement.PER_CORE,
+        tams=tams,
+        scheduled=tuple(scheduled),
+        ate_channels=int(rng.integers(1, 64)),
+    )
+
+
+class TestExportRoundTrip:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_json_roundtrip_random_architectures(self, seed):
+        rng = np.random.default_rng(seed)
+        architecture = _random_architecture(rng)
+        rebuilt = architecture_from_json(architecture_to_json(architecture))
+        # Export canonicalizes slot order (by TAM, then start); compare
+        # everything order-insensitively.
+        assert rebuilt.soc_name == architecture.soc_name
+        assert rebuilt.placement == architecture.placement
+        assert rebuilt.tams == architecture.tams
+        assert rebuilt.ate_channels == architecture.ate_channels
+        assert set(rebuilt.scheduled) == set(architecture.scheduled)
+        assert rebuilt.test_time == architecture.test_time
+        assert rebuilt.test_data_volume == architecture.test_data_volume

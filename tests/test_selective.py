@@ -1,0 +1,206 @@
+"""Unit tests for the selective-encoding codec."""
+
+import numpy as np
+import pytest
+
+from repro.compression.cubes import X
+from repro.compression.selective import (
+    CONTROL_END,
+    CONTROL_GROUP,
+    CONTROL_SINGLE1,
+    Codeword,
+    code_parameters,
+    codewords_from_bit_matrix,
+    compression_ratio,
+    encode_slice,
+    encode_slices,
+    encoded_bits,
+    slice_costs,
+    slice_width_range,
+    stream_to_bit_matrix,
+)
+
+
+class TestCodeParameters:
+    @pytest.mark.parametrize(
+        "m,k,w",
+        [
+            (1, 1, 3),
+            (2, 2, 4),
+            (3, 2, 4),
+            (7, 3, 5),
+            (8, 4, 6),
+            (127, 7, 9),
+            (128, 8, 10),
+            (255, 8, 10),
+            (256, 9, 11),
+        ],
+    )
+    def test_known_values(self, m, k, w):
+        assert code_parameters(m) == (k, w)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            code_parameters(0)
+
+    def test_paper_range_for_w10(self):
+        # The paper: at w = 10, m varies between 128 and 255.
+        rng = slice_width_range(10)
+        assert rng.start == 128
+        assert rng[-1] == 255
+
+    def test_range_inverts_parameters(self):
+        for w in range(3, 12):
+            for m in slice_width_range(w):
+                assert code_parameters(m)[1] == w
+
+    def test_range_clipping(self):
+        rng = slice_width_range(10, max_useful=200)
+        assert rng[-1] == 200
+
+    def test_range_rejects_narrow(self):
+        with pytest.raises(ValueError):
+            slice_width_range(2)
+
+
+class TestCodeword:
+    def test_control_range(self):
+        with pytest.raises(ValueError):
+            Codeword(control=4, payload=0)
+
+    def test_payload_nonnegative(self):
+        with pytest.raises(ValueError):
+            Codeword(control=0, payload=-1)
+
+    def test_to_bits(self):
+        word = Codeword(control=2, payload=5)
+        assert word.to_bits(5) == (1, 0, 1, 0, 1)
+
+    def test_to_bits_overflow(self):
+        with pytest.raises(ValueError, match="fit"):
+            Codeword(control=0, payload=8).to_bits(5)
+
+
+class TestEncodeSlice:
+    def test_paper_example_xxx1000(self):
+        """Target 1 at index 3 of XXX1000 -> one single-bit code."""
+        slice_bits = [X, X, X, 1, 0, 0, 0]
+        words = encode_slice(slice_bits)
+        assert words[0] == Codeword(CONTROL_SINGLE1, 3)
+        assert words[-1].control == CONTROL_END
+        assert words[-1].payload == 0  # fill symbol 0
+        assert len(words) == 2
+
+    def test_all_x_slice_costs_one(self):
+        words = encode_slice([X] * 9)
+        assert len(words) == 1
+        assert words[0].control == CONTROL_END
+
+    def test_uniform_zero_slice_costs_one(self):
+        # All-0 care bits: target is 1 (none present), fill 0.
+        words = encode_slice([0] * 9)
+        assert len(words) == 1
+        assert words[0].payload == 0
+
+    def test_uniform_one_slice_costs_one(self):
+        words = encode_slice([1] * 9)
+        assert len(words) == 1
+        assert words[0].payload == 1  # fill symbol 1, target 0 absent
+
+    def test_group_copy_kicks_in(self):
+        # m = 8 -> k = 4; first group 0..3 holds three 1s among 0s.
+        slice_bits = [1, 1, 1, 0, 0, 0, 0, 0]
+        words = encode_slice(slice_bits)
+        controls = [w.control for w in words]
+        assert CONTROL_GROUP in controls
+        # GROUP + literal + END = 3 words (cheaper than 3 singles + END).
+        assert len(words) == 3
+
+    def test_group_literal_contents(self):
+        slice_bits = [1, 1, 1, 0, 0, 0, 0, 0]
+        words = encode_slice(slice_bits)
+        group = words[0]
+        literal = words[1]
+        assert group.payload == 0  # group starts at bit 0
+        assert literal.payload == 0b1110
+
+    def test_minority_symbol_encoded(self):
+        # Five 0s, two 1s: target must be 1.
+        slice_bits = [0, 0, 0, 0, 0, 1, 1]
+        words = encode_slice(slice_bits)
+        singles = [w for w in words if w.control == CONTROL_SINGLE1]
+        assert {w.payload for w in singles} == {5, 6}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            encode_slice([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            encode_slice(np.zeros((2, 2), dtype=np.int8))
+
+
+class TestSliceCosts:
+    def test_matches_encoder_exhaustively_small(self):
+        """Vectorized cost must equal len(encode_slice) for all 3^5 slices."""
+        m = 5
+        values = np.array(
+            np.meshgrid(*[[0, 1, 2]] * m, indexing="ij")
+        ).reshape(m, -1).T.astype(np.int8)
+        vector = slice_costs(values)
+        for row, cost in zip(values, vector):
+            assert len(encode_slice(row)) == cost
+
+    def test_matches_encoder_random(self, rng):
+        for m in (3, 8, 17, 40):
+            slices = rng.integers(0, 3, size=(50, m)).astype(np.int8)
+            vector = slice_costs(slices)
+            direct = [len(encode_slice(row)) for row in slices]
+            assert vector.tolist() == direct
+
+    def test_three_dimensional_input(self, rng):
+        slices = rng.integers(0, 3, size=(4, 6, 9)).astype(np.int8)
+        flat = slices.reshape(-1, 9)
+        assert np.array_equal(slice_costs(slices), slice_costs(flat))
+
+    def test_minimum_cost_is_one(self, rng):
+        slices = rng.integers(0, 3, size=(100, 12)).astype(np.int8)
+        assert slice_costs(slices).min() >= 1
+
+    def test_cost_grows_with_care_density(self, rng):
+        m = 64
+        sparse = np.where(rng.random((200, m)) < 0.05, 1, X).astype(np.int8)
+        dense = np.where(rng.random((200, m)) < 0.5, 1, X).astype(np.int8)
+        # All-1 targets become fill -> both are cheap; mix in zeros.
+        sparse[rng.random((200, m)) < 0.05] = 0
+        dense[rng.random((200, m)) < 0.5] = 0
+        assert slice_costs(dense).mean() > slice_costs(sparse).mean()
+
+
+class TestStreams:
+    def test_encode_slices_counts(self, rng):
+        slices = rng.integers(0, 3, size=(10, 12)).astype(np.int8)
+        stream = encode_slices(slices)
+        assert stream.slice_count == 10
+        assert stream.cycles == int(slice_costs(slices).sum())
+        assert stream.total_bits == stream.cycles * stream.code_width
+
+    def test_encoded_bits_helper(self, rng):
+        slices = rng.integers(0, 3, size=(10, 12)).astype(np.int8)
+        assert encoded_bits(slices) == encode_slices(slices).total_bits
+
+    def test_bit_matrix_roundtrip(self, rng):
+        slices = rng.integers(0, 3, size=(6, 9)).astype(np.int8)
+        stream = encode_slices(slices)
+        matrix = stream_to_bit_matrix(stream)
+        assert matrix.shape == (stream.cycles, stream.code_width)
+        words = codewords_from_bit_matrix(matrix)
+        assert tuple(words) == stream.codewords
+
+    def test_bit_matrix_width_guard(self):
+        with pytest.raises(ValueError):
+            codewords_from_bit_matrix(np.zeros((3, 2), dtype=np.int8))
+
+    def test_compression_ratio(self):
+        assert compression_ratio(100, 25) == 4.0
+        assert compression_ratio(100, 0) == float("inf")

@@ -1,0 +1,69 @@
+"""Unit tests for the Soc container."""
+
+import pytest
+
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+
+
+class TestSocBasics:
+    def test_len_and_iter(self, tiny_soc):
+        assert len(tiny_soc) == 3
+        assert [c.name for c in tiny_soc] == ["small", "comb", "sparse"]
+
+    def test_core_lookup(self, tiny_soc):
+        assert tiny_soc.core("comb").inputs == 16
+
+    def test_core_lookup_missing(self, tiny_soc):
+        with pytest.raises(KeyError, match="nothere"):
+            tiny_soc.core("nothere")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            Soc(name="")
+
+    def test_duplicate_cores_rejected(self, small_core):
+        with pytest.raises(ValueError, match="duplicate"):
+            Soc(name="s", cores=(small_core, small_core))
+
+    def test_core_names(self, tiny_soc):
+        assert tiny_soc.core_names == ("small", "comb", "sparse")
+
+
+class TestSocDerived:
+    def test_total_scan_cells(self, tiny_soc):
+        assert tiny_soc.total_scan_cells == 38 + 0 + 480
+
+    def test_total_patterns(self, tiny_soc):
+        assert tiny_soc.total_patterns == 20 + 10 + 50
+
+    def test_initial_volume(self, tiny_soc):
+        expected = sum(c.test_data_volume for c in tiny_soc.cores)
+        assert tiny_soc.initial_test_data_volume == expected
+
+    def test_max_useful_tam_width(self, tiny_soc):
+        expected = max(c.max_useful_wrapper_chains for c in tiny_soc.cores)
+        assert tiny_soc.max_useful_tam_width == expected
+
+    def test_max_useful_empty_soc(self):
+        assert Soc(name="empty").max_useful_tam_width == 1
+
+
+class TestSocManipulation:
+    def test_with_cores(self, tiny_soc, small_core):
+        smaller = tiny_soc.with_cores([small_core])
+        assert len(smaller) == 1
+        assert len(tiny_soc) == 3
+
+    def test_subset_preserves_order(self, tiny_soc):
+        sub = tiny_soc.subset(["sparse", "small"])
+        assert sub.core_names == ("small", "sparse")
+
+    def test_subset_missing_raises(self, tiny_soc):
+        with pytest.raises(KeyError, match="ghost"):
+            tiny_soc.subset(["ghost"])
+
+    def test_describe_lists_every_core(self, tiny_soc):
+        text = tiny_soc.describe()
+        for name in tiny_soc.core_names:
+            assert name in text

@@ -1,0 +1,206 @@
+"""Unit tests for wrapper-chain design (BFD) and the timing model."""
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.soc.core import Core
+from repro.wrapper.design import (
+    WrapperDesign,
+    _distribute_cells,
+    design_wrapper,
+    pareto_wrapper_designs,
+)
+from repro.wrapper.timing import (
+    scan_test_time,
+    uncompressed_tam_volume,
+    uncompressed_test_time,
+)
+
+
+def reference_distribute(scan_load, m, cells):
+    """Literal one-cell-at-a-time greedy, as the algorithm is described."""
+    counts = [0] * m
+    heap = [(scan_load[h], h) for h in range(m)]
+    heapq.heapify(heap)
+    for _ in range(cells):
+        load, h = heapq.heappop(heap)
+        counts[h] += 1
+        heapq.heappush(heap, (load + 1, h))
+    return counts
+
+
+class TestDistributeCells:
+    @pytest.mark.parametrize("cells", [0, 1, 3, 7, 20, 100])
+    def test_matches_reference_max(self, cells):
+        scan_load = [5, 0, 9, 3, 3]
+        ours = _distribute_cells(scan_load, 5, cells)
+        ref = reference_distribute(scan_load, 5, cells)
+        assert sum(ours) == cells
+        ours_max = max(l + c for l, c in zip(scan_load, ours))
+        ref_max = max(l + c for l, c in zip(scan_load, ref))
+        assert ours_max == ref_max
+
+    def test_zero_cells(self):
+        assert _distribute_cells([1, 2], 2, 0) == [0, 0]
+
+    def test_equal_loads_spread_evenly(self):
+        counts = _distribute_cells([4, 4, 4], 3, 9)
+        assert sorted(counts) == [3, 3, 3]
+
+    def test_fills_valleys_first(self):
+        counts = _distribute_cells([0, 10], 2, 5)
+        assert counts == [5, 0]
+
+    def test_overflow_beyond_level(self):
+        counts = _distribute_cells([0, 0], 2, 11)
+        assert sorted(counts) == [5, 6]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_cases_match_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 12))
+        scan_load = [int(x) for x in rng.integers(0, 50, m)]
+        cells = int(rng.integers(0, 200))
+        ours = _distribute_cells(scan_load, m, cells)
+        ref = reference_distribute(scan_load, m, cells)
+        assert sum(ours) == cells
+        assert max(l + c for l, c in zip(scan_load, ours)) == max(
+            l + c for l, c in zip(scan_load, ref)
+        )
+
+
+class TestDesignWrapper:
+    def test_rejects_zero_chains(self, small_core):
+        with pytest.raises(ValueError):
+            design_wrapper(small_core, 0)
+
+    def test_single_chain_concatenates_everything(self, small_core):
+        design = design_wrapper(small_core, 1)
+        assert design.scan_in_max == small_core.scan_in_bits
+        assert design.scan_out_max == small_core.scan_out_bits
+
+    def test_every_scan_chain_assigned_once(self, small_core):
+        design = design_wrapper(small_core, 3)
+        assigned = [c for chain in design.chains_scan for c in chain]
+        assert sorted(assigned) == list(range(small_core.num_scan_chains))
+
+    def test_all_io_cells_assigned(self, small_core):
+        design = design_wrapper(small_core, 3)
+        assert sum(design.chains_inputs) == small_core.wrapper_input_cells
+        assert sum(design.chains_outputs) == small_core.wrapper_output_cells
+
+    def test_si_never_below_longest_chain(self, small_core):
+        for m in range(1, 12):
+            design = design_wrapper(small_core, m)
+            assert design.scan_in_max >= max(small_core.scan_chain_lengths)
+
+    def test_si_non_increasing_in_m(self, small_core):
+        values = [design_wrapper(small_core, m).scan_in_max for m in range(1, 12)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_more_chains_than_items_leaves_empty(self, small_core):
+        design = design_wrapper(small_core, 25)
+        assert design.used_chains <= small_core.max_useful_wrapper_chains
+        assert design.num_chains == 25
+
+    def test_combinational_core(self, comb_core):
+        design = design_wrapper(comb_core, 4)
+        assert design.scan_in_max == 4  # 16 inputs over 4 chains
+        assert design.scan_out_max == 2  # 8 outputs over 4 chains
+
+    def test_bfd_balances_chains(self):
+        core = Core(
+            name="c",
+            inputs=0,
+            outputs=0,
+            scan_chain_lengths=(8, 8, 4, 4, 4, 4),
+            patterns=1,
+        )
+        design = design_wrapper(core, 2)
+        # Perfect balance exists: (8+4+4) and (8+4+4).
+        assert design.scan_in_max == 16
+
+    def test_deterministic(self, small_core):
+        assert design_wrapper(small_core, 3) == design_wrapper(small_core, 3)
+
+    def test_pareto_designs_cover_range(self, small_core):
+        designs = pareto_wrapper_designs(small_core, 6)
+        assert sorted(designs) == [1, 2, 3, 4, 5, 6]
+
+    def test_pareto_rejects_bad_max(self, small_core):
+        with pytest.raises(ValueError):
+            pareto_wrapper_designs(small_core, 0)
+
+
+class TestActiveInputsPerSlice:
+    def test_counts_sum_to_scan_in_bits(self, small_core):
+        design = design_wrapper(small_core, 3)
+        counts = design.active_inputs_per_slice()
+        assert counts.sum() == small_core.scan_in_bits
+
+    def test_monotone_non_decreasing(self, small_core):
+        # Leading-pad alignment: later shift cycles have >= active chains.
+        design = design_wrapper(small_core, 4)
+        counts = design.active_inputs_per_slice()
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+
+    def test_last_slice_counts_all_nonempty(self, small_core):
+        design = design_wrapper(small_core, 4)
+        counts = design.active_inputs_per_slice()
+        nonempty = sum(1 for L in design.scan_in_lengths if L)
+        assert counts[-1] == nonempty
+
+
+class TestPositionMatrix:
+    def test_every_bit_appears_exactly_once(self, small_core):
+        design = design_wrapper(small_core, 3)
+        matrix = design.scan_in_position_matrix()
+        flat = matrix[matrix >= 0]
+        assert sorted(flat.tolist()) == list(range(small_core.scan_in_bits))
+
+    def test_shape(self, small_core):
+        design = design_wrapper(small_core, 3)
+        matrix = design.scan_in_position_matrix()
+        assert matrix.shape == (design.scan_in_max, 3)
+
+    def test_pad_positions_lead(self, small_core):
+        design = design_wrapper(small_core, 3)
+        matrix = design.scan_in_position_matrix()
+        for h in range(matrix.shape[1]):
+            column = matrix[:, h]
+            real = np.flatnonzero(column >= 0)
+            if real.size:
+                # Once real bits start, they continue to the end.
+                assert np.array_equal(
+                    real, np.arange(real[0], matrix.shape[0])
+                )
+
+    def test_combinational_matrix(self, comb_core):
+        design = design_wrapper(comb_core, 8)
+        matrix = design.scan_in_position_matrix()
+        assert (matrix >= 0).sum() == comb_core.inputs
+
+
+class TestTiming:
+    def test_formula(self):
+        assert scan_test_time(10, 7, 5) == (1 + 7) * 10 + 5
+
+    def test_symmetric_in_si_so(self):
+        assert scan_test_time(4, 9, 3) == scan_test_time(4, 3, 9)
+
+    def test_rejects_zero_patterns(self):
+        with pytest.raises(ValueError):
+            scan_test_time(0, 1, 1)
+
+    def test_uncompressed_test_time_decreases_with_width(self, small_core):
+        times = [uncompressed_test_time(small_core, w) for w in range(1, 12)]
+        assert all(b <= a for a, b in zip(times, times[1:]))
+
+    def test_uncompressed_volume_includes_padding(self, small_core):
+        design = design_wrapper(small_core, 3)
+        volume = uncompressed_tam_volume(small_core, design)
+        assert volume >= small_core.test_data_volume
+        longest = max(design.scan_in_max, design.scan_out_max)
+        assert volume == small_core.patterns * longest * 3
