@@ -16,7 +16,7 @@ from repro.core.partition import search_partitions
 from repro.core.scheduler import schedule_cores
 from repro.soc.core import Core
 from repro.soc.industrial import industrial_core
-from repro.wrapper.design import _design_wrapper_cached, design_wrapper
+from repro.wrapper.design import clear_wrapper_design_cache, design_wrapper
 
 
 @pytest.fixture(scope="module")
@@ -54,7 +54,7 @@ def test_wrapper_design_bfd(benchmark):
     core = industrial_core("ckt-11")
 
     def run():
-        _design_wrapper_cached.cache_clear()
+        clear_wrapper_design_cache()
         return design_wrapper(core, 128)
 
     design = benchmark(run)

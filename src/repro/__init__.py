@@ -41,7 +41,9 @@ from repro.compression.selective import (
     slice_costs,
 )
 from repro.compression.decompressor import Decompressor, expand_stream
-from repro.explore.dse import CoreAnalysis, analysis_for
+from repro.explore.cache import AnalysisDiskCache, resolve_cache
+from repro.explore.dse import CoreAnalysis, analysis_for, analyze_soc_cores
+from repro.parallel import parallel_map, resolve_jobs
 from repro.core.architecture import TestArchitecture, DecompressorPlacement
 from repro.core.optimizer import (
     OptimizeResult,

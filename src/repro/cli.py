@@ -22,6 +22,20 @@ from repro.core.architecture import architecture_summary
 from repro.soc.industrial import load_design
 
 
+def _perf_kwargs(args: argparse.Namespace) -> dict:
+    """--jobs/--cache-dir/--no-cache -> optimizer keyword arguments.
+
+    The CLI enables the persistent analysis cache by default (every
+    invocation is a fresh process, so on-disk reuse is where repeated
+    ``figure``/``table``/``plan`` runs win); ``--no-cache`` opts out.
+    """
+    return {
+        "jobs": args.jobs,
+        "cache_dir": args.cache_dir,
+        "use_cache": False if args.no_cache else True,
+    }
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     soc = load_design(args.design)
     compression = "none" if args.no_compression else args.compression
@@ -31,6 +45,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         compression=compression,
         max_tams=args.max_tams,
         strategy=args.strategy,
+        **_perf_kwargs(args),
     )
     print(architecture_summary(result.architecture))
     print(
@@ -51,12 +66,13 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.reporting import experiments as exp
 
+    perf = _perf_kwargs(args)
     if args.number == 2:
-        print(exp.format_figure2(exp.figure2_data()))
+        print(exp.format_figure2(exp.figure2_data(**perf)))
     elif args.number == 3:
-        print(exp.format_figure3(exp.figure3_data()))
+        print(exp.format_figure3(exp.figure3_data(**perf)))
     elif args.number == 4:
-        print(exp.format_figure4(exp.figure4_data()))
+        print(exp.format_figure4(exp.figure4_data(**perf)))
     else:
         print(f"no figure {args.number} in the paper", file=sys.stderr)
         return 2
@@ -66,15 +82,16 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro.reporting import experiments as exp
 
+    perf = _perf_kwargs(args)
     widths = tuple(int(w) for w in args.widths.split(",")) if args.widths else None
     if args.number == 1:
-        rows = exp.table1_rows(channels=widths or (16, 24, 32))
+        rows = exp.table1_rows(channels=widths or (16, 24, 32), **perf)
         print(exp.format_table1(rows))
     elif args.number == 2:
-        rows = exp.table2_rows(widths=widths or (16, 24, 32, 48, 64))
+        rows = exp.table2_rows(widths=widths or (16, 24, 32, 48, 64), **perf)
         print(exp.format_table2(rows))
     elif args.number == 3:
-        rows = exp.table3_rows(widths=widths or (16, 32, 48, 64))
+        rows = exp.table3_rows(widths=widths or (16, 32, 48, 64), **perf)
         print(exp.format_table3(rows))
     else:
         print(f"no table {args.number} in the paper", file=sys.stderr)
@@ -86,7 +103,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim.simulator import simulate_architecture
 
     soc = load_design(args.design)
-    plan = optimize_soc(soc, args.width, compression=args.compression)
+    plan = optimize_soc(
+        soc, args.width, compression=args.compression, **_perf_kwargs(args)
+    )
     report = simulate_architecture(soc, plan.architecture)
     print(
         f"simulated {report.soc_name}: {report.total_cycles} cycles "
@@ -103,7 +122,9 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from repro.reporting.export import result_to_json
 
     soc = load_design(args.design)
-    plan = optimize_soc(soc, args.width, compression=args.compression)
+    plan = optimize_soc(
+        soc, args.width, compression=args.compression, **_perf_kwargs(args)
+    )
     text = result_to_json(plan)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -122,7 +143,11 @@ def _cmd_power(args: argparse.Namespace) -> int:
     table = power_table(soc, compression=args.compression != "none")
     budget = sum(table.values()) * args.budget_fraction
     plan = optimize_soc_constrained(
-        soc, args.width, compression=args.compression, power_budget=budget
+        soc,
+        args.width,
+        compression=args.compression,
+        power_budget=budget,
+        **_perf_kwargs(args),
     )
     print(
         f"{soc.name} at W={args.width}, budget "
@@ -132,6 +157,29 @@ def _cmd_power(args: argparse.Namespace) -> int:
     )
     print(plan.architecture.render_gantt())
     return 0
+
+
+def _add_perf_args(parser: argparse.ArgumentParser) -> None:
+    """Shared analysis-engine knobs (see docs/api.md, Performance & caching)."""
+    group = parser.add_argument_group("performance")
+    group.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for per-core analyses "
+        "(0 = one per CPU; default: REPRO_JOBS, else serial)",
+    )
+    group.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent analysis-cache directory "
+        "(default: REPRO_CACHE_DIR, else ~/.cache/repro-soc/analysis)",
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent analysis cache for this run",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -156,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=["auto", "exhaustive", "greedy"], default="auto"
     )
     plan.add_argument("--gantt", action="store_true", help="print a Gantt chart")
+    _add_perf_args(plan)
     plan.set_defaults(func=_cmd_plan)
 
     describe = sub.add_parser("describe", help="print a design summary")
@@ -164,11 +213,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     figure = sub.add_parser("figure", help="reproduce a paper figure")
     figure.add_argument("number", type=int)
+    _add_perf_args(figure)
     figure.set_defaults(func=_cmd_figure)
 
     table = sub.add_parser("table", help="reproduce a paper table")
     table.add_argument("number", type=int)
     table.add_argument("--widths", default=None, help="comma-separated widths")
+    _add_perf_args(table)
     table.set_defaults(func=_cmd_table)
 
     simulate = sub.add_parser(
@@ -181,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["per-core", "none", "auto", "select"],
         default="auto",
     )
+    _add_perf_args(simulate)
     simulate.set_defaults(func=_cmd_simulate)
 
     export = sub.add_parser("export", help="plan and export to JSON")
@@ -192,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
     )
     export.add_argument("--out", default=None, help="output path (default stdout)")
+    _add_perf_args(export)
     export.set_defaults(func=_cmd_export)
 
     power = sub.add_parser("power", help="plan under a flat power budget")
@@ -208,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.5,
         help="budget as a fraction of total SOC flat power",
     )
+    _add_perf_args(power)
     power.set_defaults(func=_cmd_power)
 
     return parser

@@ -35,6 +35,12 @@ from repro.wrapper.design import WrapperDesign
 
 DEFAULT_SAMPLES = 768
 
+#: Bump whenever the sampling scheme or cost model changes: the value is
+#: folded into the persistent analysis-cache fingerprint
+#: (:mod:`repro.explore.cache`), so stale on-disk estimates are never
+#: served after an estimator change.
+ESTIMATOR_VERSION = "selective-sampled-1"
+
 
 @dataclass(frozen=True)
 class SliceStatistics:

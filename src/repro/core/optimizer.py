@@ -36,7 +36,13 @@ from repro.core.architecture import (
 )
 from repro.core.partition import PartitionSearchResult, iter_partitions, search_partitions
 from repro.core.scheduler import build_architecture, schedule_cores
-from repro.explore.dse import DEFAULT_GRID, CoreAnalysis, Mode, analysis_for
+from repro.explore.cache import AnalysisDiskCache, resolve_cache
+from repro.explore.dse import (
+    DEFAULT_GRID,
+    CoreAnalysis,
+    Mode,
+    analyze_soc_cores,
+)
 from repro.compression.estimator import DEFAULT_SAMPLES
 from repro.soc.soc import Soc
 
@@ -89,12 +95,20 @@ class _LookupTables:
         mode: Mode,
         samples: int,
         grid: int,
+        max_tam_width: int | None = None,
+        jobs: int | None = None,
+        cache: AnalysisDiskCache | None = None,
     ) -> None:
         self.compression = compression
-        self.analyses: dict[str, CoreAnalysis] = {
-            core.name: analysis_for(core, mode=mode, samples=samples, grid=grid)
-            for core in soc.cores
-        }
+        self.analyses: dict[str, CoreAnalysis] = analyze_soc_cores(
+            soc.cores,
+            mode=mode,
+            samples=samples,
+            grid=grid,
+            max_tam_width=max_tam_width,
+            jobs=jobs,
+            cache=cache,
+        )
         self._time_cache: dict[tuple[str, int], int] = {}
         self._selectors: dict[str, object] = {}
 
@@ -167,6 +181,9 @@ def optimize_soc(
     max_tams: int | None = None,
     min_tam_width: int = 1,
     strategy: str = "auto",
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    use_cache: bool | None = None,
 ) -> OptimizeResult:
     """Run the four-step co-optimization for a TAM width budget.
 
@@ -186,12 +203,29 @@ def optimize_soc(
         Passed to the per-core design-space exploration.
     max_tams, min_tam_width, strategy:
         Partition-search controls (see :mod:`repro.core.partition`).
+    jobs:
+        Worker processes for the per-core analyses (default serial; see
+        :func:`repro.parallel.resolve_jobs` for the env override).
+    cache_dir, use_cache:
+        Persistent analysis-cache controls (see
+        :func:`repro.explore.cache.resolve_cache`).  The optimizer's
+        result is bit-identical with or without the cache; only the
+        wall-clock changes.
     """
     if tam_width < 1:
         raise ValueError(f"TAM width must be >= 1, got {tam_width}")
     comp = _normalize_compression(compression)
     started = _time.perf_counter()
-    tables = _LookupTables(soc, comp, mode=mode, samples=samples, grid=grid)
+    tables = _LookupTables(
+        soc,
+        comp,
+        mode=mode,
+        samples=samples,
+        grid=grid,
+        max_tam_width=tam_width,
+        jobs=jobs,
+        cache=resolve_cache(cache_dir, use_cache),
+    )
     names = list(soc.core_names)
     search = search_partitions(
         names,
@@ -244,6 +278,9 @@ def optimize_soc_constrained(
     grid: int = DEFAULT_GRID,
     max_tams: int | None = None,
     min_tam_width: int = 1,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    use_cache: bool | None = None,
 ) -> "ConstrainedResult":
     """Co-optimization under a power budget and/or precedence constraints.
 
@@ -265,7 +302,16 @@ def optimize_soc_constrained(
         raise ValueError(f"TAM width must be >= 1, got {tam_width}")
     comp = _normalize_compression(compression)
     started = _time.perf_counter()
-    tables = _LookupTables(soc, comp, mode=mode, samples=samples, grid=grid)
+    tables = _LookupTables(
+        soc,
+        comp,
+        mode=mode,
+        samples=samples,
+        grid=grid,
+        max_tam_width=tam_width,
+        jobs=jobs,
+        cache=resolve_cache(cache_dir, use_cache),
+    )
     names = list(soc.core_names)
     if power_budget is not None and power_of is None:
         from repro.power.model import power_table
@@ -369,6 +415,9 @@ def optimize_per_tam(
     grid: int = DEFAULT_GRID,
     max_tams: int | None = None,
     min_code_width: int = 3,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    use_cache: bool | None = None,
 ) -> OptimizeResult:
     """Figure 4(b): decompressor per TAM, shared expanded width per TAM.
 
@@ -385,10 +434,15 @@ def optimize_per_tam(
             f"({min_code_width})"
         )
     started = _time.perf_counter()
-    analyses = {
-        core.name: analysis_for(core, mode=mode, samples=samples, grid=grid)
-        for core in soc.cores
-    }
+    analyses = analyze_soc_cores(
+        soc.cores,
+        mode=mode,
+        samples=samples,
+        grid=grid,
+        max_tam_width=ate_channels,
+        jobs=jobs,
+        cache=resolve_cache(cache_dir, use_cache),
+    )
     names = list(soc.core_names)
     if max_tams is None:
         max_tams = min(len(names), 6)

@@ -7,11 +7,20 @@ configurations -- w TAM input bits, m wrapper-chain output bits with
 schedules from.
 """
 
+from repro.explore.cache import (
+    AnalysisDiskCache,
+    CacheStats,
+    analysis_fingerprint,
+    default_cache_dir,
+    resolve_cache,
+)
 from repro.explore.dse import (
     CompressedPoint,
     UncompressedPoint,
     CoreAnalysis,
+    SnapshotError,
     analysis_for,
+    analyze_soc_cores,
     clear_analysis_cache,
 )
 from repro.explore.pareto import pareto_front, is_non_increasing
@@ -25,11 +34,18 @@ __all__ = [
     "TechniqueChoice",
     "TechniqueSelector",
     "select_technique",
+    "AnalysisDiskCache",
+    "CacheStats",
     "CompressedPoint",
     "UncompressedPoint",
     "CoreAnalysis",
+    "SnapshotError",
+    "analysis_fingerprint",
     "analysis_for",
+    "analyze_soc_cores",
     "clear_analysis_cache",
+    "default_cache_dir",
+    "resolve_cache",
     "pareto_front",
     "is_non_increasing",
 ]

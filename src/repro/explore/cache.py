@@ -1,0 +1,281 @@
+"""Persistent, content-addressed cache of per-core analysis tables.
+
+The expensive part of the paper's flow is step 2: evaluating the
+compressed test time ``tau_c(w, m)`` over every feasible decompressor
+configuration of every core.  Those tables depend only on the core's
+parameters and the analysis settings -- never on the SOC, the width
+budget, or the scheduling mode -- so they are reusable across optimizer
+runs, experiments, and process restarts.
+
+Entries are keyed by :func:`analysis_fingerprint`, a SHA-256 digest over
+
+* the core's value identity (:meth:`repro.soc.core.Core.fingerprint`),
+* the resolved analysis mode (``exact`` / ``estimate``),
+* the evaluation grid, and the estimator sample count (estimate mode),
+* the cache schema version and the estimator code version
+  (:data:`repro.compression.estimator.ESTIMATOR_VERSION`).
+
+Changing any of these changes the digest, so stale entries are never
+served -- they simply stop being addressed and can be garbage-collected
+with :meth:`AnalysisDiskCache.clear`.
+
+Robustness guarantees:
+
+* **atomic writes** -- entries are written to a same-directory temp file
+  and published with ``os.replace``, so readers never observe a partial
+  entry and concurrent writers cannot interleave bytes;
+* **corruption detection** -- every entry embeds a checksum over its
+  canonical payload; truncated, garbled, or mismatched entries are
+  treated as misses and recomputed, never raised;
+* **merging** -- a store merges with any entry already on disk, so runs
+  at different width budgets accumulate into one table per core.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_NO_CACHE = "REPRO_NO_CACHE"
+
+#: Bump on any incompatible change to the entry layout.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro-soc/analysis``."""
+    env = os.environ.get(ENV_CACHE_DIR, "").strip()
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-soc" / "analysis"
+
+
+def analysis_fingerprint(
+    core,
+    *,
+    mode: str,
+    samples: int,
+    grid: int,
+) -> str:
+    """Content address of one core's analysis table.
+
+    ``mode`` must already be resolved to ``"exact"`` or ``"estimate"``
+    (``CoreAnalysis`` resolves ``"auto"`` during construction).  The
+    sample count only enters the digest in estimate mode: the exact
+    encoder never samples, so exact tables are shared across ``samples``
+    settings.
+    """
+    from repro.compression.estimator import ESTIMATOR_VERSION
+
+    if mode not in ("exact", "estimate"):
+        raise ValueError(f"mode must be resolved, got {mode!r}")
+    parts = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "estimator": ESTIMATOR_VERSION,
+        "core": core.fingerprint(),
+        "mode": mode,
+        "grid": grid,
+        "samples": samples if mode == "estimate" else None,
+    }
+    text = json.dumps(parts, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _payload_checksum(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters of one :class:`AnalysisDiskCache` instance.
+
+    ``hits``/``misses``/``stores``/``corrupt`` count this instance's
+    traffic; ``entries``/``total_bytes`` reflect the directory's current
+    on-disk state (shared with other processes).
+    """
+
+    directory: str
+    entries: int
+    total_bytes: int
+    hits: int
+    misses: int
+    stores: int
+    corrupt: int
+
+
+class AnalysisDiskCache:
+    """Directory of content-addressed analysis-table entries."""
+
+    def __init__(self, directory: str | os.PathLike[str] | None = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+        self._corrupt = 0
+
+    # ------------------------------------------------------------------
+
+    def _path_for(self, fingerprint: str) -> Path:
+        if not fingerprint or any(c in fingerprint for c in "/\\."):
+            raise ValueError(f"malformed fingerprint {fingerprint!r}")
+        return self.directory / f"{fingerprint}.json"
+
+    def load(self, fingerprint: str) -> dict | None:
+        """Payload stored under ``fingerprint``, or ``None``.
+
+        Any defect -- missing file, truncated JSON, wrong schema or
+        fingerprint, checksum mismatch -- is a miss, never an exception:
+        the caller recomputes and the next store repairs the entry.
+        """
+        path = self._path_for(fingerprint)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            self._misses += 1
+            return None
+        try:
+            entry = json.loads(raw)
+            if (
+                not isinstance(entry, dict)
+                or entry.get("schema") != CACHE_SCHEMA_VERSION
+                or entry.get("fingerprint") != fingerprint
+            ):
+                raise ValueError("entry header mismatch")
+            payload = entry["payload"]
+            if not isinstance(payload, dict):
+                raise ValueError("payload is not an object")
+            if entry.get("checksum") != _payload_checksum(payload):
+                raise ValueError("checksum mismatch")
+        except (ValueError, KeyError, TypeError):
+            self._corrupt += 1
+            self._misses += 1
+            return None
+        self._hits += 1
+        return payload
+
+    def store(self, fingerprint: str, payload: dict, *, merge: bool = True) -> None:
+        """Atomically publish ``payload`` under ``fingerprint``.
+
+        With ``merge=True`` (the default) dict-valued sections of an
+        existing valid entry are folded in first, so runs that explored
+        different regions of the design space accumulate rather than
+        overwrite.  Concurrent writers each publish a complete, valid
+        entry via atomic rename; the last one wins, and since all
+        writers derive entries from the same deterministic analysis, any
+        winner is correct.
+        """
+        if merge:
+            existing = self.load(fingerprint)
+            if existing is not None:
+                merged = dict(payload)
+                for key, section in existing.items():
+                    ours = merged.get(key)
+                    if isinstance(section, dict) and isinstance(ours, dict):
+                        merged[key] = {**section, **ours}
+                    elif key not in merged:
+                        merged[key] = section
+                payload = merged
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "checksum": _payload_checksum(payload),
+            "payload": payload,
+        }
+        path = self._path_for(fingerprint)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{fingerprint[:16]}-", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._stores += 1
+
+    # ------------------------------------------------------------------
+
+    def _entry_paths(self) -> list[Path]:
+        try:
+            return [p for p in self.directory.iterdir() if p.suffix == ".json"]
+        except OSError:
+            return []
+
+    def clear(self) -> int:
+        """Delete every entry (and stray temp file); returns the count."""
+        removed = 0
+        try:
+            children = list(self.directory.iterdir())
+        except OSError:
+            return 0
+        for path in children:
+            if path.suffix not in (".json", ".tmp"):
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            if path.suffix == ".json":
+                removed += 1
+        return removed
+
+    def stats(self) -> CacheStats:
+        entries = self._entry_paths()
+        total = 0
+        for path in entries:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return CacheStats(
+            directory=str(self.directory),
+            entries=len(entries),
+            total_bytes=total,
+            hits=self._hits,
+            misses=self._misses,
+            stores=self._stores,
+            corrupt=self._corrupt,
+        )
+
+
+def resolve_cache(
+    cache_dir: str | os.PathLike[str] | None = None,
+    use_cache: bool | None = None,
+) -> AnalysisDiskCache | None:
+    """Resolve the (cache_dir, use_cache) knobs into a cache, or ``None``.
+
+    Most specific wins:
+
+    * ``use_cache=False`` disables caching outright;
+    * an explicit ``cache_dir`` enables it at that location (even under
+      ``REPRO_NO_CACHE`` -- code that names a directory means it);
+    * otherwise ``REPRO_NO_CACHE`` set non-empty disables, and
+      ``REPRO_CACHE_DIR`` enables at that directory;
+    * ``use_cache=True`` enables it at :func:`default_cache_dir`;
+    * all-defaults resolves to ``None``: library calls stay free of
+      filesystem side effects unless asked (the CLI asks).
+    """
+    if use_cache is False:
+        return None
+    if cache_dir is not None:
+        return AnalysisDiskCache(cache_dir)
+    if os.environ.get(ENV_NO_CACHE, "").strip():
+        return None
+    if os.environ.get(ENV_CACHE_DIR, "").strip():
+        return AnalysisDiskCache()
+    if use_cache:
+        return AnalysisDiskCache()
+    return None

@@ -32,18 +32,24 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Literal
+from typing import Iterable, Literal
 
 import numpy as np
 
 from repro.compression.cubes import TestCubeSet, generate_cubes
 from repro.compression.estimator import DEFAULT_SAMPLES, estimate_codewords
 from repro.compression.selective import code_parameters, slice_costs, slice_width_range
+from repro.explore.cache import AnalysisDiskCache, analysis_fingerprint
+from repro.parallel import parallel_map, resolve_jobs
 from repro.soc.core import Core
 from repro.wrapper.design import design_wrapper
 from repro.wrapper.timing import scan_test_time, uncompressed_tam_volume
 
 Mode = Literal["auto", "exact", "estimate"]
+
+
+class SnapshotError(ValueError):
+    """A serialized analysis table is malformed or mismatched."""
 
 #: Cores with at most this many cube cells are analyzed exactly.
 EXACT_CELL_LIMIT = 4_000_000
@@ -117,9 +123,11 @@ class CoreAnalysis:
             mode = "exact" if cells <= EXACT_CELL_LIMIT else "estimate"
         self.mode: str = mode
         self._cubes: TestCubeSet | None = cubes
+        self._external_cubes = cubes is not None
         self._uncompressed: dict[int, UncompressedPoint] = {}
         self._compressed: dict[int, CompressedPoint] = {}
         self._best_by_width: dict[int, CompressedPoint | None] = {}
+        self._precomputed_width = 0
 
     # ------------------------------------------------------------------
 
@@ -317,6 +325,237 @@ class CoreAnalysis:
         hi, lo = max(times), min(times)
         return (hi - lo) / hi if hi else 0.0
 
+    # ------------------------------------------------------------------
+    # Persistence: precompute / snapshot / restore
+    # ------------------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str | None:
+        """Content address for the persistent cache, or ``None``.
+
+        Analyses over externally supplied cube sets are keyed by object
+        identity and cannot be content-addressed; they never hit disk.
+        """
+        if self._external_cubes:
+            return None
+        return analysis_fingerprint(
+            self.core, mode=self.mode, samples=self.samples, grid=self.grid
+        )
+
+    def is_complete_for(self, max_tam_width: int) -> bool:
+        """Whether every lookup up to ``max_tam_width`` is already cached."""
+        return self._precomputed_width >= max_tam_width
+
+    def precompute(self, max_tam_width: int) -> None:
+        """Eagerly evaluate every lookup the optimizer can ask for.
+
+        Covers the uncompressed point of every TAM width up to the
+        budget and the best-``m`` sweep of every feasible code width --
+        exactly the queries :meth:`time_at_tam` and the scheduler issue.
+        Idempotent, and a no-op for widths already covered.
+        """
+        if max_tam_width < 1:
+            raise ValueError(f"TAM width must be >= 1, got {max_tam_width}")
+        if self.is_complete_for(max_tam_width):
+            return
+        for w in range(1, max_tam_width + 1):
+            self.uncompressed_point(w)
+        top = min(max_tam_width, self.max_code_width)
+        for w in range(MIN_CODE_WIDTH, top + 1):
+            self.best_for_code_width(w)
+        self._precomputed_width = max(self._precomputed_width, max_tam_width)
+
+    def snapshot(self) -> dict:
+        """JSON-serializable dump of every evaluated lookup entry."""
+        return {
+            "core": self.core.name,
+            "mode": self.mode,
+            "grid": self.grid,
+            "samples": self.samples,
+            "precomputed_width": self._precomputed_width,
+            "uncompressed": {
+                str(w): [p.scan_in_max, p.scan_out_max, p.test_time, p.volume]
+                for w, p in self._uncompressed.items()
+            },
+            "compressed": {
+                str(m): [
+                    p.code_width,
+                    p.scan_in_max,
+                    p.scan_out_max,
+                    p.codewords,
+                    p.test_time,
+                    p.volume,
+                    int(p.exact),
+                ]
+                for m, p in self._compressed.items()
+            },
+            "best_by_width": {
+                str(w): (None if p is None else p.m)
+                for w, p in self._best_by_width.items()
+            },
+        }
+
+    def load_snapshot(self, payload: dict) -> None:
+        """Merge a :meth:`snapshot` payload into the in-memory tables.
+
+        Entries already evaluated locally win (they are equal anyway for
+        a matching payload -- the analysis is deterministic).  Raises
+        :class:`SnapshotError` on any structural defect; the caller
+        treats that as a cache miss and recomputes.
+        """
+        try:
+            if payload["core"] != self.core.name or payload["mode"] != self.mode:
+                raise SnapshotError("snapshot is for a different analysis")
+            if payload["grid"] != self.grid:
+                raise SnapshotError("snapshot grid mismatch")
+            if self.mode == "estimate" and payload["samples"] != self.samples:
+                raise SnapshotError("snapshot sample-count mismatch")
+            uncompressed = {}
+            for key, row in payload["uncompressed"].items():
+                si, so, time, volume = (int(v) for v in row)
+                uncompressed[int(key)] = UncompressedPoint(
+                    tam_width=int(key),
+                    scan_in_max=si,
+                    scan_out_max=so,
+                    test_time=time,
+                    volume=volume,
+                )
+            compressed = {}
+            for key, row in payload["compressed"].items():
+                code_width, si, so, codewords, time, volume, exact = (
+                    int(v) for v in row
+                )
+                compressed[int(key)] = CompressedPoint(
+                    m=int(key),
+                    code_width=code_width,
+                    scan_in_max=si,
+                    scan_out_max=so,
+                    codewords=codewords,
+                    test_time=time,
+                    volume=volume,
+                    exact=bool(exact),
+                )
+            best_by_width: dict[int, CompressedPoint | None] = {}
+            for key, m in payload["best_by_width"].items():
+                if m is None:
+                    best_by_width[int(key)] = None
+                else:
+                    best_by_width[int(key)] = compressed[int(m)]
+            width = int(payload["precomputed_width"])
+        except SnapshotError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(f"malformed analysis snapshot: {exc}") from exc
+        for w, upoint in uncompressed.items():
+            self._uncompressed.setdefault(w, upoint)
+        for m, cpoint in compressed.items():
+            self._compressed.setdefault(m, cpoint)
+        for w, best in best_by_width.items():
+            if w not in self._best_by_width:
+                self._best_by_width[w] = best
+        self._precomputed_width = max(self._precomputed_width, width)
+
+
+# ---------------------------------------------------------------------------
+# Parallel fan-out: one worker task per core.
+# ---------------------------------------------------------------------------
+
+
+def _snapshot_worker(
+    task: tuple[Core, str, int, int, int, dict | None],
+) -> tuple[str, dict]:
+    """Compute one core's full lookup table; runs in a worker process.
+
+    The optional seed payload carries entries already known to the
+    parent (from the disk cache at a smaller width budget), so the
+    worker only evaluates the genuinely missing region.
+    """
+    core, mode, samples, grid, max_tam_width, seed_payload = task
+    analysis = CoreAnalysis(core, mode=mode, samples=samples, grid=grid)
+    if seed_payload is not None:
+        try:
+            analysis.load_snapshot(seed_payload)
+        except SnapshotError:
+            pass
+    analysis.precompute(max_tam_width)
+    return core.name, analysis.snapshot()
+
+
+def analyze_soc_cores(
+    cores: Iterable[Core],
+    *,
+    mode: Mode = "auto",
+    samples: int = DEFAULT_SAMPLES,
+    grid: int = DEFAULT_GRID,
+    max_tam_width: int | None = None,
+    jobs: int | None = None,
+    cache: AnalysisDiskCache | None = None,
+) -> dict[str, CoreAnalysis]:
+    """Analysis tables for a set of cores, parallel and/or persisted.
+
+    The returned analyses come from (and feed) the in-process memo of
+    :func:`analysis_for`.  With ``max_tam_width`` given, each core's
+    table is completed up to that budget: first from the in-memory memo,
+    then from ``cache`` (when provided), and finally by computing --
+    fanned out over ``jobs`` worker processes when more than one is
+    requested (see :func:`repro.parallel.resolve_jobs`).  Freshly
+    computed tables are stored back to ``cache`` atomically.
+
+    With ``jobs`` serial and no cache this degrades to the historical
+    lazy behavior: analyses fill in on demand.  Results are bit-identical
+    along every path; only the wall-clock differs.
+    """
+    analyses = {
+        core.name: analysis_for(core, mode=mode, samples=samples, grid=grid)
+        for core in cores
+    }
+    if max_tam_width is None or (resolve_jobs(jobs) <= 1 and cache is None):
+        return analyses
+
+    pending: list[str] = []
+    for name, analysis in analyses.items():
+        if analysis.is_complete_for(max_tam_width):
+            continue
+        if cache is not None and analysis.fingerprint is not None:
+            payload = cache.load(analysis.fingerprint)
+            if payload is not None:
+                try:
+                    analysis.load_snapshot(payload)
+                except SnapshotError:
+                    pass
+            if analysis.is_complete_for(max_tam_width):
+                continue
+        pending.append(name)
+
+    if pending:
+        if resolve_jobs(jobs) <= 1:
+            for name in pending:
+                analyses[name].precompute(max_tam_width)
+        else:
+            tasks = []
+            for name in pending:
+                analysis = analyses[name]
+                partially_warm = analysis._compressed or analysis._uncompressed
+                seed = analysis.snapshot() if partially_warm else None
+                tasks.append(
+                    (
+                        analysis.core,
+                        analysis.mode,
+                        analysis.samples,
+                        analysis.grid,
+                        max_tam_width,
+                        seed,
+                    )
+                )
+            for name, payload in parallel_map(_snapshot_worker, tasks, jobs=jobs):
+                analyses[name].load_snapshot(payload)
+        if cache is not None:
+            for name in pending:
+                fingerprint = analyses[name].fingerprint
+                if fingerprint is not None:
+                    cache.store(fingerprint, analyses[name].snapshot())
+    return analyses
+
 
 # ---------------------------------------------------------------------------
 # Module-level analysis cache: experiments repeatedly analyze the same
@@ -349,6 +588,12 @@ def analysis_for(
     return analysis
 
 
-def clear_analysis_cache() -> None:
-    """Drop all memoized analyses (tests use this for isolation)."""
+def clear_analysis_cache(cache: AnalysisDiskCache | None = None) -> None:
+    """Drop all memoized analyses (tests use this for isolation).
+
+    Always clears the in-process memo; when a disk cache is passed, its
+    on-disk entries are deleted too, so both layers start cold.
+    """
     _CACHE.clear()
+    if cache is not None:
+        cache.clear()

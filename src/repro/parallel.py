@@ -1,0 +1,83 @@
+"""Process-level parallelism helpers for the analysis engine.
+
+The per-core design-space analyses (``repro.explore.dse``) are
+embarrassingly parallel: every core's lookup table depends only on that
+core's parameters, never on its SOC siblings.  :func:`parallel_map` fans
+such work out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+and degrades gracefully to a serial loop when only one job is requested,
+when there is only one item, or when the platform refuses to spawn
+worker processes (restricted sandboxes).
+
+Job-count resolution (:func:`resolve_jobs`)::
+
+    explicit ``jobs=`` argument  >  REPRO_JOBS env var  >  1 (serial)
+
+``jobs=0`` (or any non-positive value) means "one worker per CPU".
+Serial execution is the default on purpose: results are bit-identical
+either way (every worker is deterministic in its inputs), but spawning
+processes costs real time for small workloads, so parallelism is an
+explicit opt-in.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence, TypeVar
+
+ENV_JOBS = "REPRO_JOBS"
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Turn a ``jobs=`` knob into a concrete worker count (>= 1)."""
+    if jobs is None:
+        raw = os.environ.get(ENV_JOBS, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            warnings.warn(
+                f"ignoring non-integer {ENV_JOBS}={raw!r}; running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    *,
+    jobs: int | None = None,
+) -> list[_R]:
+    """``[fn(x) for x in items]``, fanned out over worker processes.
+
+    ``fn`` and every item must be picklable when more than one job is
+    requested.  Ordering is preserved.  Exceptions raised by ``fn``
+    propagate to the caller; failures to *start* the pool (platforms
+    without working multiprocessing) fall back to the serial path with a
+    warning instead of failing the run.
+    """
+    work: Sequence[_T] = list(items)
+    workers = min(resolve_jobs(jobs), len(work))
+    if workers <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, work))
+    except (OSError, PermissionError, BrokenProcessPool) as exc:
+        warnings.warn(
+            f"process pool unavailable ({exc!r}); falling back to serial",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [fn(item) for item in work]

@@ -10,7 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.optimizer import OptimizeResult, optimize_per_tam, optimize_soc
-from repro.explore.dse import CoreAnalysis, analysis_for
+from repro.explore.cache import resolve_cache
+from repro.explore.dse import CoreAnalysis, analysis_for, analyze_soc_cores
 from repro.reporting.tables import format_table
 from repro.soc.industrial import industrial_core, industrial_system, load_design
 from repro.soc.soc import Soc
@@ -57,6 +58,9 @@ def figure2_data(
     code_width: int = 10,
     *,
     grid: int | None = None,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    use_cache: bool | None = None,
 ) -> Figure2Data:
     """tau_c versus m for every m whose code width is ``code_width``.
 
@@ -64,7 +68,13 @@ def figure2_data(
     minimum at m = 253 rather than at the maximum 255.
     """
     core = industrial_core(core_name)
-    analysis = analysis_for(core, grid=grid or 256)
+    analysis = analyze_soc_cores(
+        [core],
+        grid=grid or 256,
+        max_tam_width=code_width,
+        jobs=jobs,
+        cache=resolve_cache(cache_dir, use_cache),
+    )[core.name]
     points = analysis.sweep_code_width(code_width)
     if not points:
         raise ValueError(f"{core_name} has no feasible m at code width {code_width}")
@@ -120,10 +130,19 @@ def figure3_data(
     code_widths: range = range(6, 15),
     *,
     grid: int | None = None,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    use_cache: bool | None = None,
 ) -> Figure3Data:
     """Minimum tau_c over m, for each exact decompressor input width w."""
     core = industrial_core(core_name)
-    analysis = analysis_for(core, grid=grid or 128)
+    analysis = analyze_soc_cores(
+        [core],
+        grid=grid or 128,
+        max_tam_width=max(code_widths),
+        jobs=jobs,
+        cache=resolve_cache(cache_dir, use_cache),
+    )[core.name]
     widths: list[int] = []
     times: list[int] = []
     best_ms: list[int] = []
@@ -179,13 +198,20 @@ class Figure4Data:
 
 
 def figure4_data(
-    soc_name: str = "System1", width: int = 31, *, max_tams: int | None = None
+    soc_name: str = "System1",
+    width: int = 31,
+    *,
+    max_tams: int | None = None,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    use_cache: bool | None = None,
 ) -> Figure4Data:
     """Plan the same SOC three ways, as in the paper's Figure 4."""
+    perf = dict(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
     soc = load_design(soc_name)
-    no_tdc = optimize_soc(soc, width, compression=False, max_tams=max_tams)
-    per_core = optimize_soc(soc, width, compression=True, max_tams=max_tams)
-    per_tam = optimize_per_tam(soc, width, max_tams=max_tams)
+    no_tdc = optimize_soc(soc, width, compression=False, max_tams=max_tams, **perf)
+    per_core = optimize_soc(soc, width, compression=True, max_tams=max_tams, **perf)
+    per_tam = optimize_per_tam(soc, width, max_tams=max_tams, **perf)
     return Figure4Data(
         soc_name=soc_name,
         width_budget=width,
@@ -267,6 +293,9 @@ def table1_rows(
     channels: tuple[int, ...] = (16, 24, 32),
     *,
     include_soc_level: bool = True,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    use_cache: bool | None = None,
 ) -> list[Table1Row]:
     """Table 1: minimize test time at an ATE-channel budget.
 
@@ -281,7 +310,14 @@ def table1_rows(
     for design in designs:
         soc = load_design(design)
         for w_ate in channels:
-            proposed = optimize_soc(soc, w_ate, compression=True)
+            proposed = optimize_soc(
+                soc,
+                w_ate,
+                compression=True,
+                jobs=jobs,
+                cache_dir=cache_dir,
+                use_cache=use_cache,
+            )
             soc_level_time = None
             if include_soc_level:
                 soc_level = optimize_soc_level_decompressor(soc, w_ate)
@@ -320,6 +356,9 @@ def table2_rows(
     widths: tuple[int, ...] = (16, 24, 32, 48, 64),
     *,
     include_soc_level: bool = True,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    use_cache: bool | None = None,
 ) -> list[Table2Row]:
     """Table 2: minimize test time at a TAM-wire budget.
 
@@ -333,7 +372,14 @@ def table2_rows(
     for design in designs:
         soc = load_design(design)
         for w_tam in widths:
-            proposed = optimize_soc(soc, w_tam, compression=True)
+            proposed = optimize_soc(
+                soc,
+                w_tam,
+                compression=True,
+                jobs=jobs,
+                cache_dir=cache_dir,
+                use_cache=use_cache,
+            )
             soc_time = None
             soc_channels = None
             if include_soc_level:
@@ -426,14 +472,18 @@ def table3_rows(
     widths: tuple[int, ...] = (16, 32, 48, 64),
     *,
     compression: str = "per-core",
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    use_cache: bool | None = None,
 ) -> list[Table3Row]:
     """Table 3: the paper's headline with-vs-without-TDC comparison."""
+    perf = dict(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
     rows = []
     for design in designs:
         soc = load_design(design)
         for width in widths:
-            plain = optimize_soc(soc, width, compression=False)
-            packed = optimize_soc(soc, width, compression=compression)
+            plain = optimize_soc(soc, width, compression=False, **perf)
+            packed = optimize_soc(soc, width, compression=compression, **perf)
             rows.append(
                 Table3Row(
                     design=design,

@@ -18,6 +18,7 @@ The conventions follow the IEEE 1500 / ITC'02 modular-test literature:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
@@ -152,6 +153,45 @@ class Core:
         specifies one bit per scan cell and per wrapper input cell.
         """
         return self.patterns * self.scan_in_bits
+
+    # ------------------------------------------------------------------
+    # Identity for caching
+    # ------------------------------------------------------------------
+
+    def cache_key(self) -> tuple:
+        """Value-identity tuple over every field that affects analysis.
+
+        Two :class:`Core` instances with equal cache keys produce
+        bit-identical wrapper designs, cube sets and estimates.  Used to
+        key in-process caches without pinning the ``Core`` objects
+        themselves (the tuple holds only primitives).
+        """
+        key = self.__dict__.get("_cache_key")
+        if key is None:
+            key = (
+                self.name,
+                self.inputs,
+                self.outputs,
+                self.bidirs,
+                self.scan_chain_lengths,
+                self.patterns,
+                self.care_bit_density,
+                self.one_fraction,
+                self.seed,
+            )
+            object.__setattr__(self, "_cache_key", key)
+        return key
+
+    def fingerprint(self) -> str:
+        """Stable hex digest of :meth:`cache_key`.
+
+        Content-addresses the core for the persistent analysis cache
+        (:mod:`repro.explore.cache`): the digest survives process
+        restarts and is independent of object identity.  ``gates`` is
+        excluded -- it only affects reporting, never analysis results.
+        """
+        text = repr(self.cache_key())
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     # Convenience

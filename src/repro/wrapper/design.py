@@ -25,8 +25,8 @@ paper identifies as cause (i) of the non-monotonic compressed test time.
 from __future__ import annotations
 
 import heapq
+from collections import OrderedDict
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
 
@@ -144,20 +144,63 @@ class WrapperDesign:
         return matrix
 
 
+#: Upper bound on memoized wrapper designs.  Wrapper design is hot (the
+#: DSE grid calls it thousands of times per core) but each entry pins a
+#: ``Core`` reference via ``WrapperDesign.core``, so a long-lived service
+#: analyzing an open-ended stream of designs must evict: least recently
+#: used entries go first once the bound is hit.
+WRAPPER_CACHE_MAX_ENTRIES = 65536
+
+_WRAPPER_CACHE: OrderedDict[tuple[tuple, int], WrapperDesign] = OrderedDict()
+_WRAPPER_CACHE_COUNTERS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
 def design_wrapper(core: Core, m: int) -> WrapperDesign:
     """Design a wrapper with ``m`` chains for ``core`` using BFD.
 
     ``m`` may exceed the number of useful chains; the surplus chains stay
     empty (their slice positions become idle bits, which matters for the
     compression analysis).
+
+    Results are memoized in a bounded LRU keyed on the core's *value*
+    fingerprint (:meth:`repro.soc.core.Core.cache_key`), so equal cores
+    built independently -- e.g. the same design re-parsed from an ITC'02
+    file -- share entries instead of growing the cache.
     """
     if m < 1:
         raise ValueError(f"wrapper chain count must be >= 1, got {m}")
-    return _design_wrapper_cached(core, m)
+    key = (core.cache_key(), m)
+    design = _WRAPPER_CACHE.get(key)
+    if design is not None:
+        _WRAPPER_CACHE.move_to_end(key)
+        _WRAPPER_CACHE_COUNTERS["hits"] += 1
+        return design
+    design = _design_wrapper_uncached(core, m)
+    _WRAPPER_CACHE_COUNTERS["misses"] += 1
+    _WRAPPER_CACHE[key] = design
+    while len(_WRAPPER_CACHE) > WRAPPER_CACHE_MAX_ENTRIES:
+        _WRAPPER_CACHE.popitem(last=False)
+        _WRAPPER_CACHE_COUNTERS["evictions"] += 1
+    return design
 
 
-@lru_cache(maxsize=65536)
-def _design_wrapper_cached(core: Core, m: int) -> WrapperDesign:
+def wrapper_cache_info() -> dict[str, int]:
+    """Size and traffic counters of the wrapper-design memo."""
+    return {
+        "entries": len(_WRAPPER_CACHE),
+        "max_entries": WRAPPER_CACHE_MAX_ENTRIES,
+        **_WRAPPER_CACHE_COUNTERS,
+    }
+
+
+def clear_wrapper_design_cache() -> None:
+    """Drop every memoized wrapper design and reset the counters."""
+    _WRAPPER_CACHE.clear()
+    for key in _WRAPPER_CACHE_COUNTERS:
+        _WRAPPER_CACHE_COUNTERS[key] = 0
+
+
+def _design_wrapper_uncached(core: Core, m: int) -> WrapperDesign:
     lengths = core.scan_chain_lengths
     order = sorted(range(len(lengths)), key=lambda i: lengths[i], reverse=True)
 

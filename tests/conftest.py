@@ -2,9 +2,17 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
+
+# Hermeticity: CLI entry points enable the persistent analysis cache at
+# ~/.cache by default; the suite must never write outside its sandbox.
+# Tests that exercise the cache pass an explicit cache_dir/tmp_path,
+# which overrides this veto (see repro.explore.cache.resolve_cache).
+os.environ.setdefault("REPRO_NO_CACHE", "1")
 
 from repro.soc.core import Core
 from repro.soc.soc import Soc

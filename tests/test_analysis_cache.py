@@ -1,0 +1,299 @@
+"""Robustness tests for the persistent analysis cache.
+
+The cache must be impossible to crash through: any defective entry --
+truncated, garbled, mislabeled, stale-schema -- is a miss that gets
+recomputed and repaired, and concurrent writers publishing the same
+entry can never leave a partial file behind (atomic rename).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.explore.cache import (
+    AnalysisDiskCache,
+    analysis_fingerprint,
+    resolve_cache,
+)
+from repro.explore.dse import (
+    CoreAnalysis,
+    SnapshotError,
+    analysis_for,
+    analyze_soc_cores,
+    clear_analysis_cache,
+)
+from repro.explore import dse
+from repro.compression.cubes import generate_cubes
+from repro.soc.core import Core
+
+
+@pytest.fixture
+def cache(tmp_path) -> AnalysisDiskCache:
+    return AnalysisDiskCache(tmp_path / "cache")
+
+
+def _analysis(core: Core) -> CoreAnalysis:
+    analysis = CoreAnalysis(core)
+    analysis.precompute(10)
+    return analysis
+
+
+# ---------------------------------------------------------------------------
+# Round trip
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_round_trip_equals_original(small_core):
+    original = _analysis(small_core)
+    restored = CoreAnalysis(small_core)
+    restored.load_snapshot(original.snapshot())
+
+    assert restored.snapshot() == original.snapshot()
+    for w in range(1, 11):
+        assert restored.uncompressed_point(w) == original.uncompressed_point(w)
+    for w in range(3, 11):
+        assert restored.best_for_code_width(w) == original.best_for_code_width(w)
+    for m in original.m_grid_for_code_width(5):
+        assert restored.compressed_point(m) == original.compressed_point(m)
+
+
+def test_disk_round_trip(small_core, cache):
+    analysis = _analysis(small_core)
+    fingerprint = analysis.fingerprint
+    assert fingerprint is not None
+    cache.store(fingerprint, analysis.snapshot())
+
+    loaded = cache.load(fingerprint)
+    assert loaded is not None
+    restored = CoreAnalysis(small_core)
+    restored.load_snapshot(loaded)
+    assert restored.snapshot() == analysis.snapshot()
+
+    stats = cache.stats()
+    assert stats.entries == 1
+    assert stats.hits == 1
+    assert stats.stores == 1
+    assert stats.total_bytes > 0
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+
+def test_fingerprint_is_value_based(small_core):
+    twin = Core(**{f: getattr(small_core, f) for f in (
+        "name", "inputs", "outputs", "bidirs", "scan_chain_lengths",
+        "patterns", "care_bit_density", "one_fraction", "seed", "gates",
+    )})
+    assert twin is not small_core
+    assert CoreAnalysis(twin).fingerprint == CoreAnalysis(small_core).fingerprint
+
+    reseeded = small_core.with_seed(small_core.seed + 1)
+    assert CoreAnalysis(reseeded).fingerprint != CoreAnalysis(small_core).fingerprint
+    repatterned = small_core.with_patterns(small_core.patterns + 1)
+    assert (
+        CoreAnalysis(repatterned).fingerprint != CoreAnalysis(small_core).fingerprint
+    )
+
+
+def test_fingerprint_ignores_samples_in_exact_mode(small_core):
+    few = CoreAnalysis(small_core, samples=64)
+    many = CoreAnalysis(small_core, samples=512)
+    assert few.mode == "exact"
+    assert few.fingerprint == many.fingerprint
+
+    sparse = CoreAnalysis(small_core, mode="estimate", samples=64)
+    denser = CoreAnalysis(small_core, mode="estimate", samples=512)
+    assert sparse.fingerprint != denser.fingerprint
+    assert sparse.fingerprint != few.fingerprint  # mode enters the digest
+
+
+def test_external_cubes_are_not_content_addressable(small_core):
+    cubes = generate_cubes(small_core)
+    analysis = CoreAnalysis(small_core, cubes=cubes)
+    assert analysis.fingerprint is None
+
+
+def test_unresolved_mode_rejected(small_core):
+    with pytest.raises(ValueError):
+        analysis_fingerprint(small_core, mode="auto", samples=64, grid=48)
+
+
+# ---------------------------------------------------------------------------
+# Corruption: every defect is a silent miss, then repaired by recompute
+# ---------------------------------------------------------------------------
+
+
+def _entry_path(cache, fingerprint):
+    return cache.directory / f"{fingerprint}.json"
+
+
+@pytest.mark.parametrize(
+    "corruptor",
+    [
+        lambda raw: raw[: len(raw) // 2],  # truncated write
+        lambda raw: b"not json at all {{{",  # garbage
+        lambda raw: b"",  # empty file
+        lambda raw: json.dumps({"schema": 999}).encode(),  # wrong schema
+        lambda raw: raw.replace(b'"payload"', b'"paylod"'),  # missing key
+    ],
+    ids=["truncated", "garbage", "empty", "wrong-schema", "missing-key"],
+)
+def test_corrupted_entry_is_recomputed(small_core, cache, corruptor):
+    analysis = _analysis(small_core)
+    fingerprint = analysis.fingerprint
+    cache.store(fingerprint, analysis.snapshot())
+
+    path = _entry_path(cache, fingerprint)
+    path.write_bytes(corruptor(path.read_bytes()))
+    assert cache.load(fingerprint) is None
+    assert cache.stats().misses >= 1
+
+    # The engine shrugs: the analysis is recomputed and the entry repaired.
+    clear_analysis_cache()
+    analyses = analyze_soc_cores(
+        [small_core], max_tam_width=10, jobs=1, cache=cache
+    )
+    rebuilt = analyses[small_core.name]
+    assert rebuilt.snapshot() == analysis.snapshot()
+    assert cache.load(fingerprint) is not None
+
+
+def test_checksum_mismatch_detected(small_core, cache):
+    analysis = _analysis(small_core)
+    fingerprint = analysis.fingerprint
+    cache.store(fingerprint, analysis.snapshot())
+
+    path = _entry_path(cache, fingerprint)
+    entry = json.loads(path.read_text())
+    entry["payload"]["precomputed_width"] = 99  # tampered, checksum now stale
+    path.write_text(json.dumps(entry))
+    assert cache.load(fingerprint) is None
+    assert cache.stats().corrupt >= 1
+
+
+def test_mismatched_snapshot_rejected(small_core, sparse_core):
+    donor = _analysis(small_core)
+    recipient = CoreAnalysis(sparse_core)
+    with pytest.raises(SnapshotError):
+        recipient.load_snapshot(donor.snapshot())
+
+    wrong_grid = CoreAnalysis(small_core, grid=7)
+    with pytest.raises(SnapshotError):
+        wrong_grid.load_snapshot(donor.snapshot())
+
+    mangled = donor.snapshot()
+    mangled["compressed"]["1"] = ["x"] * 7
+    with pytest.raises(SnapshotError):
+        CoreAnalysis(small_core).load_snapshot(mangled)
+
+
+# ---------------------------------------------------------------------------
+# Concurrency: atomic rename means readers never see partial entries
+# ---------------------------------------------------------------------------
+
+
+def test_concurrent_writers_never_clobber(small_core, cache):
+    analysis = _analysis(small_core)
+    fingerprint = analysis.fingerprint
+    payload = analysis.snapshot()
+    cache.store(fingerprint, payload)
+    errors: list[BaseException] = []
+
+    def writer():
+        try:
+            own = AnalysisDiskCache(cache.directory)
+            for _ in range(25):
+                own.store(fingerprint, payload)
+        except BaseException as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    def reader():
+        try:
+            own = AnalysisDiskCache(cache.directory)
+            for _ in range(50):
+                loaded = own.load(fingerprint)
+                assert loaded is not None, "reader observed a partial entry"
+                assert loaded["core"] == small_core.name
+        except BaseException as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer) for _ in range(3)]
+    threads += [threading.Thread(target=reader) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert cache.load(fingerprint) is not None
+
+
+def test_store_merges_disjoint_regions(small_core, cache):
+    narrow = CoreAnalysis(small_core)
+    narrow.precompute(4)
+    fingerprint = narrow.fingerprint
+    cache.store(fingerprint, narrow.snapshot())
+
+    wide = CoreAnalysis(small_core)
+    wide.precompute(9)
+    cache.store(fingerprint, wide.snapshot())
+
+    merged = cache.load(fingerprint)
+    keys = {int(k) for k in merged["uncompressed"]}
+    assert keys >= set(range(1, 10))
+    assert int(merged["precomputed_width"]) == 9
+
+
+# ---------------------------------------------------------------------------
+# Clearing both layers
+# ---------------------------------------------------------------------------
+
+
+def test_clear_analysis_cache_clears_memory_and_disk(small_core, cache):
+    analysis = analysis_for(small_core)
+    analysis.precompute(6)
+    cache.store(analysis.fingerprint, analysis.snapshot())
+    assert dse._CACHE
+    assert cache.stats().entries == 1
+
+    clear_analysis_cache(cache)
+    assert not dse._CACHE
+    assert cache.stats().entries == 0
+    # A fresh analysis is a different object and recomputes from scratch.
+    assert analysis_for(small_core) is not analysis
+
+
+def test_clear_reports_removed_count(small_core, sparse_core, cache):
+    for core in (small_core, sparse_core):
+        analysis = _analysis(core)
+        cache.store(analysis.fingerprint, analysis.snapshot())
+    assert cache.clear() == 2
+    assert cache.stats().entries == 0
+    assert cache.clear() == 0  # idempotent, including on a missing dir
+
+
+# ---------------------------------------------------------------------------
+# Knob resolution
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_cache_precedence(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+
+    assert resolve_cache(None, None) is None
+    assert resolve_cache(None, False) is None
+    assert resolve_cache(str(tmp_path), None).directory == tmp_path
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+    assert resolve_cache(None, None).directory == tmp_path / "env"
+
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    assert resolve_cache(None, None) is None
+    assert resolve_cache(None, True) is None
+    # Naming a directory in code overrides the environment veto.
+    assert resolve_cache(str(tmp_path), None) is not None

@@ -204,3 +204,81 @@ class TestTiming:
         assert volume >= small_core.test_data_volume
         longest = max(design.scan_in_max, design.scan_out_max)
         assert volume == small_core.patterns * longest * 3
+
+
+class TestWrapperDesignCache:
+    """The memo must stay bounded and key on core *value*, not identity."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        from repro.wrapper.design import clear_wrapper_design_cache
+
+        clear_wrapper_design_cache()
+        yield
+        clear_wrapper_design_cache()
+
+    def _core(self, i: int) -> Core:
+        return Core(
+            name=f"growth-{i}",
+            inputs=4,
+            outputs=4,
+            scan_chain_lengths=(8, 7, 6),
+            patterns=5,
+            seed=i,
+        )
+
+    def test_memory_growth_is_bounded(self, monkeypatch):
+        """Regression: the old lru_cache pinned every core ever analyzed."""
+        import repro.wrapper.design as design_mod
+
+        monkeypatch.setattr(design_mod, "WRAPPER_CACHE_MAX_ENTRIES", 8)
+        for i in range(50):
+            design_wrapper(self._core(i), 2)
+        info = design_mod.wrapper_cache_info()
+        assert info["entries"] <= 8
+        assert info["evictions"] == 50 - 8
+        assert info["misses"] == 50
+
+    def test_eviction_is_least_recently_used(self, monkeypatch):
+        import repro.wrapper.design as design_mod
+
+        monkeypatch.setattr(design_mod, "WRAPPER_CACHE_MAX_ENTRIES", 2)
+        a, b, c = self._core(1), self._core(2), self._core(3)
+        design_wrapper(a, 2)
+        design_wrapper(b, 2)
+        design_wrapper(a, 2)  # refresh a
+        design_wrapper(c, 2)  # evicts b, the stalest
+        before = design_mod.wrapper_cache_info()["misses"]
+        design_wrapper(a, 2)  # still cached
+        design_wrapper(b, 2)  # was evicted: recomputed
+        after = design_mod.wrapper_cache_info()["misses"]
+        assert after - before == 1
+
+    def test_value_equal_cores_share_entries(self):
+        import repro.wrapper.design as design_mod
+
+        first = design_wrapper(self._core(7), 3)
+        hits_before = design_mod.wrapper_cache_info()["hits"]
+        again = design_wrapper(self._core(7), 3)  # distinct instance
+        assert again is first
+        assert design_mod.wrapper_cache_info()["hits"] == hits_before + 1
+
+    def test_clear_resets_entries_and_counters(self):
+        import repro.wrapper.design as design_mod
+
+        design_wrapper(self._core(1), 2)
+        design_wrapper(self._core(1), 2)
+        design_mod.clear_wrapper_design_cache()
+        info = design_mod.wrapper_cache_info()
+        assert info["entries"] == 0
+        assert info["hits"] == 0 and info["misses"] == 0
+
+    def test_cached_design_is_correct_after_eviction_churn(self, monkeypatch):
+        import repro.wrapper.design as design_mod
+
+        monkeypatch.setattr(design_mod, "WRAPPER_CACHE_MAX_ENTRIES", 4)
+        core = self._core(99)
+        reference = design_wrapper(core, 3)
+        for i in range(20):
+            design_wrapper(self._core(i), 2)
+        assert design_wrapper(core, 3) == reference
