@@ -52,6 +52,13 @@ from repro.core.optimizer import (
     optimize_soc_constrained,
 )
 from repro.core.soclevel import optimize_soc_level_decompressor
+from repro.pipeline import (
+    Pipeline,
+    PlanResult,
+    RunConfig,
+    RunEvent,
+    plan,
+)
 from repro.core.hardware import decompressor_cost
 from repro.core.optimal import optimal_schedule
 from repro.core.abort_on_fail import expected_session_time, reorder_within_tams
@@ -110,6 +117,11 @@ __all__ = [
     "TestArchitecture",
     "DecompressorPlacement",
     "OptimizeResult",
+    "PlanResult",
+    "RunConfig",
+    "RunEvent",
+    "Pipeline",
+    "plan",
     "optimize_soc",
     "optimize_soc_constrained",
     "optimize_per_tam",

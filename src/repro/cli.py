@@ -10,43 +10,65 @@ Examples::
     repro-soc simulate d695 --width 16
     repro-soc export d695 --width 24 --out plan.json
     repro-soc power System2 --width 32 --budget-fraction 0.5
+
+Every planning subcommand builds one
+:class:`~repro.pipeline.config.RunConfig` from the shared performance
+flags (``--jobs`` / ``--cache-dir`` / ``--no-cache``, with their
+``REPRO_*`` environment equivalents applied at resolve time) and hands
+it to the staged pipeline.  ``--verbose`` surfaces the pipeline's
+structured run events on stderr via ``logging``; regular output stays
+on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
-from repro.core.optimizer import optimize_soc
 from repro.core.architecture import architecture_summary
+from repro.pipeline import RunConfig
+from repro.pipeline import plan as run_plan
 from repro.soc.industrial import load_design
 
 
-def _perf_kwargs(args: argparse.Namespace) -> dict:
-    """--jobs/--cache-dir/--no-cache -> optimizer keyword arguments.
+def _run_config(args: argparse.Namespace, **overrides: object) -> RunConfig:
+    """One :class:`RunConfig` from the shared performance flags.
 
     The CLI enables the persistent analysis cache by default (every
     invocation is a fresh process, so on-disk reuse is where repeated
     ``figure``/``table``/``plan`` runs win); ``--no-cache`` opts out.
     """
-    return {
-        "jobs": args.jobs,
-        "cache_dir": args.cache_dir,
-        "use_cache": False if args.no_cache else True,
-    }
+    return RunConfig(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=False if args.no_cache else True,
+        **overrides,  # type: ignore[arg-type]
+    )
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Route the pipeline's run events to stderr at -v/-vv."""
+    if not verbosity:
+        return
+    level = logging.INFO if verbosity == 1 else logging.DEBUG
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+    logger = logging.getLogger("repro")
+    logger.addHandler(handler)
+    logger.setLevel(level)
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
     soc = load_design(args.design)
     compression = "none" if args.no_compression else args.compression
-    result = optimize_soc(
-        soc,
-        args.width,
+    config = _run_config(
+        args,
         compression=compression,
         max_tams=args.max_tams,
         strategy=args.strategy,
-        **_perf_kwargs(args),
     )
+    result = run_plan(soc, args.width, config)
     print(architecture_summary(result.architecture))
     print(
         f"partitions evaluated: {result.partitions_evaluated} "
@@ -66,13 +88,13 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.reporting import experiments as exp
 
-    perf = _perf_kwargs(args)
+    config = _run_config(args)
     if args.number == 2:
-        print(exp.format_figure2(exp.figure2_data(**perf)))
+        print(exp.format_figure2(exp.figure2_data(config=config)))
     elif args.number == 3:
-        print(exp.format_figure3(exp.figure3_data(**perf)))
+        print(exp.format_figure3(exp.figure3_data(config=config)))
     elif args.number == 4:
-        print(exp.format_figure4(exp.figure4_data(**perf)))
+        print(exp.format_figure4(exp.figure4_data(config=config)))
     else:
         print(f"no figure {args.number} in the paper", file=sys.stderr)
         return 2
@@ -82,16 +104,16 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_table(args: argparse.Namespace) -> int:
     from repro.reporting import experiments as exp
 
-    perf = _perf_kwargs(args)
+    config = _run_config(args)
     widths = tuple(int(w) for w in args.widths.split(",")) if args.widths else None
     if args.number == 1:
-        rows = exp.table1_rows(channels=widths or (16, 24, 32), **perf)
+        rows = exp.table1_rows(channels=widths or (16, 24, 32), config=config)
         print(exp.format_table1(rows))
     elif args.number == 2:
-        rows = exp.table2_rows(widths=widths or (16, 24, 32, 48, 64), **perf)
+        rows = exp.table2_rows(widths=widths or (16, 24, 32, 48, 64), config=config)
         print(exp.format_table2(rows))
     elif args.number == 3:
-        rows = exp.table3_rows(widths=widths or (16, 32, 48, 64), **perf)
+        rows = exp.table3_rows(widths=widths or (16, 32, 48, 64), config=config)
         print(exp.format_table3(rows))
     else:
         print(f"no table {args.number} in the paper", file=sys.stderr)
@@ -103,17 +125,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim.simulator import simulate_architecture
 
     soc = load_design(args.design)
-    plan = optimize_soc(
-        soc, args.width, compression=args.compression, **_perf_kwargs(args)
-    )
-    report = simulate_architecture(soc, plan.architecture)
+    config = _run_config(args, compression=args.compression)
+    result = run_plan(soc, args.width, config)
+    report = simulate_architecture(soc, result.architecture)
     print(
         f"simulated {report.soc_name}: {report.total_cycles} cycles "
-        f"(planned {plan.test_time}), {report.patterns_applied} patterns, "
+        f"(planned {result.test_time}), {report.patterns_applied} patterns, "
         f"{report.bits_streamed} bits streamed, "
         f"{report.codewords_consumed} codewords"
     )
-    verdict = "MATCH" if report.total_cycles == plan.test_time else "MISMATCH"
+    verdict = "MATCH" if report.total_cycles == result.test_time else "MISMATCH"
     print(f"plan-vs-silicon: {verdict}")
     return 0 if verdict == "MATCH" else 1
 
@@ -122,10 +143,9 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from repro.reporting.export import result_to_json
 
     soc = load_design(args.design)
-    plan = optimize_soc(
-        soc, args.width, compression=args.compression, **_perf_kwargs(args)
-    )
-    text = result_to_json(plan)
+    config = _run_config(args, compression=args.compression)
+    result = run_plan(soc, args.width, config)
+    text = result_to_json(result)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
@@ -136,26 +156,22 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_power(args: argparse.Namespace) -> int:
-    from repro.core.optimizer import optimize_soc_constrained
     from repro.power.model import power_table
 
     soc = load_design(args.design)
     table = power_table(soc, compression=args.compression != "none")
     budget = sum(table.values()) * args.budget_fraction
-    plan = optimize_soc_constrained(
-        soc,
-        args.width,
-        compression=args.compression,
-        power_budget=budget,
-        **_perf_kwargs(args),
+    config = _run_config(
+        args, compression=args.compression, power_budget=budget
     )
+    result = run_plan(soc, args.width, config)
     print(
         f"{soc.name} at W={args.width}, budget "
         f"{args.budget_fraction:.2f}x SOC power ({budget:.0f} units): "
-        f"{plan.test_time} cycles, peak power {plan.peak_power:.0f}, "
-        f"TAM idle {plan.tam_idle_cycles} cycles"
+        f"{result.test_time} cycles, peak power {result.peak_power:.0f}, "
+        f"TAM idle {result.tam_idle_cycles} cycles"
     )
-    print(plan.architecture.render_gantt())
+    print(result.architecture.render_gantt())
     return 0
 
 
@@ -179,6 +195,14 @@ def _add_perf_args(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="disable the persistent analysis cache for this run",
+    )
+    group.add_argument(
+        "--verbose",
+        "-v",
+        action="count",
+        default=0,
+        help="log pipeline run events to stderr (-v stage timings, "
+        "-vv every event)",
     )
 
 
@@ -270,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(getattr(args, "verbose", 0))
     return args.func(args)
 
 

@@ -57,8 +57,10 @@ from repro.core.multifrequency import (
 )
 from repro.core.robust import (
     RobustPlan,
+    RobustPlanResult,
     UncertaintyReport,
     evaluate_under_uncertainty,
+    robust_plan,
     robust_search,
 )
 from repro.core.anneal import anneal_search
@@ -96,8 +98,10 @@ __all__ = [
     "MultiFrequencyPlan",
     "optimize_multifrequency",
     "RobustPlan",
+    "RobustPlanResult",
     "UncertaintyReport",
     "evaluate_under_uncertainty",
+    "robust_plan",
     "robust_search",
     "anneal_search",
     "BusPlan",

@@ -18,7 +18,7 @@ robust TAM optimization), this module
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -112,6 +112,79 @@ class RobustPlan:
     @property
     def widths(self) -> tuple[int, ...]:
         return self.search.widths
+
+
+@dataclass(frozen=True)
+class RobustPlanResult:
+    """A full pipeline plan optimized for the worst case."""
+
+    result: "Any"
+    nominal_makespan: int
+    worst_case_makespan: int
+    epsilon: float
+
+    @property
+    def regret(self) -> float:
+        """Worst-case slowdown relative to the nominal makespan."""
+        if not self.nominal_makespan:
+            return 1.0
+        return self.worst_case_makespan / self.nominal_makespan
+
+
+def robust_plan(
+    soc: "Any",
+    tam_width: int,
+    config: "Any | None" = None,
+    *,
+    epsilon: float = 0.1,
+    events: "Any | None" = None,
+) -> RobustPlanResult:
+    """Plan ``soc`` against inflated times, via the staged pipeline.
+
+    Runs the standard wrapper/decompressor stages, swaps the
+    architecture stage for
+    :class:`~repro.pipeline.stages.RobustArchitectureStage` (the
+    registry's "robust" entry), and schedules as usual.  Returns the
+    :class:`~repro.pipeline.result.PlanResult` together with the
+    nominal and worst-case makespans of the chosen assignment.
+    """
+    from repro.pipeline.config import RunConfig
+    from repro.pipeline.events import RunEvent
+    from repro.pipeline.pipeline import Pipeline
+    from repro.pipeline.stages import (
+        DecompressorStage,
+        RobustArchitectureStage,
+        ScheduleStage,
+        WrapperStage,
+    )
+
+    if config is None:
+        config = RunConfig()
+    captured: dict[str, Any] = {}
+
+    def capture(event: RunEvent) -> None:
+        if event.kind == "search-done":
+            captured.update(event.payload)
+
+    sinks = [capture]
+    if events is not None:
+        sinks.extend(events if isinstance(events, (list, tuple)) else [events])
+    pipeline = Pipeline(
+        [
+            WrapperStage(),
+            DecompressorStage(),
+            RobustArchitectureStage(epsilon=epsilon),
+            ScheduleStage(),
+        ],
+        name="robust",
+    )
+    result = pipeline.run(soc, tam_width, config, events=sinks)
+    return RobustPlanResult(
+        result=result,
+        nominal_makespan=int(captured["nominal_makespan"]),
+        worst_case_makespan=int(captured["worst_case_makespan"]),
+        epsilon=epsilon,
+    )
 
 
 def robust_search(

@@ -1,0 +1,169 @@
+"""The shared run configuration threading through every layer.
+
+Before this package existed, the co-optimization knobs (worker count,
+cache location, estimator samples, evaluation grid, compression mode,
+power budget, ...) were re-threaded by hand through ``optimize_soc``,
+``optimize_soc_constrained``, ``optimize_per_tam``, the experiment
+drivers, and the CLI -- three parallel keyword chains that drifted
+apart.  :class:`RunConfig` consolidates all of them into one frozen
+value object that the :class:`~repro.pipeline.pipeline.Pipeline`
+threads through its stages, the CLI builds once per invocation, and
+the experiment drivers forward verbatim.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Literal, Mapping
+
+from repro.compression.estimator import DEFAULT_SAMPLES
+from repro.explore.cache import AnalysisDiskCache, resolve_cache
+from repro.explore.dse import DEFAULT_GRID, Mode, analyze_soc_cores
+
+if TYPE_CHECKING:
+    from repro.explore.dse import CoreAnalysis
+    from repro.soc.core import Core
+
+#: Accepted compression placements/modes.  The first four come from
+#: :func:`normalize_compression`; "per-tam" selects the Figure 4(b)
+#: flow and is set by :func:`repro.core.optimizer.optimize_per_tam`.
+Compression = Literal["none", "per-core", "auto", "select", "per-tam"]
+
+COMPRESSION_MODES: tuple[str, ...] = (
+    "none",
+    "per-core",
+    "auto",
+    "select",
+    "per-tam",
+)
+
+#: Sentinel: "no cache argument given, resolve from the config".
+_UNSET: Any = object()
+
+
+def normalize_compression(compression: bool | str) -> Compression:
+    """Map the public ``compression`` argument to a canonical mode.
+
+    ``True`` means the paper's per-core decompressors; ``False`` the
+    no-TDC baseline.  String modes pass through after validation.
+    """
+    if compression is True:
+        return "per-core"
+    if compression is False:
+        return "none"
+    if compression in ("none", "per-core", "auto", "select"):
+        return compression  # type: ignore[return-value]
+    raise ValueError(f"unknown compression mode {compression!r}")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Every knob of one co-optimization run, in one place.
+
+    Groups (see docs/api.md, "Pipeline architecture"):
+
+    * **what to plan** -- ``compression`` (mode/placement), the
+      partition-search controls ``max_tams`` / ``min_tam_width`` /
+      ``strategy``, the per-TAM flow's ``min_code_width``;
+    * **analysis fidelity** -- ``mode`` / ``samples`` / ``grid``,
+      passed to the per-core design-space exploration;
+    * **constraints** -- ``power_budget`` / ``power_of`` /
+      ``precedence`` (the constrained scheduler engages when any is
+      set);
+    * **performance** -- ``jobs`` worker processes and the persistent
+      analysis cache knobs ``cache_dir`` / ``use_cache`` (environment
+      overrides ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` /
+      ``REPRO_NO_CACHE`` are applied at resolve time, so a default
+      config still honors them).
+
+    The object is frozen: derive variants with :meth:`replace`.
+    """
+
+    compression: Compression = "per-core"
+    mode: Mode = "auto"
+    samples: int = DEFAULT_SAMPLES
+    grid: int = DEFAULT_GRID
+    max_tams: int | None = None
+    min_tam_width: int = 1
+    min_code_width: int = 3
+    strategy: str = "auto"
+    power_budget: float | None = None
+    power_of: Mapping[str, float] | None = None
+    precedence: tuple[tuple[str, str], ...] = ()
+    jobs: int | None = None
+    cache_dir: str | None = None
+    use_cache: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.compression not in COMPRESSION_MODES:
+            raise ValueError(f"unknown compression mode {self.compression!r}")
+        if self.min_tam_width < 1:
+            raise ValueError(
+                f"min_tam_width must be >= 1, got {self.min_tam_width}"
+            )
+        # Normalize precedence pairs so equality/JSON behave predictably.
+        object.__setattr__(
+            self,
+            "precedence",
+            tuple((str(a), str(b)) for a, b in self.precedence),
+        )
+
+    # ------------------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "RunConfig":
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def is_constrained(self) -> bool:
+        """Whether the power/precedence scheduler must engage."""
+        return (
+            self.power_budget is not None
+            or self.power_of is not None
+            or bool(self.precedence)
+        )
+
+    # ------------------------------------------------------------------
+    # Resolution of the performance knobs (env-aware).
+    # ------------------------------------------------------------------
+
+    def resolve_cache(self) -> AnalysisDiskCache | None:
+        """The persistent analysis cache this run uses, or ``None``."""
+        return resolve_cache(self.cache_dir, self.use_cache)
+
+    def resolve_jobs(self) -> int:
+        """Effective worker-process count (env default applied)."""
+        from repro.parallel import resolve_jobs
+
+        return resolve_jobs(self.jobs)
+
+    def analyses(
+        self,
+        cores: Iterable["Core"],
+        *,
+        max_tam_width: int | None = None,
+        mode: Mode | None = None,
+        samples: int | None = None,
+        grid: int | None = None,
+        cache: AnalysisDiskCache | None = _UNSET,
+    ) -> dict[str, "CoreAnalysis"]:
+        """Per-core analysis tables under this config's knobs.
+
+        This is the single funnel every consumer (pipeline stages,
+        figure drivers, ad-hoc scripts) goes through, so the jobs/cache
+        plumbing cannot drift between call sites.  The keyword overrides
+        exist for drivers that need a non-default grid (Figure 2 plots a
+        denser sweep) without forking a whole config.
+        """
+        if cache is _UNSET:
+            cache = self.resolve_cache()
+        return analyze_soc_cores(
+            cores,
+            mode=mode if mode is not None else self.mode,
+            samples=samples if samples is not None else self.samples,
+            grid=grid if grid is not None else self.grid,
+            max_tam_width=max_tam_width,
+            jobs=self.jobs,
+            cache=cache,
+        )

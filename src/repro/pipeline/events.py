@@ -1,0 +1,120 @@
+"""Structured run events: the pipeline's observability layer.
+
+Every pipeline run produces a stream of :class:`RunEvent` records --
+run start/end, per-stage start/end with wall-clock timings, analysis
+cache hit/miss counts, search progress -- replacing the ad-hoc
+``_time.perf_counter()`` pairs the pre-pipeline optimizers carried and
+giving library consumers a programmatic signal instead of stdout.
+
+Events flow to two places:
+
+* any number of caller-supplied **sinks** (plain callables), which is
+  what tests and embedding services use to tap a run live;
+* the ``repro.pipeline`` **logger**, so standard ``logging``
+  configuration observes runs with no repro-specific wiring.  Library
+  code never ``print()``\\ s; the CLI renders its own stdout from
+  returned values and can opt into the event log with ``--verbose``.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+#: All library-side run reporting goes through this logger (or a child).
+LOGGER = logging.getLogger("repro.pipeline")
+
+#: Event kinds emitted with INFO verbosity; everything else is DEBUG.
+_INFO_KINDS = frozenset({"run-start", "run-end", "stage-start", "stage-end"})
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One structured observation from a pipeline run.
+
+    ``kind`` is a stable string ("run-start", "stage-start",
+    "stage-end", "stage-error", "cache-stats", ...); ``stage`` names
+    the originating stage when there is one; ``elapsed`` is seconds
+    since the run started; ``payload`` holds kind-specific,
+    JSON-serializable details.
+    """
+
+    kind: str
+    stage: str | None
+    elapsed: float
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Single-line human rendering (used by the logger mirror)."""
+        where = f" [{self.stage}]" if self.stage else ""
+        details = " ".join(f"{k}={v}" for k, v in self.payload.items())
+        text = f"+{self.elapsed:.3f}s {self.kind}{where}"
+        return f"{text} {details}" if details else text
+
+
+#: A sink receives every event of the run it is attached to.
+EventSink = Callable[[RunEvent], None]
+
+
+class EventRecorder:
+    """Collects and fans out the events of one pipeline run."""
+
+    def __init__(self, *sinks: EventSink) -> None:
+        self._sinks = tuple(sinks)
+        self._start = time.perf_counter()
+        self.events: list[RunEvent] = []
+
+    # ------------------------------------------------------------------
+
+    def emit(
+        self, kind: str, stage: str | None = None, **payload: Any
+    ) -> RunEvent:
+        """Record an event, mirror it to logging, and fan out to sinks."""
+        event = RunEvent(
+            kind=kind,
+            stage=stage,
+            elapsed=time.perf_counter() - self._start,
+            payload=payload,
+        )
+        self.events.append(event)
+        level = logging.INFO if kind in _INFO_KINDS else logging.DEBUG
+        if LOGGER.isEnabledFor(level):
+            LOGGER.log(level, "%s", event.format())
+        for sink in self._sinks:
+            sink(event)
+        return event
+
+    @contextmanager
+    def stage(self, name: str, **payload: Any) -> Iterator[None]:
+        """Bracket a stage with start/end (or error) events and timing."""
+        self.emit("stage-start", name, **payload)
+        began = time.perf_counter()
+        try:
+            yield
+        except BaseException as exc:
+            self.emit(
+                "stage-error",
+                name,
+                seconds=time.perf_counter() - began,
+                error=repr(exc),
+            )
+            raise
+        self.emit("stage-end", name, seconds=time.perf_counter() - began)
+
+    # ------------------------------------------------------------------
+
+    def stage_timings(self) -> tuple[tuple[str, float], ...]:
+        """(stage name, seconds) for every completed stage, in order."""
+        return tuple(
+            (event.stage or "", float(event.payload["seconds"]))
+            for event in self.events
+            if event.kind == "stage-end"
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock seconds since this recorder was created."""
+        return time.perf_counter() - self._start

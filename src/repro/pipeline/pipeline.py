@@ -1,0 +1,167 @@
+"""The staged pipeline driving one co-optimization run.
+
+A :class:`Pipeline` is an ordered list of
+:class:`~repro.pipeline.stages.Stage` objects sharing a
+:class:`~repro.pipeline.stages.PlanContext`.  :meth:`Pipeline.run`
+brackets every stage with start/end events, collects per-stage wall
+clock, and folds the final context into a
+:class:`~repro.pipeline.result.PlanResult`.
+
+:func:`plan` is the one-call entry point: it routes a
+:class:`~repro.pipeline.config.RunConfig` to the matching built-in
+flavor (standard / constrained / per-TAM) and runs it.  The
+pre-pipeline entry points ``optimize_soc`` /
+``optimize_soc_constrained`` / ``optimize_per_tam`` are thin wrappers
+over these flavors and remain bit-identical to their original
+implementations (differentially tested).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.pipeline.config import RunConfig
+from repro.pipeline.events import EventRecorder, EventSink
+from repro.pipeline.result import PlanResult
+from repro.pipeline.stages import (
+    DecompressorStage,
+    PlanContext,
+    Stage,
+    WrapperStage,
+    stage_factory,
+)
+from repro.soc.soc import Soc
+
+
+class Pipeline:
+    """An ordered sequence of stages producing a :class:`PlanResult`."""
+
+    def __init__(self, stages: Sequence[Stage], *, name: str = "pipeline") -> None:
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        self.stages = tuple(stages)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Built-in flavors.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def standard(cls) -> "Pipeline":
+        """The paper's four-step flow (Figure 4(a)/(c), Tables 1-3)."""
+        return cls.from_registry("partition", "list", name="standard")
+
+    @classmethod
+    def constrained(cls) -> "Pipeline":
+        """Exhaustive partitioning + power/precedence-aware scheduling."""
+        return cls.from_registry("constrained", "constrained", name="constrained")
+
+    @classmethod
+    def per_tam(cls) -> "Pipeline":
+        """Figure 4(b): one decompressor per TAM, shared expanded width."""
+        return cls.from_registry("per-tam", "per-tam", name="per-tam")
+
+    @classmethod
+    def from_registry(
+        cls,
+        architecture: str,
+        schedule: str,
+        *,
+        name: str | None = None,
+    ) -> "Pipeline":
+        """Assemble wrapper + decompressor + registered step-3/4 stages."""
+        return cls(
+            [
+                WrapperStage(),
+                DecompressorStage(),
+                stage_factory("architecture", architecture)(),
+                stage_factory("schedule", schedule)(),
+            ],
+            name=name or f"{architecture}+{schedule}",
+        )
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        soc: Soc,
+        width_budget: int,
+        config: RunConfig | None = None,
+        *,
+        events: EventSink | Iterable[EventSink] | None = None,
+    ) -> PlanResult:
+        """Execute the stages and fold the context into a result.
+
+        ``events`` is an optional sink (or iterable of sinks) receiving
+        every :class:`~repro.pipeline.events.RunEvent` of the run live;
+        the same stream also goes to the ``repro.pipeline`` logger.
+        """
+        if events is None:
+            sinks: tuple[EventSink, ...] = ()
+        elif callable(events):
+            sinks = (events,)
+        else:
+            sinks = tuple(events)
+        config = config if config is not None else RunConfig()
+        recorder = EventRecorder(*sinks)
+        recorder.emit(
+            "run-start",
+            pipeline=self.name,
+            soc=soc.name,
+            width_budget=width_budget,
+            compression=config.compression,
+            stages=[stage.name for stage in self.stages],
+        )
+        ctx = PlanContext(soc, width_budget, config, recorder)
+        for stage in self.stages:
+            with recorder.stage(stage.name):
+                stage.run(ctx)
+        if ctx.architecture is None:
+            raise RuntimeError(
+                f"pipeline {self.name!r} finished without producing an "
+                "architecture; it needs a schedule stage"
+            )
+        result = PlanResult(
+            soc_name=soc.name,
+            width_budget=width_budget,
+            compression=config.compression,
+            architecture=ctx.architecture,
+            cpu_seconds=recorder.total_seconds,
+            partitions_evaluated=ctx.partitions_evaluated,
+            strategy=ctx.strategy,
+            peak_power=ctx.peak_power,
+            power_budget=config.power_budget,
+            tam_idle_cycles=ctx.tam_idle_cycles,
+            stage_timings=recorder.stage_timings(),
+        )
+        recorder.emit(
+            "run-end",
+            pipeline=self.name,
+            soc=soc.name,
+            test_time=result.test_time,
+            seconds=result.cpu_seconds,
+            partitions=result.partitions_evaluated,
+            strategy=result.strategy,
+        )
+        return result
+
+
+def pipeline_for(config: RunConfig) -> Pipeline:
+    """The built-in pipeline flavor matching a configuration."""
+    if config.compression == "per-tam":
+        return Pipeline.per_tam()
+    if config.is_constrained:
+        return Pipeline.constrained()
+    return Pipeline.standard()
+
+
+def plan(
+    soc: Soc,
+    width_budget: int,
+    config: RunConfig | None = None,
+    *,
+    events: EventSink | Iterable[EventSink] | None = None,
+) -> PlanResult:
+    """Plan ``soc`` under ``width_budget``: the one-call entry point."""
+    config = config if config is not None else RunConfig()
+    return pipeline_for(config).run(soc, width_budget, config, events=events)

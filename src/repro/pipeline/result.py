@@ -1,0 +1,54 @@
+"""The unified outcome of a pipeline run.
+
+:class:`PlanResult` supersedes the pre-pipeline ``OptimizeResult`` /
+``ConstrainedResult`` pair: one frozen dataclass carries the planned
+architecture, the run provenance (compression mode, partition-search
+statistics, wall-clock), the constraint bookkeeping (peak power, TAM
+idle time -- zero/None for unconstrained runs), and the per-stage
+timings from the event stream.  ``repro.reporting.export`` gives it a
+lossless JSON round trip (:func:`~repro.reporting.export.result_to_json`
+/ :func:`~repro.reporting.export.result_from_json`).
+
+``OptimizeResult`` and ``ConstrainedResult`` remain importable as
+aliases of this class for backward compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.architecture import TestArchitecture
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """Outcome of one co-optimization run (any pipeline flavor)."""
+
+    soc_name: str
+    width_budget: int
+    compression: str
+    architecture: TestArchitecture
+    cpu_seconds: float
+    partitions_evaluated: int
+    strategy: str
+    peak_power: float = 0.0
+    power_budget: float | None = None
+    tam_idle_cycles: int = 0
+    stage_timings: tuple[tuple[str, float], ...] = ()
+
+    @property
+    def test_time(self) -> int:
+        return self.architecture.test_time
+
+    @property
+    def test_data_volume(self) -> int:
+        return self.architecture.test_data_volume
+
+    @property
+    def tam_widths(self) -> tuple[int, ...]:
+        return tuple(t.width for t in self.architecture.tams)
+
+
+#: Backward-compatible names for the pre-pipeline result types.
+OptimizeResult = PlanResult
+ConstrainedResult = PlanResult

@@ -1,0 +1,593 @@
+"""Typed pipeline stages and the pluggable stage registry.
+
+The paper's heuristic is a four-step flow; each step is a
+:class:`Stage` mutating a shared :class:`PlanContext`:
+
+1. :class:`WrapperStage` -- validates the width budget and builds the
+   per-core analysis tables (the fan-out computes the wrapper designs
+   of step 1 *and* the decompressor sweeps of step 2 in a single
+   parallel/cached pass, for efficiency -- see
+   :func:`repro.explore.dse.analyze_soc_cores`);
+2. :class:`DecompressorStage` -- applies the compression policy,
+   wrapping the analyses in scheduling-facing
+   :class:`~repro.pipeline.tables.LookupTables` and fixing the
+   decompressor placement;
+3. an **architecture** stage -- chooses the TAM partition (and, for
+   the constrained/per-TAM variants, the assignment): the paper's
+   step 3;
+4. a **schedule** stage -- materializes the chosen schedule as a
+   :class:`~repro.core.architecture.TestArchitecture`: step 4.
+
+Architecture and schedule stages are pluggable through a registry
+(:func:`register_stage` / :func:`stage_factory`), so alternative
+partitioners and schedulers -- the annealer in
+:mod:`repro.core.anneal`, the robust search in
+:mod:`repro.core.robust`, bin-packing experiments -- drop in as stages
+instead of forking the whole flow.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable
+
+from repro.core.architecture import (
+    DecompressorPlacement,
+    ScheduledCore,
+    Tam,
+    TestArchitecture,
+)
+from repro.core.partition import PartitionSearchResult, iter_partitions, search_partitions
+from repro.core.scheduler import build_architecture, schedule_cores
+from repro.explore.dse import CoreAnalysis
+from repro.pipeline.config import RunConfig
+from repro.pipeline.events import EventRecorder
+from repro.pipeline.tables import LookupTables
+from repro.soc.soc import Soc
+
+
+class PlanContext:
+    """Mutable state threaded through the stages of one run."""
+
+    def __init__(
+        self,
+        soc: Soc,
+        width_budget: int,
+        config: RunConfig,
+        events: EventRecorder,
+    ) -> None:
+        self.soc = soc
+        self.width_budget = width_budget
+        self.config = config
+        self.events = events
+        self.names: list[str] = []
+        self.analyses: dict[str, CoreAnalysis] = {}
+        self.tables: LookupTables | None = None
+        self.placement: DecompressorPlacement = DecompressorPlacement.PER_CORE
+        self.power_of: Any = None
+        self.search: PartitionSearchResult | None = None
+        self.partitions_evaluated: int = 0
+        self.strategy: str = ""
+        self.architecture: TestArchitecture | None = None
+        self.peak_power: float = 0.0
+        self.tam_idle_cycles: int = 0
+        #: Scratch space for stage plug-ins that need to hand data to a
+        #: downstream stage without claiming a dedicated field.
+        self.extras: dict[str, Any] = {}
+
+
+class Stage(abc.ABC):
+    """One step of the pipeline; mutates the :class:`PlanContext`."""
+
+    #: Display name used for events and stage timings.
+    name: str = "stage"
+
+    @abc.abstractmethod
+    def run(self, ctx: PlanContext) -> None:
+        """Execute the stage against the shared context."""
+
+
+# ---------------------------------------------------------------------------
+# Steps 1-2: wrapper + decompressor design (the analysis side).
+# ---------------------------------------------------------------------------
+
+
+class WrapperStage(Stage):
+    """Validate the budget and build the per-core analysis tables."""
+
+    name = "wrapper"
+
+    def run(self, ctx: PlanContext) -> None:
+        config = ctx.config
+        if config.compression == "per-tam":
+            if ctx.width_budget < config.min_code_width:
+                raise ValueError(
+                    f"ATE channels ({ctx.width_budget}) below minimum code "
+                    f"width ({config.min_code_width})"
+                )
+        elif ctx.width_budget < 1:
+            raise ValueError(
+                f"TAM width must be >= 1, got {ctx.width_budget}"
+            )
+        ctx.names = list(ctx.soc.core_names)
+        cache = config.resolve_cache()
+        before = cache.stats() if cache is not None else None
+        ctx.analyses = config.analyses(
+            ctx.soc.cores, max_tam_width=ctx.width_budget, cache=cache
+        )
+        if cache is not None and before is not None:
+            after = cache.stats()
+            ctx.events.emit(
+                "cache-stats",
+                self.name,
+                directory=after.directory,
+                hits=after.hits - before.hits,
+                misses=after.misses - before.misses,
+                stores=after.stores - before.stores,
+                corrupt=after.corrupt - before.corrupt,
+            )
+        ctx.events.emit(
+            "analyses-ready",
+            self.name,
+            cores=len(ctx.names),
+            jobs=config.resolve_jobs(),
+            cached=cache is not None,
+        )
+
+
+class DecompressorStage(Stage):
+    """Fix the compression policy, placement, and lookup tables."""
+
+    name = "decompressor"
+
+    def run(self, ctx: PlanContext) -> None:
+        compression = ctx.config.compression
+        if compression == "per-tam":
+            ctx.placement = DecompressorPlacement.PER_TAM
+        elif compression == "none":
+            ctx.placement = DecompressorPlacement.NONE
+        else:
+            ctx.placement = DecompressorPlacement.PER_CORE
+        if compression != "per-tam":
+            ctx.tables = LookupTables(ctx.analyses, compression)
+        ctx.events.emit(
+            "tables-ready",
+            self.name,
+            compression=compression,
+            placement=ctx.placement.value,
+        )
+
+
+def _require_tables(ctx: PlanContext, stage: str) -> LookupTables:
+    if ctx.tables is None:
+        raise RuntimeError(
+            f"stage {stage!r} needs lookup tables; run DecompressorStage first"
+        )
+    return ctx.tables
+
+
+# ---------------------------------------------------------------------------
+# Step 3 variants: test-architecture design.
+# ---------------------------------------------------------------------------
+
+
+class ArchitectureStage(Stage):
+    """Partition search over fixed-width TAMs (the paper's step 3)."""
+
+    name = "architecture"
+
+    def __init__(self, strategy: str | None = None) -> None:
+        #: When set, overrides ``config.strategy`` (the registry uses
+        #: this to expose "exhaustive"/"greedy"/"anneal" as stages).
+        self.strategy = strategy
+
+    def run(self, ctx: PlanContext) -> None:
+        config = ctx.config
+        tables = _require_tables(ctx, self.name)
+        search = search_partitions(
+            ctx.names,
+            ctx.width_budget,
+            tables.time_of,
+            max_parts=config.max_tams,
+            min_width=config.min_tam_width,
+            strategy=self.strategy or config.strategy,
+        )
+        ctx.search = search
+        ctx.partitions_evaluated = search.partitions_evaluated
+        ctx.strategy = search.strategy
+        ctx.events.emit(
+            "search-done",
+            self.name,
+            strategy=search.strategy,
+            partitions=search.partitions_evaluated,
+            widths=list(search.widths),
+            makespan=search.makespan,
+        )
+
+
+class ConstrainedArchitectureStage(Stage):
+    """Exhaustive partition search under power/precedence constraints."""
+
+    name = "architecture"
+
+    def run(self, ctx: PlanContext) -> None:
+        from repro.core.timeline import ConstrainedSchedule, schedule_constrained
+
+        config = ctx.config
+        tables = _require_tables(ctx, self.name)
+        power_of = config.power_of
+        if config.power_budget is not None and power_of is None:
+            from repro.power.model import power_table
+
+            power_of = power_table(
+                ctx.soc, compression=config.compression != "none"
+            )
+        ctx.power_of = power_of
+
+        max_tams = config.max_tams
+        if max_tams is None:
+            max_tams = min(len(ctx.names), 6)
+        max_tams = min(max_tams, ctx.width_budget // config.min_tam_width)
+        if max_tams < 1:
+            raise ValueError(
+                f"width {ctx.width_budget} cannot host a TAM of min width "
+                f"{config.min_tam_width}"
+            )
+
+        best: ConstrainedSchedule | None = None
+        evaluated = 0
+        for widths in iter_partitions(
+            ctx.width_budget, max_tams, config.min_tam_width
+        ):
+            schedule = schedule_constrained(
+                ctx.names,
+                widths,
+                tables.time_of,
+                power_of=power_of,
+                power_budget=config.power_budget,
+                precedence=config.precedence,
+            )
+            evaluated += 1
+            if best is None or schedule.makespan < best.makespan:
+                best = schedule
+        assert best is not None
+        ctx.extras["constrained_schedule"] = best
+        ctx.partitions_evaluated = evaluated
+        ctx.strategy = "exhaustive"
+        ctx.events.emit(
+            "search-done",
+            self.name,
+            strategy="exhaustive",
+            partitions=evaluated,
+            widths=list(best.widths),
+            makespan=best.makespan,
+        )
+
+
+class PerTamArchitectureStage(Stage):
+    """Figure 4(b) search: per-TAM code widths and shared expanded widths."""
+
+    name = "architecture"
+
+    def run(self, ctx: PlanContext) -> None:
+        config = ctx.config
+        analyses = ctx.analyses
+        names = ctx.names
+        max_tams = config.max_tams
+        if max_tams is None:
+            max_tams = min(len(names), 6)
+        max_tams = min(max_tams, ctx.width_budget // config.min_code_width)
+
+        def code_width_time(name: str, w: int) -> int:
+            analysis = analyses[name]
+            best = analysis.best_for_code_width(w) or analysis.best_compressed_for_tam(w)
+            if best is None:
+                return analysis.uncompressed_point(w).test_time
+            return best.test_time
+
+        best_arch: tuple[int, tuple[int, ...], list[int], list[int]] | None = None
+        evaluated = 0
+        for widths in iter_partitions(
+            ctx.width_budget, max_tams, config.min_code_width
+        ):
+            evaluated += 1
+            outcome = schedule_cores(names, widths, code_width_time)
+            # Fix a shared expanded width per TAM from the assigned cores'
+            # favorite m values, then re-cost every core at that width.
+            shared_ms: list[int] = []
+            loads: list[int] = []
+            for tam, w in enumerate(widths):
+                members = [
+                    names[i] for i, t in enumerate(outcome.assignment) if t == tam
+                ]
+                if not members:
+                    shared_ms.append(1)
+                    loads.append(0)
+                    continue
+                candidates = set()
+                for name in members:
+                    best = analyses[name].best_for_code_width(w)
+                    if best is not None:
+                        candidates.add(best.m)
+                if not candidates:
+                    candidates = {
+                        min(
+                            analyses[name].core.max_useful_wrapper_chains
+                            for name in members
+                        )
+                    }
+                best_m, best_load = None, None
+                for m in sorted(candidates):
+                    load = sum(
+                        _shared_m_time(analyses[name], m) for name in members
+                    )
+                    if best_load is None or load < best_load:
+                        best_m, best_load = m, load
+                assert best_m is not None and best_load is not None
+                shared_ms.append(best_m)
+                loads.append(best_load)
+            makespan = max(loads) if loads else 0
+            if best_arch is None or makespan < best_arch[0]:
+                best_arch = (makespan, widths, shared_ms, list(outcome.assignment))
+
+        assert best_arch is not None
+        ctx.extras["per_tam_best"] = best_arch
+        ctx.partitions_evaluated = evaluated
+        ctx.strategy = "exhaustive"
+        ctx.events.emit(
+            "search-done",
+            self.name,
+            strategy="exhaustive",
+            partitions=evaluated,
+            makespan=best_arch[0],
+        )
+
+
+class RobustArchitectureStage(Stage):
+    """Box-uncertainty surrogate: optimize against inflated times."""
+
+    name = "architecture"
+
+    def __init__(self, epsilon: float = 0.1) -> None:
+        self.epsilon = epsilon
+
+    def run(self, ctx: PlanContext) -> None:
+        from repro.core.robust import robust_search
+
+        config = ctx.config
+        tables = _require_tables(ctx, self.name)
+        robust = robust_search(
+            ctx.names,
+            ctx.width_budget,
+            tables.time_of,
+            epsilon=self.epsilon,
+            max_parts=config.max_tams,
+            min_width=config.min_tam_width,
+            strategy=config.strategy,
+        )
+        ctx.search = robust.search
+        ctx.partitions_evaluated = robust.search.partitions_evaluated
+        ctx.strategy = f"robust-{robust.search.strategy}"
+        ctx.extras["robust_plan"] = robust
+        ctx.events.emit(
+            "search-done",
+            self.name,
+            strategy=ctx.strategy,
+            partitions=ctx.partitions_evaluated,
+            widths=list(robust.widths),
+            nominal_makespan=robust.nominal_makespan,
+            worst_case_makespan=robust.worst_case_makespan,
+            epsilon=self.epsilon,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Step 4 variants: schedule materialization.
+# ---------------------------------------------------------------------------
+
+
+class ScheduleStage(Stage):
+    """Lay out the searched partition as a :class:`TestArchitecture`."""
+
+    name = "schedule"
+
+    def run(self, ctx: PlanContext) -> None:
+        if ctx.search is None:
+            raise RuntimeError(
+                "ScheduleStage needs a partition search result; run an "
+                "architecture stage first"
+            )
+        tables = _require_tables(ctx, self.name)
+        ctx.architecture = build_architecture(
+            ctx.soc.name,
+            ctx.names,
+            ctx.search.outcome,
+            tables.config_of,
+            placement=ctx.placement,
+            ate_channels=ctx.width_budget,
+        )
+        ctx.events.emit(
+            "scheduled",
+            self.name,
+            test_time=ctx.architecture.test_time,
+            tams=len(ctx.architecture.tams),
+        )
+
+
+class ConstrainedScheduleStage(Stage):
+    """Materialize the constrained schedule (may include TAM idle time)."""
+
+    name = "schedule"
+
+    def run(self, ctx: PlanContext) -> None:
+        from repro.core.timeline import constrained_architecture
+
+        best = ctx.extras.get("constrained_schedule")
+        if best is None:
+            raise RuntimeError(
+                "ConstrainedScheduleStage needs ConstrainedArchitectureStage "
+                "to run first"
+            )
+        tables = _require_tables(ctx, self.name)
+        ctx.architecture = constrained_architecture(
+            ctx.soc.name,
+            best,
+            tables.config_of,
+            placement=ctx.placement,
+            ate_channels=ctx.width_budget,
+        )
+        ctx.peak_power = best.peak_power
+        ctx.tam_idle_cycles = best.tam_idle_cycles
+        ctx.events.emit(
+            "scheduled",
+            self.name,
+            test_time=ctx.architecture.test_time,
+            peak_power=best.peak_power,
+            tam_idle_cycles=best.tam_idle_cycles,
+        )
+
+
+class PerTamScheduleStage(Stage):
+    """Materialize the per-TAM plan with shared expanded widths."""
+
+    name = "schedule"
+
+    def run(self, ctx: PlanContext) -> None:
+        best_arch = ctx.extras.get("per_tam_best")
+        if best_arch is None:
+            raise RuntimeError(
+                "PerTamScheduleStage needs PerTamArchitectureStage to run first"
+            )
+        _, widths, shared_ms, assignment = best_arch
+        analyses = ctx.analyses
+        names = ctx.names
+
+        tams = tuple(
+            Tam(index=i, width=max(1, shared_ms[i])) for i in range(len(widths))
+        )
+        loads = [0] * len(widths)
+        order = sorted(
+            range(len(names)),
+            key=lambda i: (
+                -_shared_m_time(analyses[names[i]], shared_ms[assignment[i]]),
+                names[i],
+            ),
+        )
+        scheduled = []
+        for index in order:
+            name = names[index]
+            tam = assignment[index]
+            config = _shared_m_config(analyses[name], shared_ms[tam])
+            start = loads[tam]
+            end = start + config.test_time
+            loads[tam] = end
+            scheduled.append(
+                ScheduledCore(config=config, tam_index=tam, start=start, end=end)
+            )
+        ctx.architecture = TestArchitecture(
+            soc_name=ctx.soc.name,
+            placement=DecompressorPlacement.PER_TAM,
+            tams=tams,
+            scheduled=tuple(scheduled),
+            ate_channels=ctx.width_budget,
+        )
+        ctx.events.emit(
+            "scheduled",
+            self.name,
+            test_time=ctx.architecture.test_time,
+            tams=len(tams),
+        )
+
+
+def _shared_m_time(analysis: CoreAnalysis, shared_m: int) -> int:
+    """Core test time when its TAM's decompressor outputs ``shared_m`` bits.
+
+    The core can only use as many wrapper chains as it has scanned
+    elements; surplus decompressor outputs idle.
+    """
+    m = min(shared_m, analysis.core.max_useful_wrapper_chains)
+    return analysis.compressed_point(m).test_time
+
+
+def _shared_m_config(analysis: CoreAnalysis, shared_m: int):
+    from repro.core.architecture import CoreConfig
+
+    m = min(shared_m, analysis.core.max_useful_wrapper_chains)
+    point = analysis.compressed_point(m)
+    return CoreConfig(
+        core_name=analysis.core.name,
+        uses_compression=True,
+        wrapper_chains=point.m,
+        code_width=point.code_width,
+        test_time=point.test_time,
+        volume=point.volume,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Stage registry: alternative partitioners/schedulers plug in by name.
+# ---------------------------------------------------------------------------
+
+StageFactory = Callable[..., Stage]
+
+_REGISTRY: dict[tuple[str, str], StageFactory] = {}
+
+#: The two pluggable slots of the standard four-stage flow.
+STAGE_SLOTS = ("architecture", "schedule")
+
+
+def register_stage(slot: str, name: str, factory: StageFactory) -> None:
+    """Register a stage factory under ``(slot, name)``.
+
+    ``slot`` is "architecture" (the paper's step 3) or "schedule"
+    (step 4).  Registering an existing name replaces it, so downstream
+    code can override the built-ins.
+    """
+    if slot not in STAGE_SLOTS:
+        raise ValueError(
+            f"unknown stage slot {slot!r}; expected one of {STAGE_SLOTS}"
+        )
+    _REGISTRY[(slot, name)] = factory
+
+
+def unregister_stage(slot: str, name: str) -> None:
+    """Remove a registered stage (tests use this for isolation)."""
+    _REGISTRY.pop((slot, name), None)
+
+
+def stage_factory(slot: str, name: str) -> StageFactory:
+    """Look up a registered stage factory; raises ``KeyError`` with help."""
+    try:
+        return _REGISTRY[(slot, name)]
+    except KeyError:
+        known = sorted(n for s, n in _REGISTRY if s == slot)
+        raise KeyError(
+            f"no {slot} stage named {name!r}; registered: {known}"
+        ) from None
+
+
+def available_stages(slot: str | None = None) -> dict[str, tuple[str, ...]]:
+    """Registered stage names, grouped by slot."""
+    slots = (slot,) if slot is not None else STAGE_SLOTS
+    return {
+        s: tuple(sorted(n for (slot_, n) in _REGISTRY if slot_ == s))
+        for s in slots
+    }
+
+
+register_stage("architecture", "partition", ArchitectureStage)
+register_stage(
+    "architecture", "exhaustive", lambda: ArchitectureStage(strategy="exhaustive")
+)
+register_stage(
+    "architecture", "greedy", lambda: ArchitectureStage(strategy="greedy")
+)
+register_stage(
+    "architecture", "anneal", lambda: ArchitectureStage(strategy="anneal")
+)
+register_stage("architecture", "constrained", ConstrainedArchitectureStage)
+register_stage("architecture", "per-tam", PerTamArchitectureStage)
+register_stage("architecture", "robust", RobustArchitectureStage)
+register_stage("schedule", "list", ScheduleStage)
+register_stage("schedule", "constrained", ConstrainedScheduleStage)
+register_stage("schedule", "per-tam", PerTamScheduleStage)

@@ -1,0 +1,135 @@
+"""Scheduling-facing lookup tables over the per-core analyses.
+
+:class:`LookupTables` backs the scheduler's ``time_of`` / ``config_of``
+callbacks with the per-core design-space tables, applying the
+compression policy (none / per-core / auto bypass / technique select)
+to pick each core's configuration at a given TAM width.
+
+Both memo layers -- the ``(core, width) -> time`` lookup and the
+per-core :class:`~repro.explore.selection.TechniqueSelector` instances
+-- are bounded LRUs (the pattern
+:mod:`repro.wrapper.design` uses for wrapper designs): a long-lived
+service planning an open-ended stream of SOCs in one process must
+evict, not grow without limit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.core.architecture import CoreConfig
+from repro.explore.dse import CoreAnalysis
+
+if TYPE_CHECKING:
+    from repro.explore.selection import TechniqueSelector
+
+#: Upper bound on memoized (core, width) -> test-time entries.
+TIME_CACHE_MAX_ENTRIES = 65536
+
+#: Upper bound on retained per-core technique selectors.
+SELECTOR_CACHE_MAX_ENTRIES = 4096
+
+
+class LookupTables:
+    """Per-SOC time/volume/config lookups backing the scheduler."""
+
+    #: Instance-overridable bounds (tests shrink them to force eviction).
+    time_cache_max_entries = TIME_CACHE_MAX_ENTRIES
+    selector_cache_max_entries = SELECTOR_CACHE_MAX_ENTRIES
+
+    def __init__(
+        self, analyses: dict[str, CoreAnalysis], compression: str
+    ) -> None:
+        self.compression = compression
+        self.analyses = analyses
+        self._time_cache: OrderedDict[tuple[str, int], int] = OrderedDict()
+        self._selectors: "OrderedDict[str, TechniqueSelector]" = OrderedDict()
+        self._counters = {"hits": 0, "misses": 0, "evictions": 0}
+
+    # ------------------------------------------------------------------
+
+    def _selector_for(self, name: str) -> "TechniqueSelector":
+        from repro.explore.selection import TechniqueSelector
+
+        selector = self._selectors.get(name)
+        if selector is not None:
+            self._selectors.move_to_end(name)
+            return selector
+        selector = TechniqueSelector(self.analyses[name])
+        self._selectors[name] = selector
+        while len(self._selectors) > self.selector_cache_max_entries:
+            self._selectors.popitem(last=False)
+            self._counters["evictions"] += 1
+        return selector
+
+    def _pick(self, name: str, width: int) -> CoreConfig:
+        analysis = self.analyses[name]
+        if self.compression == "select":
+            selector = self._selector_for(name)
+            choice = selector.select(width)
+            return CoreConfig(
+                core_name=name,
+                uses_compression=choice.technique != "none",
+                wrapper_chains=choice.wrapper_chains,
+                code_width=choice.code_width,
+                test_time=choice.test_time,
+                volume=choice.volume,
+                technique=choice.technique,
+            )
+        plain = analysis.uncompressed_point(width)
+        if self.compression == "none":
+            best = None
+        else:
+            best = analysis.best_compressed_for_tam(width)
+        use_compressed = best is not None and (
+            self.compression == "per-core" or best.test_time < plain.test_time
+        )
+        if use_compressed:
+            assert best is not None
+            return CoreConfig(
+                core_name=name,
+                uses_compression=True,
+                wrapper_chains=best.m,
+                code_width=best.code_width,
+                test_time=best.test_time,
+                volume=best.volume,
+            )
+        return CoreConfig(
+            core_name=name,
+            uses_compression=False,
+            wrapper_chains=min(width, analysis.core.max_useful_wrapper_chains),
+            code_width=None,
+            test_time=plain.test_time,
+            volume=plain.volume,
+        )
+
+    # ------------------------------------------------------------------
+
+    def time_of(self, name: str, width: int) -> int:
+        key = (name, width)
+        value = self._time_cache.get(key)
+        if value is not None:
+            self._time_cache.move_to_end(key)
+            self._counters["hits"] += 1
+            return value
+        value = self._pick(name, width).test_time
+        self._counters["misses"] += 1
+        self._time_cache[key] = value
+        while len(self._time_cache) > self.time_cache_max_entries:
+            self._time_cache.popitem(last=False)
+            self._counters["evictions"] += 1
+        return value
+
+    def config_of(self, name: str, width: int) -> CoreConfig:
+        return self._pick(name, width)
+
+    def cache_info(self) -> dict[str, int]:
+        """Sizes and traffic counters of the bounded memo layers."""
+        return {
+            "time_entries": len(self._time_cache),
+            "time_max_entries": self.time_cache_max_entries,
+            "selector_entries": len(self._selectors),
+            "selector_max_entries": self.selector_cache_max_entries,
+            **self._counters,
+        }

@@ -9,12 +9,36 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.optimizer import OptimizeResult, optimize_per_tam, optimize_soc
-from repro.explore.cache import resolve_cache
-from repro.explore.dse import CoreAnalysis, analysis_for, analyze_soc_cores
+from repro.core.optimizer import OptimizeResult
+from repro.explore.dse import CoreAnalysis, analysis_for
+from repro.pipeline import RunConfig, plan
 from repro.reporting.tables import format_table
 from repro.soc.industrial import industrial_core, industrial_system, load_design
 from repro.soc.soc import Soc
+
+
+def _run_config(
+    config: RunConfig | None,
+    jobs: int | None,
+    cache_dir: str | None,
+    use_cache: bool | None,
+) -> RunConfig:
+    """Fold the legacy per-driver perf kwargs into one :class:`RunConfig`.
+
+    Every driver accepts either a full ``config`` or the historical
+    ``jobs``/``cache_dir``/``use_cache`` trio; explicit kwargs win over
+    the config's fields so old call sites keep their meaning.
+    """
+    if config is None:
+        config = RunConfig()
+    changes: dict[str, object] = {}
+    if jobs is not None:
+        changes["jobs"] = jobs
+    if cache_dir is not None:
+        changes["cache_dir"] = cache_dir
+    if use_cache is not None:
+        changes["use_cache"] = use_cache
+    return config.replace(**changes) if changes else config
 
 # ---------------------------------------------------------------------------
 # Figure 2: test time vs wrapper-chain count at fixed code width.
@@ -61,19 +85,17 @@ def figure2_data(
     jobs: int | None = None,
     cache_dir: str | None = None,
     use_cache: bool | None = None,
+    config: RunConfig | None = None,
 ) -> Figure2Data:
     """tau_c versus m for every m whose code width is ``code_width``.
 
     The paper plots ckt-7 at w = 10, i.e. m in [128, 255], and finds the
     minimum at m = 253 rather than at the maximum 255.
     """
+    cfg = _run_config(config, jobs, cache_dir, use_cache)
     core = industrial_core(core_name)
-    analysis = analyze_soc_cores(
-        [core],
-        grid=grid or 256,
-        max_tam_width=code_width,
-        jobs=jobs,
-        cache=resolve_cache(cache_dir, use_cache),
+    analysis = cfg.analyses(
+        [core], grid=grid or 256, max_tam_width=code_width
     )[core.name]
     points = analysis.sweep_code_width(code_width)
     if not points:
@@ -133,15 +155,13 @@ def figure3_data(
     jobs: int | None = None,
     cache_dir: str | None = None,
     use_cache: bool | None = None,
+    config: RunConfig | None = None,
 ) -> Figure3Data:
     """Minimum tau_c over m, for each exact decompressor input width w."""
+    cfg = _run_config(config, jobs, cache_dir, use_cache)
     core = industrial_core(core_name)
-    analysis = analyze_soc_cores(
-        [core],
-        grid=grid or 128,
-        max_tam_width=max(code_widths),
-        jobs=jobs,
-        cache=resolve_cache(cache_dir, use_cache),
+    analysis = cfg.analyses(
+        [core], grid=grid or 128, max_tam_width=max(code_widths)
     )[core.name]
     widths: list[int] = []
     times: list[int] = []
@@ -205,13 +225,16 @@ def figure4_data(
     jobs: int | None = None,
     cache_dir: str | None = None,
     use_cache: bool | None = None,
+    config: RunConfig | None = None,
 ) -> Figure4Data:
     """Plan the same SOC three ways, as in the paper's Figure 4."""
-    perf = dict(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
+    cfg = _run_config(config, jobs, cache_dir, use_cache)
+    if max_tams is not None:
+        cfg = cfg.replace(max_tams=max_tams)
     soc = load_design(soc_name)
-    no_tdc = optimize_soc(soc, width, compression=False, max_tams=max_tams, **perf)
-    per_core = optimize_soc(soc, width, compression=True, max_tams=max_tams, **perf)
-    per_tam = optimize_per_tam(soc, width, max_tams=max_tams, **perf)
+    no_tdc = plan(soc, width, cfg.replace(compression="none"))
+    per_core = plan(soc, width, cfg.replace(compression="per-core"))
+    per_tam = plan(soc, width, cfg.replace(compression="per-tam"))
     return Figure4Data(
         soc_name=soc_name,
         width_budget=width,
@@ -296,28 +319,25 @@ def table1_rows(
     jobs: int | None = None,
     cache_dir: str | None = None,
     use_cache: bool | None = None,
+    config: RunConfig | None = None,
 ) -> list[Table1Row]:
     """Table 1: minimize test time at an ATE-channel budget.
 
     With per-core decompression ATE channels equal TAM wires, so the
-    proposed approach is :func:`optimize_soc` at ``W = W_ATE``.  The
+    proposed approach is the standard pipeline at ``W = W_ATE``.  The
     comparator is the SOC-level ("virtual TAM") decompressor, which is
     built for exactly this constraint.
     """
     from repro.core.soclevel import optimize_soc_level_decompressor
 
+    cfg = _run_config(config, jobs, cache_dir, use_cache).replace(
+        compression="per-core"
+    )
     rows = []
     for design in designs:
         soc = load_design(design)
         for w_ate in channels:
-            proposed = optimize_soc(
-                soc,
-                w_ate,
-                compression=True,
-                jobs=jobs,
-                cache_dir=cache_dir,
-                use_cache=use_cache,
-            )
+            proposed = plan(soc, w_ate, cfg)
             soc_level_time = None
             if include_soc_level:
                 soc_level = optimize_soc_level_decompressor(soc, w_ate)
@@ -359,6 +379,7 @@ def table2_rows(
     jobs: int | None = None,
     cache_dir: str | None = None,
     use_cache: bool | None = None,
+    config: RunConfig | None = None,
 ) -> list[Table2Row]:
     """Table 2: minimize test time at a TAM-wire budget.
 
@@ -368,18 +389,14 @@ def table2_rows(
     """
     from repro.core.soclevel import optimize_soc_level_decompressor
 
+    cfg = _run_config(config, jobs, cache_dir, use_cache).replace(
+        compression="per-core"
+    )
     rows = []
     for design in designs:
         soc = load_design(design)
         for w_tam in widths:
-            proposed = optimize_soc(
-                soc,
-                w_tam,
-                compression=True,
-                jobs=jobs,
-                cache_dir=cache_dir,
-                use_cache=use_cache,
-            )
+            proposed = plan(soc, w_tam, cfg)
             soc_time = None
             soc_channels = None
             if include_soc_level:
@@ -475,15 +492,16 @@ def table3_rows(
     jobs: int | None = None,
     cache_dir: str | None = None,
     use_cache: bool | None = None,
+    config: RunConfig | None = None,
 ) -> list[Table3Row]:
     """Table 3: the paper's headline with-vs-without-TDC comparison."""
-    perf = dict(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
+    cfg = _run_config(config, jobs, cache_dir, use_cache)
     rows = []
     for design in designs:
         soc = load_design(design)
         for width in widths:
-            plain = optimize_soc(soc, width, compression=False, **perf)
-            packed = optimize_soc(soc, width, compression=compression, **perf)
+            plain = plan(soc, width, cfg.replace(compression="none"))
+            packed = plan(soc, width, cfg.replace(compression=compression))
             rows.append(
                 Table3Row(
                     design=design,

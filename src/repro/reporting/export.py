@@ -1,10 +1,16 @@
-"""JSON export/import of planned architectures.
+"""JSON export/import of planned architectures and results.
 
 A planned :class:`~repro.core.architecture.TestArchitecture` is the
 hand-off artifact to downstream DFT tooling (wrapper insertion, TAM
 routing, ATE program generation), so it needs a stable serialized form.
 The schema is versioned; :func:`architecture_from_json` refuses schemas
 it does not understand.
+
+A full :class:`~repro.pipeline.result.PlanResult` (architecture plus
+run provenance: compression mode, search statistics, constraint
+bookkeeping, per-stage timings) round-trips losslessly through
+:func:`result_to_json` / :func:`result_from_json` -- ``load(dump(r))``
+compares equal to ``r``.
 """
 
 from __future__ import annotations
@@ -19,13 +25,25 @@ from repro.core.architecture import (
     Tam,
     TestArchitecture,
 )
-from repro.core.optimizer import OptimizeResult
+from repro.pipeline.result import OptimizeResult, PlanResult
 
 SCHEMA_VERSION = 1
 
 
-def architecture_to_dict(architecture: TestArchitecture) -> dict[str, Any]:
-    """Serialize an architecture to plain JSON-ready data."""
+def architecture_to_dict(
+    architecture: TestArchitecture, *, sort_schedule: bool = True
+) -> dict[str, Any]:
+    """Serialize an architecture to plain JSON-ready data.
+
+    ``sort_schedule`` orders the schedule by (TAM, start) for human
+    diffing -- the default for standalone exports.  Pass ``False`` to
+    keep the scheduler's own placement order, which the lossless
+    :func:`result_to_dict` round trip requires
+    (:class:`TestArchitecture` equality is order-sensitive).
+    """
+    scheduled: Any = architecture.scheduled
+    if sort_schedule:
+        scheduled = sorted(scheduled, key=lambda s: (s.tam_index, s.start))
     return {
         "schema": SCHEMA_VERSION,
         "soc": architecture.soc_name,
@@ -49,9 +67,7 @@ def architecture_to_dict(architecture: TestArchitecture) -> dict[str, Any]:
                 "test_time": s.config.test_time,
                 "volume": s.config.volume,
             }
-            for s in sorted(
-                architecture.scheduled, key=lambda s: (s.tam_index, s.start)
-            )
+            for s in scheduled
         ],
     }
 
@@ -60,20 +76,27 @@ def architecture_to_json(architecture: TestArchitecture, *, indent: int = 2) -> 
     return json.dumps(architecture_to_dict(architecture), indent=indent)
 
 
-def result_to_dict(result: OptimizeResult) -> dict[str, Any]:
-    """Serialize a full optimizer result (architecture + provenance)."""
-    payload = architecture_to_dict(result.architecture)
+def result_to_dict(result: PlanResult) -> dict[str, Any]:
+    """Serialize a full plan result (architecture + provenance)."""
+    payload = architecture_to_dict(result.architecture, sort_schedule=False)
     payload["optimizer"] = {
         "width_budget": result.width_budget,
         "compression": result.compression,
         "cpu_seconds": result.cpu_seconds,
         "partitions_evaluated": result.partitions_evaluated,
         "strategy": result.strategy,
+        "peak_power": result.peak_power,
+        "power_budget": result.power_budget,
+        "tam_idle_cycles": result.tam_idle_cycles,
+        "stage_timings": [
+            {"stage": stage, "seconds": seconds}
+            for stage, seconds in result.stage_timings
+        ],
     }
     return payload
 
 
-def result_to_json(result: OptimizeResult, *, indent: int = 2) -> str:
+def result_to_json(result: PlanResult, *, indent: int = 2) -> str:
     return json.dumps(result_to_dict(result), indent=indent)
 
 
@@ -115,3 +138,49 @@ def architecture_from_dict(data: dict[str, Any]) -> TestArchitecture:
 
 def architecture_from_json(text: str) -> TestArchitecture:
     return architecture_from_dict(json.loads(text))
+
+
+def result_from_dict(data: dict[str, Any]) -> PlanResult:
+    """Rebuild a :class:`PlanResult` from :func:`result_to_dict` data."""
+    optimizer = data.get("optimizer")
+    if optimizer is None:
+        raise ValueError(
+            "payload has no 'optimizer' section; use architecture_from_dict "
+            "for bare architecture exports"
+        )
+    return PlanResult(
+        soc_name=data["soc"],
+        width_budget=optimizer["width_budget"],
+        compression=optimizer["compression"],
+        architecture=architecture_from_dict(data),
+        cpu_seconds=optimizer["cpu_seconds"],
+        partitions_evaluated=optimizer["partitions_evaluated"],
+        strategy=optimizer["strategy"],
+        peak_power=optimizer.get("peak_power", 0.0),
+        power_budget=optimizer.get("power_budget"),
+        tam_idle_cycles=optimizer.get("tam_idle_cycles", 0),
+        stage_timings=tuple(
+            (entry["stage"], entry["seconds"])
+            for entry in optimizer.get("stage_timings", ())
+        ),
+    )
+
+
+def result_from_json(text: str) -> PlanResult:
+    return result_from_dict(json.loads(text))
+
+
+#: Backward-compatible name (``PlanResult`` superseded it).
+__all__ = [
+    "SCHEMA_VERSION",
+    "architecture_to_dict",
+    "architecture_to_json",
+    "architecture_from_dict",
+    "architecture_from_json",
+    "result_to_dict",
+    "result_to_json",
+    "result_from_dict",
+    "result_from_json",
+    "OptimizeResult",
+    "PlanResult",
+]

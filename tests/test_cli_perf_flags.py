@@ -1,0 +1,158 @@
+"""Satellite: the perf flags reach RunConfig identically everywhere.
+
+Every planning subcommand must translate ``--jobs`` / ``--cache-dir`` /
+``--no-cache`` into the *same* :class:`~repro.pipeline.config.RunConfig`
+performance fields, and the ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` /
+``REPRO_NO_CACHE`` environment equivalents must act on that config at
+resolve time.  The choke point is :meth:`RunConfig.analyses` -- the
+single funnel every analysis pass goes through -- which we monkeypatch
+to capture the live config and abort the run before any real work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cli
+from repro.pipeline import RunConfig
+
+
+class _Captured(Exception):
+    """Carries the RunConfig out of the aborted run."""
+
+    def __init__(self, config: RunConfig) -> None:
+        super().__init__("captured")
+        self.config = config
+
+
+@pytest.fixture
+def capture_config(monkeypatch):
+    """Abort at the analysis funnel, surfacing the active RunConfig."""
+
+    def fake_analyses(self, cores, **kwargs):
+        raise _Captured(self)
+
+    monkeypatch.setattr(RunConfig, "analyses", fake_analyses)
+
+    def run(argv: list[str]) -> RunConfig:
+        with pytest.raises(_Captured) as err:
+            cli.main(argv)
+        return err.value.config
+
+    return run
+
+
+# Every planning subcommand, with a {flags} slot for the perf flags.
+SUBCOMMANDS = [
+    pytest.param(["plan", "d695", "--width", "8"], id="plan"),
+    pytest.param(["simulate", "d695", "--width", "8"], id="simulate"),
+    pytest.param(["export", "d695", "--width", "8"], id="export"),
+    pytest.param(["power", "d695", "--width", "8"], id="power"),
+    pytest.param(["figure", "2"], id="figure2"),
+    pytest.param(["figure", "3"], id="figure3"),
+    pytest.param(["figure", "4"], id="figure4"),
+    pytest.param(["table", "1"], id="table1"),
+    pytest.param(["table", "2"], id="table2"),
+    pytest.param(["table", "3"], id="table3"),
+]
+
+
+def _perf_fields(config: RunConfig) -> tuple:
+    return (config.jobs, config.cache_dir, config.use_cache)
+
+
+@pytest.mark.parametrize("argv", SUBCOMMANDS)
+def test_explicit_flags_reach_runconfig(argv, capture_config, tmp_path):
+    config = capture_config(
+        argv + ["--jobs", "3", "--cache-dir", str(tmp_path)]
+    )
+    assert _perf_fields(config) == (3, str(tmp_path), True)
+
+
+@pytest.mark.parametrize("argv", SUBCOMMANDS)
+def test_no_cache_flag_reaches_runconfig(argv, capture_config):
+    config = capture_config(argv + ["--no-cache"])
+    assert _perf_fields(config) == (None, None, False)
+    assert config.resolve_cache() is None
+
+
+@pytest.mark.parametrize("argv", SUBCOMMANDS)
+def test_default_flags_identical_across_subcommands(argv, capture_config):
+    """No flags: every subcommand builds the same perf fields."""
+    config = capture_config(argv)
+    assert _perf_fields(config) == (None, None, True)
+
+
+@pytest.mark.parametrize("argv", SUBCOMMANDS)
+def test_env_jobs_equivalent_to_flag(argv, capture_config, monkeypatch):
+    """REPRO_JOBS resolves exactly like --jobs on every subcommand."""
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    via_env = capture_config(argv)
+    assert via_env.jobs is None  # the env is applied at resolve time...
+    assert via_env.resolve_jobs() == 5  # ...not baked into the config
+    monkeypatch.delenv("REPRO_JOBS")
+    via_flag = capture_config(argv + ["--jobs", "5"])
+    assert via_flag.resolve_jobs() == 5
+
+
+@pytest.mark.parametrize("argv", SUBCOMMANDS[:4])
+def test_env_cache_dir_equivalent_to_flag(
+    argv, capture_config, monkeypatch, tmp_path
+):
+    """REPRO_CACHE_DIR resolves exactly like --cache-dir."""
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    via_env = capture_config(argv)
+    via_flag = capture_config(argv + ["--cache-dir", str(tmp_path)])
+    env_cache = via_env.resolve_cache()
+    flag_cache = via_flag.resolve_cache()
+    assert env_cache is not None and flag_cache is not None
+    assert env_cache.directory == flag_cache.directory
+
+
+@pytest.mark.parametrize("argv", SUBCOMMANDS[:4])
+def test_env_no_cache_equivalent_to_flag(argv, capture_config, monkeypatch):
+    """REPRO_NO_CACHE resolves exactly like --no-cache."""
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    via_env = capture_config(argv)
+    assert via_env.use_cache is True  # CLI default: cache on
+    assert via_env.resolve_cache() is None  # env veto wins at resolve
+    via_flag = capture_config(argv + ["--no-cache"])
+    assert via_flag.resolve_cache() is None
+
+
+def test_explicit_cache_dir_beats_env_veto(capture_config, monkeypatch, tmp_path):
+    """Naming a directory means it, even under REPRO_NO_CACHE."""
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    config = capture_config(
+        ["plan", "d695", "--width", "8", "--cache-dir", str(tmp_path)]
+    )
+    cache = config.resolve_cache()
+    assert cache is not None
+    assert str(tmp_path) in str(cache.directory)
+
+
+def test_compression_and_search_knobs_reach_runconfig(capture_config):
+    config = capture_config(
+        [
+            "plan",
+            "d695",
+            "--width",
+            "8",
+            "--compression",
+            "auto",
+            "--max-tams",
+            "2",
+            "--strategy",
+            "greedy",
+        ]
+    )
+    assert config.compression == "auto"
+    assert config.max_tams == 2
+    assert config.strategy == "greedy"
+
+
+def test_power_command_builds_constrained_config(capture_config):
+    config = capture_config(["power", "d695", "--width", "8"])
+    assert config.power_budget is not None
+    assert config.is_constrained

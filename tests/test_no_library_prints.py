@@ -1,0 +1,51 @@
+"""Satellite guard: library code never prints; it logs or emits events.
+
+The audit for this refactor found the only ``print()`` *calls* under
+``src/repro/`` live in ``cli.py`` (the CLI renders stdout on purpose);
+docstring examples mention ``print`` but never execute it.  This test
+pins that invariant with an AST walk so a stray debug print cannot
+creep back into the library: anything worth reporting goes through the
+``repro.pipeline`` run-event stream or the ``repro`` loggers.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import repro
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+#: Modules allowed to write to stdout: the CLI owns its rendering.
+ALLOWED = {SRC_ROOT / "cli.py"}
+
+
+def _print_calls(path: Path) -> list[int]:
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    return [
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "print"
+    ]
+
+
+def test_no_print_calls_outside_cli():
+    offenders = {}
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        lines = _print_calls(path)
+        if lines:
+            offenders[str(path.relative_to(SRC_ROOT))] = lines
+    assert not offenders, (
+        "library modules must log or emit run events, not print(): "
+        f"{offenders}"
+    )
+
+
+def test_cli_is_the_only_allowed_printer():
+    """Sanity: the allowlist is real -- cli.py does print."""
+    assert _print_calls(SRC_ROOT / "cli.py")

@@ -1,0 +1,140 @@
+"""The structured run-event stream and its logging mirror."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.pipeline import (
+    EventRecorder,
+    Pipeline,
+    RunConfig,
+    RunEvent,
+    plan,
+)
+
+
+def _collect(tiny_soc, config=None, width=8):
+    events = []
+    plan(tiny_soc, width, config or RunConfig(compression="auto"),
+         events=events.append)
+    return events
+
+
+class TestEventStream:
+    def test_run_and_stage_bracketing(self, tiny_soc):
+        events = _collect(tiny_soc)
+        kinds = [e.kind for e in events]
+        assert kinds[0] == "run-start"
+        assert kinds[-1] == "run-end"
+        starts = [e.stage for e in events if e.kind == "stage-start"]
+        ends = [e.stage for e in events if e.kind == "stage-end"]
+        assert starts == ["wrapper", "decompressor", "architecture", "schedule"]
+        assert ends == starts
+
+    def test_elapsed_is_monotonic(self, tiny_soc):
+        events = _collect(tiny_soc)
+        elapsed = [e.elapsed for e in events]
+        assert elapsed == sorted(elapsed)
+
+    def test_payloads_carry_run_facts(self, tiny_soc):
+        events = _collect(tiny_soc)
+        start = events[0]
+        assert start.payload["soc"] == "tiny"
+        assert start.payload["width_budget"] == 8
+        end = events[-1]
+        assert end.payload["test_time"] > 0
+        assert end.payload["strategy"]
+        search = next(e for e in events if e.kind == "search-done")
+        assert search.payload["partitions"] >= 1
+
+    def test_stage_timings_on_result(self, tiny_soc):
+        events = []
+        result = plan(
+            tiny_soc, 8, RunConfig(compression="auto"), events=events.append
+        )
+        ends = [e for e in events if e.kind == "stage-end"]
+        assert result.stage_timings == tuple(
+            (e.stage, e.payload["seconds"]) for e in ends
+        )
+
+    def test_multiple_sinks_fan_out(self, tiny_soc):
+        first, second = [], []
+        plan(
+            tiny_soc,
+            8,
+            RunConfig(compression="auto"),
+            events=[first.append, second.append],
+        )
+        assert [e.kind for e in first] == [e.kind for e in second]
+
+    def test_cache_stats_event_reports_misses_then_hits(self, tiny_soc, tmp_path):
+        config = RunConfig(compression="auto", cache_dir=str(tmp_path))
+        cold = _collect(tiny_soc, config)
+        cold_stats = next(e for e in cold if e.kind == "cache-stats")
+        assert cold_stats.payload["misses"] >= len(tiny_soc.cores)
+        assert cold_stats.payload["hits"] == 0
+        assert cold_stats.payload["stores"] == len(tiny_soc.cores)
+
+        from repro.explore.dse import clear_analysis_cache
+
+        clear_analysis_cache()  # force the disk cache, not the memo
+        warm = _collect(tiny_soc, config)
+        warm_stats = next(e for e in warm if e.kind == "cache-stats")
+        assert warm_stats.payload["hits"] >= len(tiny_soc.cores)
+        assert warm_stats.payload["misses"] == 0
+        assert warm_stats.payload["stores"] == 0
+
+    def test_no_cache_stats_event_without_cache(self, tiny_soc):
+        events = _collect(tiny_soc)  # REPRO_NO_CACHE=1 in the suite
+        assert not [e for e in events if e.kind == "cache-stats"]
+
+
+class TestEventFormatting:
+    def test_format_is_single_line(self):
+        event = RunEvent(
+            kind="stage-end", stage="wrapper", elapsed=0.5,
+            payload={"seconds": 0.25},
+        )
+        text = event.format()
+        assert "\n" not in text
+        assert "stage-end" in text
+        assert "[wrapper]" in text
+        assert "seconds=0.25" in text
+
+    def test_stage_error_event_and_reraise(self):
+        recorder = EventRecorder()
+        with pytest.raises(RuntimeError, match="boom"):
+            with recorder.stage("exploding"):
+                raise RuntimeError("boom")
+        kinds = [e.kind for e in recorder.events]
+        assert kinds == ["stage-start", "stage-error"]
+        assert "boom" in recorder.events[-1].payload["error"]
+        # A failed stage contributes no completed timing.
+        assert recorder.stage_timings() == ()
+
+
+class TestLoggingMirror:
+    def test_run_events_reach_the_logger(self, tiny_soc, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.pipeline"):
+            plan(tiny_soc, 8, RunConfig(compression="auto"))
+        messages = [r.message for r in caplog.records]
+        assert any("run-start" in m for m in messages)
+        assert any("stage-end [architecture]" in m for m in messages)
+        assert any("run-end" in m for m in messages)
+
+    def test_detail_events_are_debug_level(self, tiny_soc, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.pipeline"):
+            plan(tiny_soc, 8, RunConfig(compression="auto"))
+        assert not any("search-done" in r.message for r in caplog.records)
+        with caplog.at_level(logging.DEBUG, logger="repro.pipeline"):
+            plan(tiny_soc, 8, RunConfig(compression="auto"))
+        assert any("search-done" in r.message for r in caplog.records)
+
+    def test_silent_by_default(self, tiny_soc, capsys):
+        """Library planning writes nothing to stdout/stderr."""
+        plan(tiny_soc, 8, RunConfig(compression="auto"))
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""
