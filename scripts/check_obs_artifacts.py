@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Validate the observability artifacts a CLI run produced.
+
+CI runs the d695 pipeline with ``--trace``/``--report`` and then this
+script against the outputs: it asserts the trace is structurally valid
+Chrome trace-event JSON carrying spans from all four pipeline stages
+plus at least one worker lane, and that the report matches the
+``run-report`` schema with internally consistent numbers.
+
+Usage::
+
+    python scripts/check_obs_artifacts.py TRACE.json REPORT.json
+
+Exit status 0 when both artifacts check out; 1 with a message on
+stderr otherwise.  ``check_trace`` / ``check_report`` are importable
+for tests.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any
+
+STAGES = ("wrapper", "decompressor", "architecture", "schedule")
+
+
+class ArtifactError(ValueError):
+    """A structural problem in a trace or report artifact."""
+
+
+def _fail(message: str) -> None:
+    raise ArtifactError(message)
+
+
+def check_trace(doc: Any, *, expect_workers: bool = True) -> dict[str, int]:
+    """Validate Chrome trace-event JSON; returns summary counts."""
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        _fail("trace: top level must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        _fail("trace: 'traceEvents' must be a non-empty list")
+    complete = [e for e in events if e.get("ph") == "X"]
+    for event in events:
+        ph = event.get("ph")
+        if ph not in ("M", "X", "i"):
+            _fail(f"trace: unexpected event phase {ph!r}")
+        if ph == "M":
+            continue
+        for key in ("name", "ts", "pid", "tid"):
+            if key not in event:
+                _fail(f"trace: {ph!r} event missing {key!r}")
+        if event["ts"] < 0:
+            _fail("trace: negative timestamp (normalization broken)")
+        if ph == "X" and event.get("dur", -1) < 0:
+            _fail("trace: complete event without a non-negative 'dur'")
+        if "path" not in event.get("args", {}):
+            _fail("trace: span event missing args.path")
+    names = {e["name"] for e in complete}
+    for stage in STAGES:
+        if stage not in names:
+            _fail(f"trace: no span for pipeline stage {stage!r}")
+    pids = {e["pid"] for e in complete}
+    if expect_workers and len(pids) < 2:
+        _fail("trace: expected worker-process lanes, found a single pid")
+    metadata_pids = {e["pid"] for e in events if e.get("ph") == "M"}
+    if not pids <= metadata_pids:
+        _fail("trace: some pid lacks a process_name metadata record")
+    return {"events": len(events), "spans": len(complete), "pids": len(pids)}
+
+
+def check_report(data: Any) -> dict[str, int]:
+    """Validate a run-report JSON document; returns summary counts."""
+    if not isinstance(data, dict):
+        _fail("report: top level must be an object")
+    if data.get("kind") != "run-report":
+        _fail(f"report: kind must be 'run-report', got {data.get('kind')!r}")
+    if data.get("schema") != 1:
+        _fail(f"report: unknown schema {data.get('schema')!r}")
+    for key in (
+        "soc", "pipeline", "width_budget", "compression", "strategy",
+        "test_time", "test_data_volume", "partitions_evaluated",
+        "cpu_seconds", "stage_timings", "metrics", "caches",
+        "tam_utilization", "event_counts",
+    ):
+        if key not in data:
+            _fail(f"report: missing field {key!r}")
+    if data["test_time"] <= 0:
+        _fail("report: test_time must be positive")
+    stages = [entry["stage"] for entry in data["stage_timings"]]
+    if stages != list(STAGES):
+        _fail(f"report: stage_timings {stages} != {list(STAGES)}")
+    if any(entry["seconds"] < 0 for entry in data["stage_timings"]):
+        _fail("report: negative stage timing")
+    metrics = data["metrics"]
+    for section in ("counters", "gauges", "histograms"):
+        if section not in metrics:
+            _fail(f"report: metrics missing {section!r}")
+    for name, hist in metrics["histograms"].items():
+        if len(hist["counts"]) != len(hist["boundaries"]) + 1:
+            _fail(f"report: histogram {name!r} counts/boundaries mismatch")
+        if sum(hist["counts"]) != hist["count"]:
+            _fail(f"report: histogram {name!r} count total mismatch")
+    for row in data["tam_utilization"]:
+        wasted = (row["total_cycles"] - row["busy_cycles"]) * row["width"]
+        if row["wire_cycles_wasted"] != wasted:
+            _fail(
+                f"report: TAM {row['tam']} wire_cycles_wasted "
+                f"{row['wire_cycles_wasted']} != {wasted}"
+            )
+        if not 0.0 <= row["utilization"] <= 1.0:
+            _fail(f"report: TAM {row['tam']} utilization out of [0, 1]")
+    if "wrapper_lru" not in data["caches"]:
+        _fail("report: caches missing 'wrapper_lru'")
+    return {
+        "counters": len(metrics["counters"]),
+        "tams": len(data["tam_utilization"]),
+    }
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(
+            "usage: check_obs_artifacts.py TRACE.json REPORT.json",
+            file=sys.stderr,
+        )
+        return 2
+    trace_path, report_path = argv
+    try:
+        with open(trace_path, "r", encoding="utf-8") as handle:
+            trace_summary = check_trace(json.load(handle))
+        with open(report_path, "r", encoding="utf-8") as handle:
+            report_summary = check_report(json.load(handle))
+    except (OSError, json.JSONDecodeError, ArtifactError, KeyError) as error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: trace has {trace_summary['spans']} spans across "
+        f"{trace_summary['pids']} process lanes; report carries "
+        f"{report_summary['counters']} counters over "
+        f"{report_summary['tams']} TAMs"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -10,6 +10,8 @@ Examples::
     repro-soc simulate d695 --width 16
     repro-soc export d695 --width 24 --out plan.json
     repro-soc power System2 --width 32 --budget-fraction 0.5
+    repro-soc plan d695 --width 16 --trace trace.json --report report.json
+    repro-soc report report.json
 
 Every planning subcommand builds one
 :class:`~repro.pipeline.config.RunConfig` from the shared performance
@@ -23,9 +25,11 @@ on stdout.
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import sys
 
+from repro import obs
 from repro.core.architecture import architecture_summary
 from repro.pipeline import RunConfig
 from repro.pipeline import plan as run_plan
@@ -204,6 +208,21 @@ def _add_perf_args(parser: argparse.ArgumentParser) -> None:
         help="log pipeline run events to stderr (-v stage timings, "
         "-vv every event)",
     )
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON of the run "
+        "(open in Perfetto / chrome://tracing)",
+    )
+    group.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write the run report JSON (render it back with "
+        "'repro-soc report PATH')",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -288,14 +307,72 @@ def build_parser() -> argparse.ArgumentParser:
     _add_perf_args(power)
     power.set_defaults(func=_cmd_power)
 
+    report = sub.add_parser(
+        "report", help="render a saved run-report JSON as summary tables"
+    )
+    report.add_argument("file", help="a --report artifact or result export")
+    report.set_defaults(func=_cmd_report)
+
     return parser
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import RunReport, render_report
+
+    with open(args.file, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    # Accept both a bare run report (--report artifact) and a result
+    # export that embeds one under its "report" key.
+    if data.get("kind") != "run-report" and data.get("report"):
+        data = data["report"]
+    if data.get("kind") == "session-report":
+        print(json.dumps(data, indent=2))
+        return 0
+    try:
+        report = RunReport.from_dict(data)
+    except (KeyError, ValueError) as error:
+        print(f"not a run report: {error}", file=sys.stderr)
+        return 2
+    print(render_report(report))
+    return 0
+
+
+def _write_obs_artifacts(
+    args: argparse.Namespace, active: "obs.Observability"
+) -> None:
+    """Write the --trace / --report files after the command ran."""
+    from repro.obs.report import session_report
+    from repro.obs.trace import write_chrome_trace
+
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        write_chrome_trace(trace_path, active.tracer.snapshot())
+        print(f"wrote trace {trace_path}", file=sys.stderr)
+    report_path = getattr(args, "report", None)
+    if report_path:
+        if active.run_count == 1 and active.last_report is not None:
+            text = active.last_report.to_json()
+        else:
+            text = json.dumps(session_report(active), indent=2)
+        with open(report_path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote report {report_path}", file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     _configure_logging(getattr(args, "verbose", 0))
-    return args.func(args)
+    wants_obs = bool(
+        getattr(args, "trace", None) or getattr(args, "report", None)
+    ) or obs.env_requests_obs()
+    if not wants_obs:
+        return args.func(args)
+    # Scoped so repeated main() calls (tests) never leak a context.
+    with obs.enabled() as active:
+        code = args.func(args)
+        _write_obs_artifacts(args, active)
+    return code
 
 
 if __name__ == "__main__":

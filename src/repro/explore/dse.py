@@ -31,11 +31,13 @@ response flush.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
-from typing import Iterable, Literal
+from typing import Any, Iterable, Literal
 
 import numpy as np
 
+from repro import obs
 from repro.compression.cubes import TestCubeSet, generate_cubes
 from repro.compression.estimator import DEFAULT_SAMPLES, estimate_codewords
 from repro.compression.selective import code_parameters, slice_costs, slice_width_range
@@ -461,24 +463,52 @@ class CoreAnalysis:
 # ---------------------------------------------------------------------------
 
 
+def _precompute_observed(analysis: CoreAnalysis, max_tam_width: int) -> None:
+    """Precompute one core's table under a per-core span + latency metric."""
+    began = time.perf_counter()
+    with obs.span(
+        f"analyze:{analysis.core.name}",
+        core=analysis.core.name,
+        mode=analysis.mode,
+        max_tam_width=max_tam_width,
+    ):
+        analysis.precompute(max_tam_width)
+    obs.observe("analysis.core_seconds", time.perf_counter() - began)
+    obs.inc("analysis.cores_computed")
+
+
 def _snapshot_worker(
-    task: tuple[Core, str, int, int, int, dict | None],
-) -> tuple[str, dict]:
+    task: tuple[Core, str, int, int, int, dict | None, bool],
+) -> tuple[str, dict, dict[str, Any] | None]:
     """Compute one core's full lookup table; runs in a worker process.
 
     The optional seed payload carries entries already known to the
     parent (from the disk cache at a smaller width budget), so the
     worker only evaluates the genuinely missing region.
+
+    When the parent runs under an enabled observability context it sets
+    ``record_obs``; the worker then records its spans and metrics into a
+    *fresh, task-scoped* context -- never the one a forked child may
+    have inherited, which already holds the parent's history -- and
+    ships the portable payload back for the parent to merge.
     """
-    core, mode, samples, grid, max_tam_width, seed_payload = task
+    core, mode, samples, grid, max_tam_width, seed_payload, record_obs = task
     analysis = CoreAnalysis(core, mode=mode, samples=samples, grid=grid)
     if seed_payload is not None:
         try:
             analysis.load_snapshot(seed_payload)
         except SnapshotError:
             pass
-    analysis.precompute(max_tam_width)
-    return core.name, analysis.snapshot()
+    if not record_obs:
+        analysis.precompute(max_tam_width)
+        return core.name, analysis.snapshot(), None
+    with obs.enabled() as local:
+        _precompute_observed(analysis, max_tam_width)
+        payload = {
+            "spans": local.tracer.snapshot(),
+            "metrics": local.registry.snapshot(),
+        }
+    return core.name, analysis.snapshot(), payload
 
 
 def analyze_soc_cores(
@@ -509,51 +539,72 @@ def analyze_soc_cores(
         core.name: analysis_for(core, mode=mode, samples=samples, grid=grid)
         for core in cores
     }
+    obs.inc("analysis.cores_requested", len(analyses))
     if max_tam_width is None or (resolve_jobs(jobs) <= 1 and cache is None):
         return analyses
 
-    pending: list[str] = []
-    for name, analysis in analyses.items():
-        if analysis.is_complete_for(max_tam_width):
-            continue
-        if cache is not None and analysis.fingerprint is not None:
-            payload = cache.load(analysis.fingerprint)
-            if payload is not None:
-                try:
-                    analysis.load_snapshot(payload)
-                except SnapshotError:
-                    pass
+    with obs.span(
+        "analyze-cores", cores=len(analyses), max_tam_width=max_tam_width
+    ) as span_attrs:
+        pending: list[str] = []
+        for name, analysis in analyses.items():
             if analysis.is_complete_for(max_tam_width):
+                obs.inc("analysis.memo_complete")
                 continue
-        pending.append(name)
+            if cache is not None and analysis.fingerprint is not None:
+                payload = cache.load(analysis.fingerprint)
+                if payload is not None:
+                    obs.inc("analysis.disk_cache.hits")
+                    try:
+                        analysis.load_snapshot(payload)
+                    except SnapshotError:
+                        pass
+                else:
+                    obs.inc("analysis.disk_cache.misses")
+                if analysis.is_complete_for(max_tam_width):
+                    continue
+            pending.append(name)
+        span_attrs["pending"] = len(pending)
 
-    if pending:
-        if resolve_jobs(jobs) <= 1:
-            for name in pending:
-                analyses[name].precompute(max_tam_width)
-        else:
-            tasks = []
-            for name in pending:
-                analysis = analyses[name]
-                partially_warm = analysis._compressed or analysis._uncompressed
-                seed = analysis.snapshot() if partially_warm else None
-                tasks.append(
-                    (
-                        analysis.core,
-                        analysis.mode,
-                        analysis.samples,
-                        analysis.grid,
-                        max_tam_width,
-                        seed,
-                    )
+        if pending:
+            if resolve_jobs(jobs) <= 1:
+                for name in pending:
+                    _precompute_observed(analyses[name], max_tam_width)
+            else:
+                active = obs.current()
+                parent_path = (
+                    active.tracer.current_path() if active is not None else ""
                 )
-            for name, payload in parallel_map(_snapshot_worker, tasks, jobs=jobs):
-                analyses[name].load_snapshot(payload)
-        if cache is not None:
-            for name in pending:
-                fingerprint = analyses[name].fingerprint
-                if fingerprint is not None:
-                    cache.store(fingerprint, analyses[name].snapshot())
+                tasks = []
+                for name in pending:
+                    analysis = analyses[name]
+                    partially_warm = analysis._compressed or analysis._uncompressed
+                    seed = analysis.snapshot() if partially_warm else None
+                    tasks.append(
+                        (
+                            analysis.core,
+                            analysis.mode,
+                            analysis.samples,
+                            analysis.grid,
+                            max_tam_width,
+                            seed,
+                            active is not None,
+                        )
+                    )
+                for name, payload, worker_obs in parallel_map(
+                    _snapshot_worker, tasks, jobs=jobs
+                ):
+                    analyses[name].load_snapshot(payload)
+                    if worker_obs is not None and active is not None:
+                        active.tracer.merge(
+                            worker_obs["spans"], parent_path=parent_path
+                        )
+                        active.registry.merge(worker_obs["metrics"])
+            if cache is not None:
+                for name in pending:
+                    fingerprint = analyses[name].fingerprint
+                    if fingerprint is not None:
+                        cache.store(fingerprint, analyses[name].snapshot())
     return analyses
 
 

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro import obs
+
 T = TypeVar("T")
 
 
@@ -20,6 +22,8 @@ def pareto_front(
     occurrence (stable).
     """
     ordered = sorted(items, key=lambda it: (resource(it), cost(it)))
+    obs.inc("explore.pareto_front_evaluations")
+    obs.inc("explore.pareto_items_considered", len(ordered))
     front: list[T] = []
     best_cost = float("inf")
     last_resource: float | None = None

@@ -1,0 +1,88 @@
+"""Observability: metrics, hierarchical tracing, and run reports.
+
+The package gives the planning engine one instrumentation surface:
+
+* :mod:`repro.obs.metrics` -- process-local counters / gauges /
+  histograms with explicit snapshot+merge for cross-process collection;
+* :mod:`repro.obs.trace` -- hierarchical spans serializable to Chrome
+  trace-event JSON (Perfetto-loadable), with worker-lane merging;
+* :mod:`repro.obs.context` -- the global enable/disable switchboard and
+  the no-op-when-disabled helpers hot paths call;
+* :mod:`repro.obs.report` -- the exportable :class:`RunReport` artifact
+  attached to ``PlanResult.report`` and rendered by ``repro-soc report``.
+
+Quick start::
+
+    from repro import obs
+
+    with obs.enabled() as o:
+        result = plan(soc, 32, RunConfig(jobs=4))
+    obs.write_chrome_trace("trace.json", o.tracer.spans)
+    print(obs.render_report(result.report))
+
+Disabled (the default) costs one global read per instrumentation call;
+results are bit-identical with observability on or off.
+"""
+
+from repro.obs.context import (
+    ENV_OBS,
+    Observability,
+    current,
+    disable,
+    enable,
+    enabled,
+    env_requests_obs,
+    inc,
+    instant,
+    is_enabled,
+    observe,
+    set_gauge,
+    span,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.report import (
+    REPORT_SCHEMA_VERSION,
+    RunReport,
+    build_run_report,
+    render_report,
+    session_report,
+)
+from repro.obs.trace import Span, Tracer, chrome_trace, write_chrome_trace
+
+__all__ = [
+    "ENV_OBS",
+    "Observability",
+    "current",
+    "disable",
+    "enable",
+    "enabled",
+    "env_requests_obs",
+    "inc",
+    "instant",
+    "is_enabled",
+    "observe",
+    "set_gauge",
+    "span",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "REPORT_SCHEMA_VERSION",
+    "RunReport",
+    "build_run_report",
+    "render_report",
+    "session_report",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "write_chrome_trace",
+]

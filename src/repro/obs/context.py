@@ -1,0 +1,168 @@
+"""The observability switchboard: one global, explicitly enabled context.
+
+An :class:`Observability` bundles a
+:class:`~repro.obs.metrics.MetricsRegistry` with a
+:class:`~repro.obs.trace.Tracer`.  Exactly one (or none) is *current*
+per process; library instrumentation goes through the module-level
+helpers (:func:`span`, :func:`instant`, :func:`inc`, :func:`observe`,
+:func:`set_gauge`), which are near-free no-ops while nothing is
+current -- a single global read and a return.  That is the contract
+that lets hot paths stay instrumented unconditionally: disabled
+observability must not show up in a profile, and planning results are
+bit-identical either way (instrumentation never feeds back into the
+computation).
+
+Enablement is explicit and process-local:
+
+* :func:`enable` / :func:`disable` flip the process's current context
+  (the CLI enables when ``--trace``/``--report`` is given, or when
+  ``REPRO_OBS`` is set non-empty);
+* :func:`enabled` is the scoped variant tests and library callers use
+  -- it installs a fresh context and restores the previous one on exit;
+* worker processes never inherit an enabled context implicitly: the
+  fan-out in :mod:`repro.explore.dse` passes an explicit flag and the
+  worker builds its own scoped context, so forked children cannot leak
+  the parent's already-recorded spans back in their payloads.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, ContextManager, Iterator
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.trace import Tracer
+
+#: Set non-empty to make the CLI enable observability for every run.
+ENV_OBS = "REPRO_OBS"
+
+
+class Observability:
+    """One metrics registry plus one tracer, collected together."""
+
+    def __init__(
+        self,
+        *,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        #: The most recent pipeline run's :class:`~repro.obs.report.RunReport`
+        #: and how many runs this context has observed -- what the CLI's
+        #: ``--report`` flag writes (falling back to a session report when
+        #: the command executed more than one run).
+        self.last_report: Any | None = None
+        self.run_count: int = 0
+
+
+_CURRENT: Observability | None = None
+
+
+def current() -> Observability | None:
+    """The process's current observability context, or ``None``."""
+    return _CURRENT
+
+
+def is_enabled() -> bool:
+    return _CURRENT is not None
+
+
+def enable(obs: Observability | None = None) -> Observability:
+    """Install ``obs`` (or a fresh context) as current; returns it."""
+    global _CURRENT
+    _CURRENT = obs if obs is not None else Observability()
+    return _CURRENT
+
+
+def disable() -> None:
+    """Clear the current context; instrumentation reverts to no-ops."""
+    global _CURRENT
+    _CURRENT = None
+
+
+@contextmanager
+def enabled(obs: Observability | None = None) -> Iterator[Observability]:
+    """Scoped :func:`enable`: restores the previous context on exit."""
+    global _CURRENT
+    previous = _CURRENT
+    active = enable(obs)
+    try:
+        yield active
+    finally:
+        _CURRENT = previous
+
+
+def env_requests_obs() -> bool:
+    """Whether ``REPRO_OBS`` asks for observability to be on."""
+    return bool(os.environ.get(ENV_OBS, "").strip())
+
+
+# ---------------------------------------------------------------------------
+# No-op machinery: the disabled fast path allocates nothing.
+# ---------------------------------------------------------------------------
+
+
+class _NullSpan:
+    """Reusable context manager for the disabled case."""
+
+    __slots__ = ()
+
+    #: The attrs mapping a real span yields; shared and intentionally
+    #: discarded -- writes to it are lost, exactly like the disabled
+    #: metrics helpers.
+    _ATTRS: dict[str, Any] = {}
+
+    def __enter__(self) -> dict[str, Any]:
+        self._ATTRS.clear()
+        return self._ATTRS
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+# ---------------------------------------------------------------------------
+# Instrumentation helpers (the only API hot paths should touch).
+# ---------------------------------------------------------------------------
+
+
+def span(name: str, **attrs: Any) -> ContextManager[dict[str, Any]]:
+    """Bracket a region under the current tracer (no-op when disabled)."""
+    obs = _CURRENT
+    if obs is None:
+        return _NULL_SPAN
+    return obs.tracer.span(name, **attrs)
+
+
+def instant(name: str, **attrs: Any) -> None:
+    """Record an instant marker (no-op when disabled)."""
+    obs = _CURRENT
+    if obs is not None:
+        obs.tracer.instant(name, **attrs)
+
+
+def inc(name: str, amount: int = 1) -> None:
+    """Bump a counter on the current registry (no-op when disabled)."""
+    obs = _CURRENT
+    if obs is not None:
+        obs.registry.inc(name, amount)
+
+
+def observe(
+    name: str, value: float, boundaries: tuple[float, ...] = DEFAULT_BUCKETS
+) -> None:
+    """Record a histogram observation (no-op when disabled)."""
+    obs = _CURRENT
+    if obs is not None:
+        obs.registry.observe(name, value, boundaries)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge on the current registry (no-op when disabled)."""
+    obs = _CURRENT
+    if obs is not None:
+        obs.registry.set_gauge(name, value)

@@ -1,0 +1,235 @@
+"""Process-local metrics: counters, gauges, histograms, registries.
+
+A :class:`MetricsRegistry` is a named bag of instruments.  Each process
+owns its registries outright -- there is no shared memory and no
+background aggregator.  Cross-process collection is explicit instead:
+a worker snapshots its registry (:meth:`MetricsRegistry.snapshot`, a
+plain JSON-ready dict) and returns the snapshot alongside its results;
+the parent folds it in with :meth:`MetricsRegistry.merge`.  That keeps
+the instruments lock-cheap on the hot path and makes the merge points
+visible in the code that owns them (see
+:func:`repro.explore.dse.analyze_soc_cores`).
+
+Instrument semantics follow the usual conventions:
+
+* **Counter** -- monotonically increasing total; merges by addition.
+* **Gauge** -- last-observed value; a merge keeps the parent's value
+  and only adopts keys the parent has never set.
+* **Histogram** -- fixed bucket boundaries chosen at creation time
+  (never resized, so histograms from different processes merge by
+  element-wise addition).  ``counts[i]`` holds observations with
+  ``value <= boundaries[i]``; the final bucket is the overflow.
+
+The module-level :func:`default_registry` exists for convenience;
+injectable instances (the pipeline threads one through
+:class:`repro.obs.context.Observability`) are the primary citizens.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Iterable, Mapping
+
+#: Default histogram boundaries, in seconds: spans the microsecond
+#: lookup memos up to the minutes-long industrial analyses.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Observation distribution over fixed bucket boundaries."""
+
+    __slots__ = ("boundaries", "counts", "total", "count")
+
+    def __init__(self, boundaries: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ValueError("a histogram needs at least one boundary")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"boundaries must strictly increase, got {bounds}")
+        self.boundaries = bounds
+        #: counts[i] <= boundaries[i]; counts[-1] is the overflow bucket.
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.boundaries, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """A named bag of counters, gauges, and histograms.
+
+    Instrument creation is serialized under a lock; the returned
+    instrument objects themselves are plain attribute updates, cheap
+    enough for per-core (not per-lookup) granularity on hot paths.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument access (get-or-create).
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter())
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(name, Gauge())
+        return gauge
+
+    def histogram(
+        self, name: str, boundaries: Iterable[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(
+                    name, Histogram(boundaries)
+                )
+        return histogram
+
+    # ------------------------------------------------------------------
+    # One-line conveniences.
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        boundaries: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.histogram(name, boundaries).observe(value)
+
+    # ------------------------------------------------------------------
+    # Snapshot / merge: the cross-process protocol.
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready dump of every instrument's current state."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: g.value for name, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: {
+                        "boundaries": list(h.boundaries),
+                        "counts": list(h.counts),
+                        "sum": h.total,
+                        "count": h.count,
+                    }
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) in.
+
+        Counters and histograms add; histogram boundaries must match
+        (they are fixed at creation and identical across processes
+        running the same code).  Gauges keep the parent's value -- a
+        worker's point-in-time reading does not override the parent's --
+        and are only adopted for names the parent never set.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            if name not in self._gauges:
+                self.set_gauge(name, value)
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name, data["boundaries"])
+            if list(histogram.boundaries) != [
+                float(b) for b in data["boundaries"]
+            ]:
+                raise ValueError(
+                    f"histogram {name!r} boundary mismatch on merge"
+                )
+            for i, count in enumerate(data["counts"]):
+                histogram.counts[i] += int(count)
+            histogram.total += float(data["sum"])
+            histogram.count += int(data["count"])
+
+    def clear(self) -> None:
+        """Drop every instrument (tests use this for isolation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide fallback registry."""
+    return _DEFAULT

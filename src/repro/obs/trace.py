@@ -1,0 +1,280 @@
+"""Hierarchical spans and Chrome trace-event export.
+
+A :class:`Tracer` records :class:`Span` intervals.  Nesting is implicit
+through a per-thread span stack: ``span("wrapper")`` entered inside
+``span("pipeline/standard")`` records the hierarchical path
+``pipeline/standard/wrapper``.  Spans carry free-form attributes and
+both identifiers Perfetto lanes on -- the recording process id and
+thread id -- so spans collected in ``ProcessPoolExecutor`` workers and
+merged into the parent tracer (:meth:`Tracer.merge`) land in their own
+worker lanes of one coherent timeline.
+
+Timestamps are wall-clock epoch seconds (``time.time()``), not
+``perf_counter``: epoch time is the one clock every process on the
+machine shares, which is what makes cross-process merging a plain list
+concatenation instead of a clock-alignment problem.
+
+:func:`chrome_trace` renders any span collection to the Chrome
+trace-event JSON format (``{"traceEvents": [...]}``), loadable in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class Span:
+    """One recorded interval (or instant) of a traced run."""
+
+    name: str
+    #: Slash-joined ancestry, e.g. ``pipeline/standard/wrapper/analyze:c1``.
+    path: str
+    #: Epoch seconds (``time.time()``); ``end == start`` for instants.
+    start: float
+    end: float
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+    pid: int = 0
+    tid: int = 0
+    kind: str = "span"  # "span" | "instant"
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        """Portable form (workers ship these back to the parent)."""
+        return {
+            "name": self.name,
+            "path": self.path,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+            "pid": self.pid,
+            "tid": self.tid,
+            "kind": self.kind,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "Span":
+        return Span(
+            name=str(data["name"]),
+            path=str(data["path"]),
+            start=float(data["start"]),
+            end=float(data["end"]),
+            attrs=dict(data.get("attrs", {})),
+            pid=int(data.get("pid", 0)),
+            tid=int(data.get("tid", 0)),
+            kind=str(data.get("kind", "span")),
+        )
+
+
+class Tracer:
+    """Collects the spans of one observed run (or worker task)."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current_path(self) -> str:
+        """Hierarchical path of the innermost open span ("" at top level)."""
+        stack = self._stack()
+        return stack[-1] if stack else ""
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[dict[str, Any]]:
+        """Bracket a region; yields the (mutable) attribute mapping.
+
+        The span is recorded on exit -- including the error path, where
+        an ``error`` attribute is added -- so partially executed regions
+        still show up in the trace.
+        """
+        stack = self._stack()
+        path = f"{stack[-1]}/{name}" if stack else name
+        stack.append(path)
+        start = time.time()
+        span_attrs = dict(attrs)
+        try:
+            yield span_attrs
+        except BaseException as exc:
+            span_attrs["error"] = repr(exc)
+            raise
+        finally:
+            stack.pop()
+            self._record(
+                Span(
+                    name=name,
+                    path=path,
+                    start=start,
+                    end=time.time(),
+                    attrs=span_attrs,
+                    pid=os.getpid(),
+                    tid=threading.get_ident(),
+                )
+            )
+
+    def instant(self, name: str, **attrs: Any) -> None:
+        """Record a zero-duration marker under the current span."""
+        stack = self._stack()
+        path = f"{stack[-1]}/{name}" if stack else name
+        now = time.time()
+        self._record(
+            Span(
+                name=name,
+                path=path,
+                start=now,
+                end=now,
+                attrs=attrs,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                kind="instant",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Cross-process collection.
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Portable dump of every recorded span (JSON/pickle-ready)."""
+        with self._lock:
+            return [span.to_dict() for span in self.spans]
+
+    def merge(
+        self,
+        spans: Iterable[Mapping[str, Any]],
+        *,
+        parent_path: str | None = None,
+    ) -> int:
+        """Fold portable span dicts (from a worker) into this tracer.
+
+        ``parent_path`` re-roots the incoming paths under a span of this
+        tracer, so a worker's ``analyze:c1`` reads as
+        ``pipeline/standard/wrapper/analyze:c1`` in the merged
+        hierarchy.  Lanes (pid/tid) are preserved: the merged trace
+        keeps one lane per worker process.  Returns the span count.
+        """
+        merged = 0
+        for data in spans:
+            span = Span.from_dict(data)
+            if parent_path:
+                span = Span(
+                    name=span.name,
+                    path=f"{parent_path}/{span.path}",
+                    start=span.start,
+                    end=span.end,
+                    attrs=span.attrs,
+                    pid=span.pid,
+                    tid=span.tid,
+                    kind=span.kind,
+                )
+            self._record(span)
+            merged += 1
+        return merged
+
+    def clear(self) -> None:
+        with self._lock:
+            self.spans.clear()
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event export.
+# ---------------------------------------------------------------------------
+
+
+def chrome_trace(
+    spans: Sequence[Span] | Sequence[Mapping[str, Any]],
+) -> dict[str, Any]:
+    """Render spans as a Chrome trace-event JSON object.
+
+    Accepts :class:`Span` objects or their :meth:`Span.to_dict`
+    portable form.  Durations become ``"X"`` (complete) events and
+    instants ``"i"`` events.  Timestamps are microseconds relative to
+    the earliest span, lanes come straight from each span's (pid, tid),
+    and every process gets a ``process_name`` metadata record -- the
+    parent is labeled ``repro`` and every other pid ``repro worker``.
+    Nesting inside a lane is positional (contained intervals), which is
+    how Perfetto reconstructs the hierarchy from ``X`` events.
+    """
+    spans = [
+        item if isinstance(item, Span) else Span.from_dict(item)
+        for item in spans
+    ]
+    events: list[dict[str, Any]] = []
+    if not spans:
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+    t0 = min(span.start for span in spans)
+    parent_pid = os.getpid()
+    for pid in sorted({span.pid for span in spans}):
+        label = "repro" if pid == parent_pid else "repro worker"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"{label} (pid {pid})"},
+            }
+        )
+    for span in spans:
+        ts = (span.start - t0) * 1e6
+        args = {"path": span.path, **span.attrs}
+        if span.kind == "instant":
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "i",
+                    "ts": ts,
+                    "pid": span.pid,
+                    "tid": span.tid,
+                    "s": "t",
+                    "args": args,
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": ts,
+                    "dur": (span.end - span.start) * 1e6,
+                    "pid": span.pid,
+                    "tid": span.tid,
+                    "args": args,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str | os.PathLike[str],
+    spans: Sequence[Span] | Sequence[Mapping[str, Any]],
+) -> None:
+    """Write :func:`chrome_trace` JSON to ``path``."""
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(spans), handle, indent=1)
+        handle.write("\n")

@@ -18,6 +18,7 @@ Events flow to two places:
 
 from __future__ import annotations
 
+import json
 import logging
 import time
 from contextlib import contextmanager
@@ -50,9 +51,28 @@ class RunEvent:
     def format(self) -> str:
         """Single-line human rendering (used by the logger mirror)."""
         where = f" [{self.stage}]" if self.stage else ""
-        details = " ".join(f"{k}={v}" for k, v in self.payload.items())
+        details = " ".join(
+            f"{k}={_format_value(v)}" for k, v in self.payload.items()
+        )
         text = f"+{self.elapsed:.3f}s {self.kind}{where}"
         return f"{text} {details}" if details else text
+
+
+def _format_value(value: Any) -> str:
+    """Render one payload value for the single-line event format.
+
+    Scalars print bare; containers (lists, dicts, tuples) are
+    compact-JSON-encoded so a payload like ``widths=[9, 7]`` stays
+    greppable instead of degrading to ``widths=[9, 7]``-with-spaces or
+    a ``repr`` full of quotes.  Values JSON cannot express fall back to
+    ``repr``.
+    """
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return str(value)
+    try:
+        return json.dumps(value, separators=(",", ":"), default=repr)
+    except (TypeError, ValueError):
+        return repr(value)
 
 
 #: A sink receives every event of the run it is attached to.
@@ -107,11 +127,18 @@ class EventRecorder:
     # ------------------------------------------------------------------
 
     def stage_timings(self) -> tuple[tuple[str, float], ...]:
-        """(stage name, seconds) for every completed stage, in order."""
+        """(stage name, seconds) for every completed stage, in order.
+
+        Only events that actually name their stage contribute: a
+        hand-emitted ``stage-end`` with ``stage=None`` used to leak an
+        unusable ``("", seconds)`` row into ``PlanResult.stage_timings``
+        and every report built on it, so anonymous stage ends are
+        skipped instead.
+        """
         return tuple(
-            (event.stage or "", float(event.payload["seconds"]))
+            (event.stage, float(event.payload["seconds"]))
             for event in self.events
-            if event.kind == "stage-end"
+            if event.kind == "stage-end" and event.stage is not None
         )
 
     @property

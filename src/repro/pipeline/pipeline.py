@@ -18,10 +18,12 @@ implementations (differentially tested).
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Iterable, Sequence
 
+from repro import obs
 from repro.pipeline.config import RunConfig
-from repro.pipeline.events import EventRecorder, EventSink
+from repro.pipeline.events import EventRecorder, EventSink, RunEvent
 from repro.pipeline.result import PlanResult
 from repro.pipeline.stages import (
     DecompressorStage,
@@ -102,48 +104,104 @@ class Pipeline:
             sinks = (events,)
         else:
             sinks = tuple(events)
+        # Bridge the event stream into the trace so there is ONE
+        # timeline: stage brackets become spans (below); every other
+        # event kind lands as an instant marker inside its span.
+        active = obs.current()
+        if active is not None:
+            sinks = sinks + (_event_bridge(active),)
         config = config if config is not None else RunConfig()
         recorder = EventRecorder(*sinks)
-        recorder.emit(
-            "run-start",
-            pipeline=self.name,
+        with obs.span(
+            f"pipeline/{self.name}",
             soc=soc.name,
             width_budget=width_budget,
             compression=config.compression,
-            stages=[stage.name for stage in self.stages],
-        )
-        ctx = PlanContext(soc, width_budget, config, recorder)
-        for stage in self.stages:
-            with recorder.stage(stage.name):
-                stage.run(ctx)
-        if ctx.architecture is None:
-            raise RuntimeError(
-                f"pipeline {self.name!r} finished without producing an "
-                "architecture; it needs a schedule stage"
+        ):
+            recorder.emit(
+                "run-start",
+                pipeline=self.name,
+                soc=soc.name,
+                width_budget=width_budget,
+                compression=config.compression,
+                stages=[stage.name for stage in self.stages],
             )
-        result = PlanResult(
-            soc_name=soc.name,
-            width_budget=width_budget,
-            compression=config.compression,
-            architecture=ctx.architecture,
-            cpu_seconds=recorder.total_seconds,
-            partitions_evaluated=ctx.partitions_evaluated,
-            strategy=ctx.strategy,
-            peak_power=ctx.peak_power,
-            power_budget=config.power_budget,
-            tam_idle_cycles=ctx.tam_idle_cycles,
-            stage_timings=recorder.stage_timings(),
-        )
-        recorder.emit(
-            "run-end",
-            pipeline=self.name,
-            soc=soc.name,
-            test_time=result.test_time,
-            seconds=result.cpu_seconds,
-            partitions=result.partitions_evaluated,
-            strategy=result.strategy,
-        )
+            ctx = PlanContext(soc, width_budget, config, recorder)
+            for stage in self.stages:
+                with recorder.stage(stage.name), obs.span(stage.name):
+                    stage.run(ctx)
+            if ctx.architecture is None:
+                raise RuntimeError(
+                    f"pipeline {self.name!r} finished without producing an "
+                    "architecture; it needs a schedule stage"
+                )
+            result = PlanResult(
+                soc_name=soc.name,
+                width_budget=width_budget,
+                compression=config.compression,
+                architecture=ctx.architecture,
+                cpu_seconds=recorder.total_seconds,
+                partitions_evaluated=ctx.partitions_evaluated,
+                strategy=ctx.strategy,
+                peak_power=ctx.peak_power,
+                power_budget=config.power_budget,
+                tam_idle_cycles=ctx.tam_idle_cycles,
+                stage_timings=recorder.stage_timings(),
+            )
+            recorder.emit(
+                "run-end",
+                pipeline=self.name,
+                soc=soc.name,
+                test_time=result.test_time,
+                seconds=result.cpu_seconds,
+                partitions=result.partitions_evaluated,
+                strategy=result.strategy,
+            )
+        if active is not None:
+            from repro.obs.report import build_run_report
+
+            active.run_count += 1
+            result = dataclasses.replace(
+                result,
+                report=build_run_report(
+                    soc_name=soc.name,
+                    pipeline=self.name,
+                    width_budget=width_budget,
+                    compression=config.compression,
+                    strategy=result.strategy,
+                    partitions_evaluated=result.partitions_evaluated,
+                    cpu_seconds=result.cpu_seconds,
+                    architecture=result.architecture,
+                    recorder=recorder,
+                    obs=active,
+                    tables=ctx.tables,
+                ),
+            )
+            active.last_report = result.report
         return result
+
+
+#: Event kinds already represented as spans; everything else bridges
+#: into the trace as an instant marker.
+_BRACKET_KINDS = frozenset(
+    {"run-start", "run-end", "stage-start", "stage-end"}
+)
+
+
+def _event_bridge(active: obs.Observability) -> EventSink:
+    """A sink mirroring detail events into the active trace."""
+
+    def bridge(event: RunEvent) -> None:
+        if event.kind in _BRACKET_KINDS:
+            return
+        payload = {
+            k: v
+            for k, v in event.payload.items()
+            if isinstance(v, (str, int, float, bool)) or v is None
+        }
+        active.tracer.instant(event.kind, **payload)
+
+    return bridge
 
 
 def pipeline_for(config: RunConfig) -> Pipeline:

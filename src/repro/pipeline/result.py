@@ -15,9 +15,13 @@ aliases of this class for backward compatibility.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.architecture import TestArchitecture
+
+if TYPE_CHECKING:
+    from repro.obs.report import RunReport
 
 
 @dataclass(frozen=True)
@@ -35,6 +39,11 @@ class PlanResult:
     power_budget: float | None = None
     tam_idle_cycles: int = 0
     stage_timings: tuple[tuple[str, float], ...] = ()
+    #: Observability artifact, attached when a run executes under an
+    #: enabled :mod:`repro.obs` context; ``None`` otherwise.  Excluded
+    #: from equality so plans stay comparable across observed and
+    #: unobserved runs (bit-identical results is the engine invariant).
+    report: "RunReport | None" = field(default=None, compare=False, repr=False)
 
     @property
     def test_time(self) -> int:

@@ -31,6 +31,7 @@ from __future__ import annotations
 import abc
 from typing import Any, Callable
 
+from repro import obs
 from repro.core.architecture import (
     DecompressorPlacement,
     ScheduledCore,
@@ -184,14 +185,19 @@ class ArchitectureStage(Stage):
     def run(self, ctx: PlanContext) -> None:
         config = ctx.config
         tables = _require_tables(ctx, self.name)
-        search = search_partitions(
-            ctx.names,
-            ctx.width_budget,
-            tables.time_of,
-            max_parts=config.max_tams,
-            min_width=config.min_tam_width,
-            strategy=self.strategy or config.strategy,
-        )
+        with obs.span(
+            "search", strategy=self.strategy or config.strategy
+        ) as attrs:
+            search = search_partitions(
+                ctx.names,
+                ctx.width_budget,
+                tables.time_of,
+                max_parts=config.max_tams,
+                min_width=config.min_tam_width,
+                strategy=self.strategy or config.strategy,
+            )
+            attrs["partitions"] = search.partitions_evaluated
+        obs.inc("architecture.partitions_evaluated", search.partitions_evaluated)
         ctx.search = search
         ctx.partitions_evaluated = search.partitions_evaluated
         ctx.strategy = search.strategy
@@ -236,20 +242,23 @@ class ConstrainedArchitectureStage(Stage):
 
         best: ConstrainedSchedule | None = None
         evaluated = 0
-        for widths in iter_partitions(
-            ctx.width_budget, max_tams, config.min_tam_width
-        ):
-            schedule = schedule_constrained(
-                ctx.names,
-                widths,
-                tables.time_of,
-                power_of=power_of,
-                power_budget=config.power_budget,
-                precedence=config.precedence,
-            )
-            evaluated += 1
-            if best is None or schedule.makespan < best.makespan:
-                best = schedule
+        with obs.span("search", strategy="exhaustive") as attrs:
+            for widths in iter_partitions(
+                ctx.width_budget, max_tams, config.min_tam_width
+            ):
+                schedule = schedule_constrained(
+                    ctx.names,
+                    widths,
+                    tables.time_of,
+                    power_of=power_of,
+                    power_budget=config.power_budget,
+                    precedence=config.precedence,
+                )
+                evaluated += 1
+                if best is None or schedule.makespan < best.makespan:
+                    best = schedule
+            attrs["partitions"] = evaluated
+        obs.inc("architecture.partitions_evaluated", evaluated)
         assert best is not None
         ctx.extras["constrained_schedule"] = best
         ctx.partitions_evaluated = evaluated
@@ -331,6 +340,7 @@ class PerTamArchitectureStage(Stage):
                 best_arch = (makespan, widths, shared_ms, list(outcome.assignment))
 
         assert best_arch is not None
+        obs.inc("architecture.partitions_evaluated", evaluated)
         ctx.extras["per_tam_best"] = best_arch
         ctx.partitions_evaluated = evaluated
         ctx.strategy = "exhaustive"
@@ -365,6 +375,10 @@ class RobustArchitectureStage(Stage):
             min_width=config.min_tam_width,
             strategy=config.strategy,
         )
+        obs.inc(
+            "architecture.partitions_evaluated",
+            robust.search.partitions_evaluated,
+        )
         ctx.search = robust.search
         ctx.partitions_evaluated = robust.search.partitions_evaluated
         ctx.strategy = f"robust-{robust.search.strategy}"
@@ -398,14 +412,16 @@ class ScheduleStage(Stage):
                 "architecture stage first"
             )
         tables = _require_tables(ctx, self.name)
-        ctx.architecture = build_architecture(
-            ctx.soc.name,
-            ctx.names,
-            ctx.search.outcome,
-            tables.config_of,
-            placement=ctx.placement,
-            ate_channels=ctx.width_budget,
-        )
+        with obs.span("place-cores", cores=len(ctx.names)):
+            ctx.architecture = build_architecture(
+                ctx.soc.name,
+                ctx.names,
+                ctx.search.outcome,
+                tables.config_of,
+                placement=ctx.placement,
+                ate_channels=ctx.width_budget,
+            )
+        obs.inc("schedule.cores_scheduled", len(ctx.architecture.scheduled))
         ctx.events.emit(
             "scheduled",
             self.name,

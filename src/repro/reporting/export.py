@@ -93,6 +93,8 @@ def result_to_dict(result: PlanResult) -> dict[str, Any]:
             for stage, seconds in result.stage_timings
         ],
     }
+    if result.report is not None:
+        payload["report"] = result.report.to_dict()
     return payload
 
 
@@ -148,6 +150,11 @@ def result_from_dict(data: dict[str, Any]) -> PlanResult:
             "payload has no 'optimizer' section; use architecture_from_dict "
             "for bare architecture exports"
         )
+    report = None
+    if data.get("report") is not None:
+        from repro.obs.report import RunReport
+
+        report = RunReport.from_dict(data["report"])
     return PlanResult(
         soc_name=data["soc"],
         width_budget=optimizer["width_budget"],
@@ -163,6 +170,7 @@ def result_from_dict(data: dict[str, Any]) -> PlanResult:
             (entry["stage"], entry["seconds"])
             for entry in optimizer.get("stage_timings", ())
         ),
+        report=report,
     )
 
 

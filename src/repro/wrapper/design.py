@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.soc.core import Core
 
 
@@ -177,6 +178,7 @@ def design_wrapper(core: Core, m: int) -> WrapperDesign:
         return design
     design = _design_wrapper_uncached(core, m)
     _WRAPPER_CACHE_COUNTERS["misses"] += 1
+    obs.inc("wrapper.designs_computed")
     _WRAPPER_CACHE[key] = design
     while len(_WRAPPER_CACHE) > WRAPPER_CACHE_MAX_ENTRIES:
         _WRAPPER_CACHE.popitem(last=False)

@@ -1,0 +1,86 @@
+"""The observability switchboard: enable/disable and no-op helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_context():
+    assert obs.current() is None, "a previous test leaked an obs context"
+    yield
+    obs.disable()
+
+
+class TestSwitchboard:
+    def test_disabled_by_default(self):
+        assert obs.current() is None
+        assert not obs.is_enabled()
+
+    def test_enable_disable(self):
+        active = obs.enable()
+        assert obs.current() is active
+        assert obs.is_enabled()
+        obs.disable()
+        assert obs.current() is None
+
+    def test_enabled_scope_restores_previous(self):
+        outer = obs.enable()
+        with obs.enabled() as inner:
+            assert obs.current() is inner
+            assert inner is not outer
+        assert obs.current() is outer
+
+    def test_enabled_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with obs.enabled():
+                raise RuntimeError("boom")
+        assert obs.current() is None
+
+    def test_env_requests_obs(self, monkeypatch):
+        monkeypatch.delenv(obs.ENV_OBS, raising=False)
+        assert not obs.env_requests_obs()
+        monkeypatch.setenv(obs.ENV_OBS, "1")
+        assert obs.env_requests_obs()
+        monkeypatch.setenv(obs.ENV_OBS, "  ")
+        assert not obs.env_requests_obs()
+
+
+class TestHelpers:
+    def test_noops_while_disabled(self):
+        obs.inc("n")
+        obs.observe("lat", 0.5)
+        obs.set_gauge("g", 1.0)
+        obs.instant("marker")
+        with obs.span("region", core="c1") as attrs:
+            attrs["extra"] = 1  # writes to the null span are discarded
+        # Nothing anywhere records anything.
+        assert obs.current() is None
+
+    def test_helpers_hit_the_current_context(self):
+        with obs.enabled() as active:
+            obs.inc("n", 2)
+            obs.observe("lat", 0.5)
+            obs.set_gauge("g", 0.75)
+            with obs.span("outer"):
+                obs.instant("marker")
+                with obs.span("inner") as attrs:
+                    attrs["deep"] = True
+        snap = active.registry.snapshot()
+        assert snap["counters"]["n"] == 2
+        assert snap["gauges"]["g"] == 0.75
+        assert snap["histograms"]["lat"]["count"] == 1
+        paths = [s.path for s in active.tracer.spans]
+        assert "outer/inner" in paths
+        assert "outer/marker" in paths
+
+    def test_nested_scopes_do_not_cross_record(self):
+        with obs.enabled() as outer:
+            obs.inc("outer_only")
+            with obs.enabled() as inner:
+                obs.inc("inner_only")
+            obs.inc("outer_only")
+        assert outer.registry.snapshot()["counters"] == {"outer_only": 2}
+        assert inner.registry.snapshot()["counters"] == {"inner_only": 1}

@@ -1,0 +1,182 @@
+"""Acceptance tests: observability changes nothing, captures everything.
+
+The ISSUE's acceptance criteria, on d695:
+
+* planning results are bit-identical with observability enabled and
+  disabled (instrumentation never feeds back into the computation);
+* an observed run yields nested spans from all four pipeline stages;
+* a parallel run merges ``ProcessPoolExecutor`` worker spans into the
+  parent timeline with their own pid lanes;
+* the ``--trace`` artifact is valid Chrome trace-event JSON and the
+  ``--report`` artifact's metric totals match the run differentially.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.pipeline import RunConfig, plan
+from repro.soc.benchmarks import load_benchmark
+
+WIDTH = 16
+
+
+@pytest.fixture(scope="module")
+def d695():
+    return load_benchmark("d695")
+
+
+@pytest.fixture(scope="module")
+def baseline(d695):
+    """The un-observed reference plan."""
+    return plan(d695, WIDTH, RunConfig())
+
+
+@pytest.fixture(scope="module")
+def observed_parallel(d695):
+    """One observed parallel run: (result, spans, metrics snapshot)."""
+    with obs.enabled() as active:
+        result = plan(d695, WIDTH, RunConfig(jobs=2))
+        spans = list(active.tracer.spans)
+        metrics = active.registry.snapshot()
+    return result, spans, metrics
+
+
+class TestBitIdentity:
+    def test_serial_observed_equals_baseline(self, d695, baseline):
+        with obs.enabled():
+            result = plan(d695, WIDTH, RunConfig())
+        assert result.architecture == baseline.architecture
+        assert result.partitions_evaluated == baseline.partitions_evaluated
+
+    def test_parallel_observed_equals_baseline(
+        self, baseline, observed_parallel
+    ):
+        result, _, _ = observed_parallel
+        assert result.architecture == baseline.architecture
+
+    def test_baseline_has_no_report(self, baseline):
+        assert baseline.report is None
+
+
+class TestSpanCoverage:
+    def test_all_four_stages_nest_under_the_pipeline(self, observed_parallel):
+        _, spans, _ = observed_parallel
+        paths = {s.path for s in spans if s.kind == "span"}
+        assert "pipeline/standard" in paths
+        for stage in ("wrapper", "decompressor", "architecture", "schedule"):
+            assert f"pipeline/standard/{stage}" in paths
+
+    def test_worker_spans_merge_with_their_own_lanes(self, observed_parallel):
+        _, spans, _ = observed_parallel
+        parent = os.getpid()
+        worker_spans = [s for s in spans if s.pid != parent]
+        assert worker_spans, "no worker spans were merged"
+        assert all(
+            s.path.startswith("pipeline/standard/wrapper/analyze-cores/")
+            for s in worker_spans
+            if s.name.startswith("analyze:")
+        )
+        # Every core's analysis happened in some worker.
+        analyzed = {
+            s.name.split(":", 1)[1]
+            for s in worker_spans
+            if s.name.startswith("analyze:")
+        }
+        assert len(analyzed) == 10  # d695 has ten cores
+
+    def test_search_span_carries_partition_attrs(self, observed_parallel):
+        result, spans, _ = observed_parallel
+        search = next(
+            s for s in spans if s.path == "pipeline/standard/architecture/search"
+        )
+        assert search.attrs["partitions"] == result.partitions_evaluated
+
+
+class TestMetricTotals:
+    def test_worker_metrics_fold_into_the_parent(self, observed_parallel):
+        _, _, metrics = observed_parallel
+        counters = metrics["counters"]
+        # Recorded only inside workers; visible here through the merge.
+        assert counters["analysis.cores_computed"] == 10
+        hist = metrics["histograms"]["analysis.core_seconds"]
+        assert hist["count"] == 10
+        assert hist["sum"] > 0
+
+    def test_report_counters_match_run_facts(self, observed_parallel):
+        result, _, _ = observed_parallel
+        counters = result.report.metrics["counters"]
+        assert counters["analysis.cores_requested"] == 10
+        assert counters["architecture.partitions_evaluated"] == (
+            result.partitions_evaluated
+        )
+        assert counters["schedule.cores_scheduled"] == len(
+            result.architecture.scheduled
+        )
+
+    def test_wrapper_design_counter_counts_lru_misses(self):
+        from repro.soc.core import Core
+        from repro.wrapper.design import (
+            clear_wrapper_design_cache,
+            design_wrapper,
+        )
+
+        core = Core(
+            name="w", inputs=4, outputs=4, scan_chain_lengths=(10, 8),
+            patterns=5, care_bit_density=0.2, seed=1,
+        )
+        clear_wrapper_design_cache()
+        with obs.enabled() as active:
+            design_wrapper(core, 2)
+            design_wrapper(core, 2)  # LRU hit: not a fresh computation
+        counters = active.registry.snapshot()["counters"]
+        assert counters["wrapper.designs_computed"] == 1
+
+
+class TestCliArtifacts:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        from repro.cli import main
+
+        out = tmp_path_factory.mktemp("obs")
+        trace = out / "trace.json"
+        report = out / "report.json"
+        code = main(
+            [
+                "plan", "d695", "--width", str(WIDTH), "--jobs", "2",
+                "--no-cache", "--trace", str(trace), "--report", str(report),
+            ]
+        )
+        assert code == 0
+        return trace, report
+
+    def test_obs_context_does_not_leak_out_of_main(self, artifacts):
+        assert obs.current() is None
+
+    def test_trace_is_valid_chrome_trace_json(self, artifacts):
+        trace, _ = artifacts
+        doc = json.loads(trace.read_text())
+        events = doc["traceEvents"]
+        assert events
+        assert {e["ph"] for e in events} <= {"M", "X", "i"}
+        complete = [e for e in events if e["ph"] == "X"]
+        stage_names = {e["name"] for e in complete}
+        assert {"wrapper", "decompressor", "architecture", "schedule"} <= (
+            stage_names
+        )
+        # Worker lanes: more than one pid records spans.
+        assert len({e["pid"] for e in complete}) > 1
+
+    def test_report_matches_trace_run(self, artifacts, baseline):
+        _, report = artifacts
+        data = json.loads(report.read_text())
+        assert data["kind"] == "run-report"
+        assert data["soc"] == "d695"
+        assert data["test_time"] == baseline.test_time
+        counters = data["metrics"]["counters"]
+        assert counters["analysis.cores_computed"] == 10
+        assert counters["analysis.cores_requested"] == 10

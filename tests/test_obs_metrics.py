@@ -1,0 +1,145 @@
+"""Unit tests for the process-safe metrics registry."""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_keeps_last_value(self):
+        g = Gauge()
+        g.set(1.5)
+        g.set(0.25)
+        assert g.value == 0.25
+
+    def test_histogram_buckets_by_upper_boundary(self):
+        h = Histogram((0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        # One bucket per boundary plus an overflow bucket at the end.
+        assert h.counts == [1, 2, 1, 1]
+        assert h.count == 5
+        assert h.total == pytest.approx(56.05)
+        assert h.mean == pytest.approx(56.05 / 5)
+
+    def test_histogram_boundary_value_lands_in_its_bucket(self):
+        h = Histogram((0.1, 1.0))
+        h.observe(0.1)  # <= 0.1 goes to the first bucket
+        assert h.counts == [1, 0, 0]
+
+    def test_histogram_rejects_unsorted_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0, 0.1))
+        with pytest.raises(ValueError):
+            Histogram(())
+
+    def test_default_buckets_are_sorted_seconds(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 60.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_snapshot_layout(self):
+        reg = MetricsRegistry()
+        reg.inc("runs", 2)
+        reg.set_gauge("rate", 0.5)
+        reg.observe("lat", 0.2, (0.1, 1.0))
+        snap = reg.snapshot()
+        assert snap["counters"] == {"runs": 2}
+        assert snap["gauges"] == {"rate": 0.5}
+        hist = snap["histograms"]["lat"]
+        assert hist["boundaries"] == [0.1, 1.0]
+        assert hist["counts"] == [0, 1, 0]
+        assert hist["count"] == 1
+        assert hist["sum"] == pytest.approx(0.2)
+
+    def test_snapshot_is_plain_data(self):
+        reg = MetricsRegistry()
+        reg.inc("n")
+        reg.observe("lat", 0.01)
+        assert pickle.loads(pickle.dumps(reg.snapshot())) == reg.snapshot()
+
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("n", 1)
+        b.inc("n", 2)
+        b.inc("only_b", 3)
+        a.observe("lat", 0.05, (0.1, 1.0))
+        b.observe("lat", 5.0, (0.1, 1.0))
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"] == {"n": 3, "only_b": 3}
+        assert snap["histograms"]["lat"]["counts"] == [1, 0, 1]
+        assert snap["histograms"]["lat"]["count"] == 2
+
+    def test_merge_keeps_parent_gauge(self):
+        """Gauges are last-value-wins; the parent's own value stays."""
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.set_gauge("rate", 0.9)
+        b.set_gauge("rate", 0.1)
+        b.set_gauge("worker_only", 7.0)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["gauges"]["rate"] == 0.9
+        assert snap["gauges"]["worker_only"] == 7.0
+
+    def test_merge_rejects_mismatched_boundaries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("lat", 0.5, (0.1, 1.0))
+        b.observe("lat", 0.5, (0.5, 2.0))
+        with pytest.raises(ValueError):
+            a.merge(b.snapshot())
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.inc("n")
+        reg.clear()
+        assert reg.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_thread_safety_of_inc(self):
+        reg = MetricsRegistry()
+
+        def bump(_):
+            for _ in range(1000):
+                reg.inc("n")
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(bump, range(8)))
+        assert reg.snapshot()["counters"]["n"] == 8000
+
+    def test_default_registry_is_a_singleton(self):
+        assert default_registry() is default_registry()
+        assert isinstance(default_registry(), MetricsRegistry)

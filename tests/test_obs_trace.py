@@ -1,0 +1,160 @@
+"""Unit tests for hierarchical spans and the Chrome trace export."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs.trace import Span, Tracer, chrome_trace, write_chrome_trace
+
+
+class TestTracer:
+    def test_nesting_builds_slash_paths(self):
+        tracer = Tracer()
+        with tracer.span("pipeline"):
+            with tracer.span("wrapper"):
+                with tracer.span("analyze"):
+                    pass
+            with tracer.span("schedule"):
+                pass
+        paths = [s.path for s in tracer.spans]
+        # Innermost spans close (and record) first.
+        assert paths == [
+            "pipeline/wrapper/analyze",
+            "pipeline/wrapper",
+            "pipeline/schedule",
+            "pipeline",
+        ]
+
+    def test_span_yields_mutable_attrs(self):
+        tracer = Tracer()
+        with tracer.span("search", strategy="greedy") as attrs:
+            attrs["partitions"] = 42
+        span = tracer.spans[0]
+        assert span.attrs == {"strategy": "greedy", "partitions": 42}
+        assert span.end >= span.start
+        assert span.pid == os.getpid()
+
+    def test_error_path_still_records_with_error_attr(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("exploding"):
+                raise RuntimeError("boom")
+        assert len(tracer.spans) == 1
+        assert "RuntimeError" in tracer.spans[0].attrs["error"]
+        # The stack unwound: a following span is top-level again.
+        with tracer.span("after"):
+            pass
+        assert tracer.spans[-1].path == "after"
+
+    def test_instant_records_zero_duration(self):
+        tracer = Tracer()
+        with tracer.span("stage"):
+            tracer.instant("cache-stats", hits=3)
+        instant = tracer.spans[0]
+        assert instant.kind == "instant"
+        assert instant.start == instant.end
+        assert instant.path == "stage/cache-stats"
+
+    def test_current_path(self):
+        tracer = Tracer()
+        assert tracer.current_path() == ""
+        with tracer.span("a"):
+            with tracer.span("b"):
+                assert tracer.current_path() == "a/b"
+        assert tracer.current_path() == ""
+
+    def test_snapshot_round_trips_through_from_dict(self):
+        tracer = Tracer()
+        with tracer.span("a", n=1):
+            pass
+        [data] = tracer.snapshot()
+        assert Span.from_dict(data) == tracer.spans[0]
+
+    def test_merge_reroots_paths_and_keeps_lanes(self):
+        worker = Tracer()
+        with worker.span("analyze:c1"):
+            pass
+        shipped = worker.snapshot()
+        # Simulate a worker pid distinct from the parent's.
+        shipped[0]["pid"] = 99999
+
+        parent = Tracer()
+        with parent.span("pipeline"):
+            with parent.span("wrapper"):
+                parent.merge(shipped, parent_path=parent.current_path())
+        merged = parent.spans[0]
+        assert merged.path == "pipeline/wrapper/analyze:c1"
+        assert merged.pid == 99999
+        assert merged.name == "analyze:c1"
+
+    def test_merge_without_parent_path_keeps_paths(self):
+        worker = Tracer()
+        with worker.span("task"):
+            pass
+        parent = Tracer()
+        assert parent.merge(worker.snapshot()) == 1
+        assert parent.spans[0].path == "task"
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.spans == []
+
+
+class TestChromeTrace:
+    def _spans(self):
+        tracer = Tracer()
+        with tracer.span("pipeline"):
+            with tracer.span("wrapper"):
+                pass
+            tracer.instant("marker", n=1)
+        return tracer.spans
+
+    def test_structure(self):
+        doc = chrome_trace(self._spans())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"M", "X", "i"}
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"pipeline", "wrapper"}
+        for event in complete:
+            assert event["ts"] >= 0  # normalized to the earliest span
+            assert event["dur"] >= 0
+            assert "path" in event["args"]
+
+    def test_accepts_portable_dicts(self):
+        spans = self._spans()
+        as_dicts = [s.to_dict() for s in spans]
+        assert chrome_trace(as_dicts) == chrome_trace(spans)
+
+    def test_process_metadata_labels_workers(self):
+        spans = self._spans()
+        worker = Span(
+            name="analyze", path="analyze", start=spans[0].start,
+            end=spans[0].end, pid=99999, tid=1,
+        )
+        doc = chrome_trace(list(spans) + [worker])
+        meta = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert meta[99999].startswith("repro worker")
+        assert meta[os.getpid()].startswith("repro (")
+
+    def test_empty_input(self):
+        assert chrome_trace([]) == {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+        }
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, self._spans())
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]

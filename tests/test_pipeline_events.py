@@ -103,6 +103,37 @@ class TestEventFormatting:
         assert "[wrapper]" in text
         assert "seconds=0.25" in text
 
+    def test_format_encodes_container_payloads_as_compact_json(self):
+        """Regression: dict/list payload values used to print via str()."""
+        event = RunEvent(
+            kind="search-done", stage=None, elapsed=1.0,
+            payload={"widths": [9, 7], "by_tam": {"t0": 3, "t1": 1}},
+        )
+        text = event.format()
+        assert "widths=[9,7]" in text
+        assert 'by_tam={"t0":3,"t1":1}' in text
+        assert "\n" not in text
+
+    def test_format_survives_unjsonable_values(self):
+        circular: list = []
+        circular.append(circular)  # json.dumps raises ValueError on this
+        event = RunEvent(
+            kind="x", stage=None, elapsed=0.0,
+            payload={"obj": {1, 2}, "loop": circular},
+        )
+        text = event.format()  # must not raise
+        assert "obj=" in text and "loop=" in text
+
+    def test_stage_timings_skip_anonymous_stage_ends(self):
+        """Regression: stage=None used to emit a ("", seconds) row."""
+        recorder = EventRecorder()
+        with recorder.stage("real"):
+            pass
+        recorder.emit("stage-end", seconds=9.9)  # no stage name
+        timings = recorder.stage_timings()
+        assert [stage for stage, _ in timings] == ["real"]
+        assert all(stage for stage, _ in timings)
+
     def test_stage_error_event_and_reraise(self):
         recorder = EventRecorder()
         with pytest.raises(RuntimeError, match="boom"):

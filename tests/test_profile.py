@@ -64,6 +64,68 @@ class TestUtilization:
         assert "wire-cycles" in text
 
 
+class TestD695Utilization:
+    """Satellite coverage on the paper's own benchmark (ITC'02 d695)."""
+
+    @pytest.fixture(scope="class")
+    def d695_planned(self):
+        from repro.soc.benchmarks import load_benchmark
+
+        soc = load_benchmark("d695")
+        return soc, repro.plan(soc, 16)
+
+    def test_wire_cycles_wasted_arithmetic(self, d695_planned):
+        _, plan = d695_planned
+        for s in tam_utilization(plan.architecture):
+            assert s.wire_cycles_wasted == (
+                (s.total_cycles - s.busy_cycles) * s.width
+            )
+            assert s.wire_cycles_wasted >= 0
+
+    def test_total_cycles_is_the_makespan_everywhere(self, d695_planned):
+        _, plan = d695_planned
+        stats = tam_utilization(plan.architecture)
+        assert {s.total_cycles for s in stats} == {plan.test_time}
+        # One TAM per partition slot, widths matching the architecture.
+        assert [s.width for s in stats] == list(plan.tam_widths)
+
+    def test_bottleneck_tam_wastes_nothing(self, d695_planned):
+        _, plan = d695_planned
+        stats = tam_utilization(plan.architecture)
+        bottleneck = max(stats, key=lambda s: s.utilization)
+        assert bottleneck.utilization == pytest.approx(1.0)
+        assert bottleneck.wire_cycles_wasted == 0
+
+    def test_busy_cycles_sum_matches_schedule(self, d695_planned):
+        _, plan = d695_planned
+        stats = tam_utilization(plan.architecture)
+        assert sum(s.busy_cycles for s in stats) == sum(
+            s.end - s.start for s in plan.architecture.scheduled
+        )
+
+    def test_power_profile_conserves_area(self, d695_planned):
+        """Integral of the step function == sum of core power*duration."""
+        soc, plan = d695_planned
+        table = power_table(soc, compression=True)
+        profile = power_profile(plan.architecture, table)
+        times = [t for t, _ in profile] + [plan.test_time]
+        area = sum(
+            level * (times[i + 1] - times[i])
+            for i, (_, level) in enumerate(profile)
+        )
+        expected = sum(
+            table[s.config.core_name] * (s.end - s.start)
+            for s in plan.architecture.scheduled
+        )
+        assert area == pytest.approx(expected)
+
+    def test_render_utilization_reports_overall_share(self, d695_planned):
+        _, plan = d695_planned
+        text = render_utilization(plan.architecture)
+        assert "TAM utilization:" in text
+        assert "of wire-cycles carry test data" in text
+
+
 class TestPowerProfile:
     def test_profile_starts_at_zero_time(self, planned):
         soc, plan = planned
