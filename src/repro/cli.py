@@ -12,6 +12,10 @@ Examples::
     repro-soc power System2 --width 32 --budget-fraction 0.5
     repro-soc plan d695 --width 16 --trace trace.json --report report.json
     repro-soc report report.json
+    repro-soc benchmarks
+    repro-soc serve --port 7465 --jobs 4
+    repro-soc submit d695 --width 16 --port 7465
+    repro-soc status --port 7465
 
 Every planning subcommand builds one
 :class:`~repro.pipeline.config.RunConfig` from the shared performance
@@ -179,6 +183,118 @@ def _cmd_power(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_benchmarks(args: argparse.Namespace) -> int:
+    from repro.soc.industrial import design_catalog
+
+    rows = design_catalog()
+    if args.json:
+        print(json.dumps(list(rows), indent=2))
+        return 0
+    header = f"{'design':<10} {'family':<11} {'cores':>5} {'scan cells':>11} {'patterns':>9} {'gates':>10}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['name']:<10} {row['family']:<11} {row['cores']:>5} "
+            f"{row['scan_cells']:>11,} {row['patterns']:>9,} {row['gates']:>10,}"
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import run_server
+    from repro.serve.service import PlanningService, ServiceSettings
+
+    settings = ServiceSettings(
+        workers=args.jobs,
+        max_depth=args.queue_depth,
+        max_retries=args.max_retries,
+        default_timeout_s=args.job_timeout,
+        isolation=args.isolation,
+        state_dir=args.state_dir,
+    )
+    service = PlanningService(settings)
+    # The ready line goes to stdout (scripts parse it for the real
+    # port); the stopped summary to stderr so it never mixes in.
+    return run_server(
+        service,
+        host=args.host,
+        port=args.port,
+        on_ready=lambda event: print(json.dumps(event), flush=True),
+        on_stopped=lambda event: print(
+            json.dumps(event), file=sys.stderr, flush=True
+        ),
+    )
+
+
+def _client(args: argparse.Namespace) -> "object":
+    from repro.serve.client import ServiceClient
+
+    return ServiceClient(args.host, args.port)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve.errors import BackpressureError
+
+    config = _run_config(args, compression=args.compression)
+    with _client(args) as client:  # type: ignore[attr-defined]
+        try:
+            ticket = client.submit(
+                args.design,
+                args.width,
+                config,
+                priority=args.priority,
+                timeout_s=args.job_timeout,
+            )
+        except BackpressureError as error:
+            print(
+                f"rejected: {error} (retry after {error.retry_after:.3g} s)",
+                file=sys.stderr,
+            )
+            return 3
+        if args.no_wait:
+            print(
+                json.dumps(
+                    {
+                        "job_id": ticket.job_id,
+                        "state": ticket.state,
+                        "deduped": ticket.deduped,
+                    }
+                )
+            )
+            return 0
+        result = client.fetch_plan(ticket.job_id, timeout_s=args.job_timeout)
+    if args.json:
+        from repro.reporting.export import result_to_json
+
+        print(result_to_json(result))
+    else:
+        print(architecture_summary(result.architecture))
+        dedup_note = " (coalesced with an identical in-flight job)" if ticket.deduped else ""
+        print(f"job {ticket.job_id}{dedup_note}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    with _client(args) as client:  # type: ignore[attr-defined]
+        if args.job_id:
+            payload = client.status(args.job_id)
+            payload.pop("ok", None)
+            payload.pop("v", None)
+        else:
+            payload = client.stats()
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _add_client_args(parser: argparse.ArgumentParser) -> None:
+    from repro.serve.server import DEFAULT_HOST, DEFAULT_PORT
+
+    group = parser.add_argument_group("service connection")
+    group.add_argument("--host", default=DEFAULT_HOST)
+    group.add_argument("--port", type=int, default=DEFAULT_PORT)
+
+
 def _add_perf_args(parser: argparse.ArgumentParser) -> None:
     """Shared analysis-engine knobs (see docs/api.md, Performance & caching)."""
     group = parser.add_argument_group("performance")
@@ -312,6 +428,92 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("file", help="a --report artifact or result export")
     report.set_defaults(func=_cmd_report)
+
+    benchmarks = sub.add_parser(
+        "benchmarks", help="list the available designs with core counts"
+    )
+    benchmarks.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    benchmarks.set_defaults(func=_cmd_benchmarks)
+
+    serve = sub.add_parser(
+        "serve", help="run the concurrent planning service (line-JSON TCP)"
+    )
+    _add_client_args(serve)
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="concurrent worker slots (0 = one per CPU; "
+        "default: REPRO_JOBS, else 1)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="pending-job bound before submissions get backpressure",
+    )
+    serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="re-runs after a worker crash (exponential backoff)",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="default per-job deadline in seconds",
+    )
+    serve.add_argument(
+        "--isolation",
+        choices=["process", "thread"],
+        default="process",
+        help="process: killable subprocess per attempt (default); "
+        "thread: in-process, no preemptive timeout",
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        help="directory for queue persistence across restarts",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit one plan request to a running service"
+    )
+    submit.add_argument("design")
+    submit.add_argument("--width", type=int, required=True)
+    submit.add_argument(
+        "--compression",
+        choices=["per-core", "none", "auto", "select"],
+        default="per-core",
+    )
+    submit.add_argument(
+        "--priority", type=int, default=0, help="higher runs earlier"
+    )
+    submit.add_argument(
+        "--job-timeout", type=float, default=None, help="per-job deadline (s)"
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id instead of waiting for the result",
+    )
+    submit.add_argument(
+        "--json", action="store_true", help="print the full result export"
+    )
+    _add_client_args(submit)
+    _add_perf_args(submit)
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="query a running service (a job, or overall stats)"
+    )
+    status.add_argument("job_id", nargs="?", default=None)
+    _add_client_args(status)
+    status.set_defaults(func=_cmd_status)
 
     return parser
 

@@ -29,12 +29,27 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 ENV_JOBS = "REPRO_JOBS"
 
+#: Ceiling on any worker count this module will resolve.  A request
+#: beyond it is always a mistake (a typo'd ``REPRO_JOBS=1000000`` would
+#: otherwise try to spawn a million interpreters), so it degrades to
+#: serial with a warning rather than taking the machine down.
+MAX_JOBS = 512
+
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
-    """Turn a ``jobs=`` knob into a concrete worker count (>= 1)."""
+    """Turn a ``jobs=`` knob into a concrete worker count (>= 1).
+
+    Malformed ``REPRO_JOBS`` values never raise: the environment is a
+    convenience channel, and a typo there must not kill a run that
+    would have succeeded serially.  Non-integer text (including floats
+    like ``"2.5"``) and values beyond :data:`MAX_JOBS` fall back to
+    serial with a :class:`RuntimeWarning`; pure whitespace is treated
+    as unset.  An explicit ``jobs=`` argument gets the same
+    :data:`MAX_JOBS` guard.
+    """
     if jobs is None:
         raw = os.environ.get(ENV_JOBS, "").strip()
         if not raw:
@@ -48,6 +63,14 @@ def resolve_jobs(jobs: int | None = None) -> int:
                 stacklevel=2,
             )
             return 1
+    if jobs > MAX_JOBS:
+        warnings.warn(
+            f"ignoring implausible worker count {jobs} (max {MAX_JOBS}); "
+            "running serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 1
     if jobs <= 0:
         return os.cpu_count() or 1
     return jobs

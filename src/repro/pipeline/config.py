@@ -115,6 +115,38 @@ class RunConfig:
         """A copy with the given fields changed."""
         return dataclasses.replace(self, **changes)
 
+    def to_dict(self) -> dict[str, Any]:
+        """Plain JSON-ready form; inverse of :meth:`from_dict`.
+
+        ``from_dict(to_dict(c)) == c`` for every config (the planning
+        service ships configs across processes and sockets this way).
+        """
+        data = dataclasses.asdict(self)
+        data["precedence"] = [list(pair) for pair in self.precedence]
+        if self.power_of is not None:
+            data["power_of"] = dict(self.power_of)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunConfig":
+        """Rebuild a config from :meth:`to_dict` data.
+
+        Unknown keys raise: a request asking for a knob this build does
+        not understand must fail loudly, not plan something else.
+        """
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ValueError(
+                f"unknown RunConfig fields: {', '.join(sorted(unknown))}"
+            )
+        kwargs = dict(data)
+        if "precedence" in kwargs and kwargs["precedence"] is not None:
+            kwargs["precedence"] = tuple(
+                (str(a), str(b)) for a, b in kwargs["precedence"]
+            )
+        return cls(**kwargs)
+
     @property
     def is_constrained(self) -> bool:
         """Whether the power/precedence scheduler must engage."""

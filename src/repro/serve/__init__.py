@@ -1,0 +1,73 @@
+"""Concurrent planning service: job queue, dedup, backpressure, transport.
+
+The service layer keeps one warm planning process resident -- wrapper
+LRU, lookup tables, and the on-disk analysis cache stay hot -- and
+feeds it a stream of co-optimization requests:
+
+* :mod:`repro.serve.jobs` -- the job state machine and the bounded,
+  priority-ordered queue with explicit backpressure;
+* :mod:`repro.serve.protocol` -- the line-JSON wire format and the
+  content fingerprint identical requests coalesce on;
+* :mod:`repro.serve.worker` -- per-attempt subprocess execution with
+  timeout, cancellation, and crash detection;
+* :mod:`repro.serve.service` -- :class:`PlanningService`, the asyncio
+  orchestrator (dedup, retry with backoff, graceful shutdown with
+  queue persistence, :mod:`repro.obs` integration);
+* :mod:`repro.serve.server` / :mod:`repro.serve.client` -- the TCP
+  front end (``repro-soc serve``) and the blocking Python client.
+
+Results delivered through the service are bit-identical to calling the
+:class:`~repro.pipeline.pipeline.Pipeline` directly (differentially
+tested) -- the transport ships the lossless ``result_to_json`` form.
+See ``docs/service.md`` for the protocol and semantics.
+"""
+
+from repro.serve.errors import (
+    BackpressureError,
+    JobCancelled,
+    JobFailed,
+    JobNotFound,
+    JobTimeout,
+    ProtocolError,
+    ServiceError,
+    ShuttingDown,
+    WorkerCrashed,
+    WorkerError,
+)
+from repro.serve.jobs import Job, JobQueue, JobState
+from repro.serve.protocol import PROTOCOL_VERSION, PlanRequest
+from repro.serve.server import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    ServiceServer,
+    run_server,
+)
+from repro.serve.service import PlanningService, ServiceSettings
+from repro.serve.client import ServiceClient, SubmitTicket, connect_with_retry
+
+__all__ = [
+    "BackpressureError",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "Job",
+    "JobCancelled",
+    "JobFailed",
+    "JobNotFound",
+    "JobQueue",
+    "JobState",
+    "JobTimeout",
+    "PROTOCOL_VERSION",
+    "PlanRequest",
+    "PlanningService",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "ServiceSettings",
+    "ShuttingDown",
+    "SubmitTicket",
+    "WorkerCrashed",
+    "WorkerError",
+    "connect_with_retry",
+    "run_server",
+]

@@ -1,0 +1,271 @@
+"""Blocking Python client for the planning service.
+
+Stdlib sockets only, mirroring the line-JSON protocol.  Error codes in
+responses are raised back as the same exception types the service uses
+(:class:`BackpressureError` carries ``retry_after``, and so on), so a
+caller's error handling is identical whether it embeds
+:class:`~repro.serve.service.PlanningService` or talks to one over TCP.
+
+Typical use::
+
+    from repro.serve.client import ServiceClient
+
+    with ServiceClient(port=7465) as client:
+        ticket = client.submit("d695", 16)
+        result = client.fetch_plan(ticket.job_id)   # a PlanResult
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.pipeline.config import RunConfig
+from repro.pipeline.result import PlanResult
+from repro.serve.errors import (
+    BackpressureError,
+    JobFailed,
+    JobNotFound,
+    ProtocolError,
+    ServiceError,
+    ShuttingDown,
+)
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    decode_message,
+    encode_message,
+)
+from repro.serve.server import DEFAULT_HOST, DEFAULT_PORT
+
+#: Socket timeout for ordinary (non-waiting) operations.
+DEFAULT_OP_TIMEOUT_S = 30.0
+#: Extra slack on the socket while the server performs a blocking wait.
+WAIT_GRACE_S = 30.0
+
+
+@dataclass(frozen=True)
+class SubmitTicket:
+    """What a submission returns: where the job is, and whether it
+    coalesced onto an earlier identical request."""
+
+    job_id: str
+    state: str
+    deduped: bool
+
+
+class ServiceClient:
+    """One connection to a planning service (context manager)."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        timeout_s: float = DEFAULT_OP_TIMEOUT_S,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._sock: socket.socket | None = None
+        self._reader: Any = None
+
+    # ------------------------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+            self._sock = sock
+            self._reader = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _request(
+        self, message: Mapping[str, Any], *, timeout_s: float | None = None
+    ) -> dict[str, Any]:
+        self.connect()
+        assert self._sock is not None
+        self._sock.settimeout(
+            timeout_s if timeout_s is not None else self.timeout_s
+        )
+        self._sock.sendall(encode_message(dict(message, v=PROTOCOL_VERSION)))
+        line = self._reader.readline()
+        if not line:
+            self.close()
+            raise ServiceError("connection closed by server")
+        response = decode_message(line)
+        if response.get("ok"):
+            return response
+        raise self._error_from(response)
+
+    @staticmethod
+    def _error_from(response: Mapping[str, Any]) -> ServiceError:
+        code = str(response.get("error", "service-error"))
+        message = str(response.get("message", code))
+        if code == "backpressure":
+            return BackpressureError(
+                message, retry_after=float(response.get("retry_after", 1.0))
+            )
+        mapped: dict[str, type[ServiceError]] = {
+            "bad-request": ProtocolError,
+            "not-found": JobNotFound,
+            "shutting-down": ShuttingDown,
+        }
+        if code in mapped:
+            return mapped[code](message)
+        error = JobFailed(message)
+        error.code = code  # preserve the wire code (timeout, cancelled, ...)
+        return error
+
+    # ------------------------------------------------------------------
+    # Operations.
+    # ------------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self._request({"op": "ping"}).get("pong"))
+
+    def designs(self) -> list[dict[str, Any]]:
+        return list(self._request({"op": "designs"})["designs"])
+
+    def submit(
+        self,
+        design: str,
+        width: int,
+        config: RunConfig | None = None,
+        *,
+        priority: int = 0,
+        timeout_s: float | None = None,
+        fault: Mapping[str, Any] | None = None,
+    ) -> SubmitTicket:
+        message: dict[str, Any] = {
+            "op": "submit",
+            "design": design,
+            "width": int(width),
+            "config": (config or RunConfig()).to_dict(),
+            "priority": int(priority),
+        }
+        if timeout_s is not None:
+            message["timeout_s"] = float(timeout_s)
+        if fault:
+            message["fault"] = dict(fault)
+        response = self._request(message)
+        return SubmitTicket(
+            job_id=str(response["job_id"]),
+            state=str(response["state"]),
+            deduped=bool(response["deduped"]),
+        )
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._request({"op": "status", "job_id": job_id})
+
+    def stats(self) -> dict[str, Any]:
+        return dict(self._request({"op": "stats"})["stats"])
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request({"op": "cancel", "job_id": job_id})
+
+    def result(
+        self,
+        job_id: str,
+        *,
+        wait: bool = True,
+        timeout_s: float | None = None,
+    ) -> dict[str, Any]:
+        """The raw result-export dict of a finished job.
+
+        ``wait=True`` blocks server-side until the job settles; failed,
+        cancelled, or timed-out jobs raise with the job's error code.
+        """
+        message: dict[str, Any] = {
+            "op": "result",
+            "job_id": job_id,
+            "wait": wait,
+        }
+        if timeout_s is not None:
+            message["timeout_s"] = float(timeout_s)
+        socket_budget = (
+            timeout_s + WAIT_GRACE_S if timeout_s is not None else None
+        )
+        if wait and socket_budget is None:
+            socket_budget = 3600.0  # an unbounded wait still needs an end
+        response = self._request(message, timeout_s=socket_budget)
+        return dict(response["result"])
+
+    def fetch_plan(
+        self,
+        job_id: str,
+        *,
+        wait: bool = True,
+        timeout_s: float | None = None,
+    ) -> PlanResult:
+        """A finished job's result as a :class:`PlanResult`."""
+        from repro.reporting.export import result_from_dict
+
+        return result_from_dict(
+            self.result(job_id, wait=wait, timeout_s=timeout_s)
+        )
+
+    def plan(
+        self,
+        design: str,
+        width: int,
+        config: RunConfig | None = None,
+        *,
+        priority: int = 0,
+        timeout_s: float | None = None,
+    ) -> PlanResult:
+        """Submit and await one plan: the one-call remote counterpart
+        of :func:`repro.pipeline.plan`."""
+        ticket = self.submit(
+            design, width, config, priority=priority, timeout_s=timeout_s
+        )
+        return self.fetch_plan(ticket.job_id, timeout_s=timeout_s)
+
+    def shutdown(self, *, drain: bool = True) -> dict[str, Any]:
+        return self._request({"op": "shutdown", "drain": drain})
+
+
+def connect_with_retry(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    *,
+    deadline_s: float = 10.0,
+    interval_s: float = 0.05,
+) -> ServiceClient:
+    """Connect to a service that may still be binding its socket."""
+    deadline = time.monotonic() + deadline_s
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            return ServiceClient(host, port).connect()
+        except OSError as error:
+            last_error = error
+            time.sleep(interval_s)
+    raise ServiceError(
+        f"no service at {host}:{port} within {deadline_s:.3g} s "
+        f"({last_error!r})"
+    )

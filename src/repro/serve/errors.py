@@ -1,0 +1,107 @@
+"""Exception taxonomy of the planning service.
+
+Every error that can cross the wire has a stable ``code`` string -- the
+protocol maps exceptions to ``{"ok": false, "error": code, ...}``
+responses and the client maps them back, so a caller catches the same
+exception type whether the service runs in-process or behind a socket.
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(Exception):
+    """Base class for service-level failures."""
+
+    code = "service-error"
+
+    def to_payload(self) -> dict[str, object]:
+        """The wire form of this error (merged into the response)."""
+        return {"ok": False, "error": self.code, "message": str(self)}
+
+
+class ProtocolError(ServiceError):
+    """A request the server cannot parse or does not understand."""
+
+    code = "bad-request"
+
+
+class BackpressureError(ServiceError):
+    """The job queue is full; retry after the suggested delay.
+
+    This is the explicit backpressure contract: a full service *rejects*
+    new work immediately instead of buffering without bound or hanging
+    the client.  ``retry_after`` is the server's load-based estimate of
+    when a slot is likely to be free (seconds).
+    """
+
+    code = "backpressure"
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+    def to_payload(self) -> dict[str, object]:
+        payload = super().to_payload()
+        payload["retry_after"] = self.retry_after
+        return payload
+
+
+class JobNotFound(ServiceError):
+    """No job with the requested id (never existed, or evicted)."""
+
+    code = "not-found"
+
+
+class ShuttingDown(ServiceError):
+    """The service is draining and no longer accepts submissions."""
+
+    code = "shutting-down"
+
+
+class JobFailed(ServiceError):
+    """Raised client-side when a fetched job finished in FAILED state."""
+
+    code = "job-failed"
+
+
+# ---------------------------------------------------------------------------
+# Worker-side failures (internal: the service turns these into job
+# state transitions, they never cross the wire as exceptions).
+# ---------------------------------------------------------------------------
+
+
+class WorkerCrashed(ServiceError):
+    """The worker process died without delivering a result.
+
+    The one *retryable* failure: a crash says nothing about the request
+    (OOM kill, SIGKILL, node reboot), so the service re-runs the job
+    with exponential backoff up to its retry budget.
+    """
+
+    code = "worker-crashed"
+
+    def __init__(self, message: str, exitcode: int | None = None) -> None:
+        super().__init__(message)
+        self.exitcode = exitcode
+
+
+class WorkerError(ServiceError):
+    """The worker ran and reported a deterministic error.
+
+    Not retried: the same request would fail the same way (unknown
+    design name, invalid config, planner invariant violation).
+    """
+
+    code = "worker-error"
+
+
+class JobTimeout(ServiceError):
+    """The job exceeded its deadline and its worker was terminated."""
+
+    code = "timeout"
+
+
+class JobCancelled(ServiceError):
+    """The job was cancelled before completing."""
+
+    code = "cancelled"

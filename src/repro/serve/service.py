@@ -1,0 +1,506 @@
+"""The planning service: queueing, dedup, worker lifecycle, shutdown.
+
+:class:`PlanningService` owns the whole job lifecycle inside one
+asyncio event loop:
+
+* **admission** (:meth:`submit`) -- dedup/coalescing against in-flight
+  jobs by content fingerprint, bounded-queue backpressure with a
+  load-based ``retry_after`` estimate;
+* **dispatch** -- a single dispatcher task pops jobs in priority order
+  and hands them to a bounded worker-slot pool
+  (:func:`repro.parallel.resolve_jobs` sizes it, so ``REPRO_JOBS``
+  means the same thing here as everywhere else in the engine);
+* **execution** -- each attempt runs in a killable subprocess
+  (:mod:`repro.serve.worker`), with per-job timeout, cooperative
+  cancellation, and bounded retry with exponential backoff for worker
+  *crashes* (deterministic worker errors are not retried);
+* **shutdown** (:meth:`shutdown`) -- stops admission, lets in-flight
+  jobs drain, and persists still-queued jobs to ``state_dir`` so a
+  restarted service resubmits them.
+
+Everything the service observes is mirrored two ways: an authoritative
+plain-``dict`` counter set served by :meth:`stats` (always on -- the
+protocol's ``stats`` op must work without observability), and the
+:mod:`repro.obs` registry/tracer (``serve.jobs_*`` counters, the
+``serve.queue_depth`` gauge, one ``serve/attempt`` span per execution)
+when a context is enabled.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import tempfile
+import time
+from collections import Counter, deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro import obs
+from repro.serve.errors import (
+    BackpressureError,
+    JobCancelled,
+    JobNotFound,
+    JobTimeout,
+    ShuttingDown,
+    WorkerCrashed,
+    WorkerError,
+)
+from repro.serve.jobs import Job, JobQueue, JobState, QueueFull
+from repro.serve.protocol import PlanRequest
+from repro.serve.worker import run_job_in_process, run_job_inline
+
+#: Persistence schema of the queue state file.
+STATE_SCHEMA_VERSION = 1
+STATE_FILENAME = "queue-state.json"
+
+#: Runner signature: (payload, timeout_s=..., should_cancel=...) -> json text.
+Runner = Callable[..., str]
+
+
+@dataclass(frozen=True)
+class ServiceSettings:
+    """Every tunable of one service instance."""
+
+    #: Worker slots; ``None`` defers to ``REPRO_JOBS`` (else 1), like
+    #: every other jobs knob in the engine.
+    workers: int | None = None
+    #: Queued-job bound; submissions past it get backpressure.
+    max_depth: int = 64
+    #: Re-executions after a worker *crash* (not other failures).
+    max_retries: int = 2
+    #: Backoff after the first crash; doubles per retry.
+    retry_base_s: float = 0.1
+    retry_cap_s: float = 5.0
+    #: Deadline for jobs that do not carry their own ``timeout_s``.
+    default_timeout_s: float | None = None
+    #: ``"process"`` (killable subprocess per attempt) or ``"thread"``
+    #: (in-process; no preemptive timeout/kill -- degraded platforms
+    #: and fast tests only).
+    isolation: str = "process"
+    #: Directory for queue persistence across restarts (``None``: off).
+    state_dir: str | None = None
+    #: Finished jobs retained for ``status``/``result`` queries.
+    history_limit: int = 256
+
+    def __post_init__(self) -> None:
+        if self.isolation not in ("process", "thread"):
+            raise ValueError(
+                f"isolation must be 'process' or 'thread', "
+                f"got {self.isolation!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    def resolve_workers(self) -> int:
+        from repro.parallel import resolve_jobs
+
+        return resolve_jobs(self.workers)
+
+
+class PlanningService:
+    """Concurrent plan execution behind a bounded, deduplicating queue."""
+
+    def __init__(
+        self,
+        settings: ServiceSettings | None = None,
+        *,
+        runner: Runner | None = None,
+    ) -> None:
+        self.settings = settings if settings is not None else ServiceSettings()
+        self.workers = self.settings.resolve_workers()
+        self.queue = JobQueue(self.settings.max_depth)
+        #: Every known job by id (bounded by ``history_limit``).
+        self.jobs: dict[str, Job] = {}
+        #: fingerprint -> non-terminal job; the dedup index.
+        self._inflight: dict[str, Job] = {}
+        self._finished_order: deque[str] = deque()
+        self.counters: Counter[str] = Counter()
+        self.started_at = time.time()
+        self._job_seconds_total = 0.0
+        if runner is not None:
+            self._runner = runner
+        elif self.settings.isolation == "process":
+            self._runner = run_job_in_process
+        else:
+            self._runner = run_job_inline
+        self._slots = asyncio.Semaphore(self.workers)
+        self._dispatcher: asyncio.Task[None] | None = None
+        self._worker_tasks: set[asyncio.Task[None]] = set()
+        self._accepting = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    async def start(self) -> int:
+        """Restore any persisted queue and begin dispatching.
+
+        Returns the number of restored jobs.
+        """
+        restored = self._restore_queue()
+        self._accepting = True
+        self._dispatcher = asyncio.create_task(
+            self._dispatch_loop(), name="repro-serve-dispatcher"
+        )
+        self._set_depth_gauge()
+        return restored
+
+    async def shutdown(self, *, drain: bool = True) -> int:
+        """Stop admission, settle in-flight work, persist the queue.
+
+        ``drain=True`` (the graceful path, also the SIGTERM path) lets
+        running jobs finish; ``drain=False`` cancels them.  Jobs still
+        *queued* are persisted to ``state_dir`` either way and restored
+        by the next :meth:`start`.  Returns the persisted-job count.
+        """
+        self._accepting = False
+        self.queue.close()
+        if not drain:
+            # Flag before awaiting the dispatcher: it may be blocked on
+            # a worker slot that only a cancelled job will free.
+            for job in list(self.jobs.values()):
+                if job.state is JobState.RUNNING:
+                    job.cancel_requested = True
+        if self._dispatcher is not None:
+            await self._dispatcher
+            self._dispatcher = None
+        if self._worker_tasks:
+            await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        return self._persist_queue()
+
+    # ------------------------------------------------------------------
+    # Admission.
+    # ------------------------------------------------------------------
+
+    def submit(self, request: PlanRequest) -> tuple[Job, bool]:
+        """Accept, coalesce, or reject one plan request.
+
+        Returns ``(job, deduped)``.  Raises :class:`BackpressureError`
+        when the queue is full and :class:`ShuttingDown` once
+        :meth:`shutdown` has begun.
+        """
+        if not self._accepting:
+            raise ShuttingDown("service is shutting down")
+        fingerprint = request.fingerprint()
+        existing = self._inflight.get(fingerprint)
+        if existing is not None and not existing.state.terminal:
+            existing.coalesced += 1
+            self._count("jobs_deduped")
+            obs.instant(
+                "serve/deduped", job=existing.id, design=request.design
+            )
+            return existing, True
+        if self.queue.full:
+            self._count("jobs_rejected")
+            raise BackpressureError(
+                f"queue full ({len(self.queue)} pending jobs)",
+                retry_after=self.retry_after_estimate(),
+            )
+        job = Job(request=request)
+        job.done_event = asyncio.Event()
+        try:
+            self.queue.push(job)
+        except QueueFull:  # racing submission filled the last slot
+            self._count("jobs_rejected")
+            raise BackpressureError(
+                f"queue full ({len(self.queue)} pending jobs)",
+                retry_after=self.retry_after_estimate(),
+            ) from None
+        self.jobs[job.id] = job
+        self._inflight[fingerprint] = job
+        self._count("jobs_submitted")
+        self._set_depth_gauge()
+        return job, False
+
+    def retry_after_estimate(self) -> float:
+        """Seconds until a queue slot is plausibly free, from live load."""
+        completed = self.counters["jobs_completed"]
+        avg = self._job_seconds_total / completed if completed else 2.0
+        backlog = len(self.queue) + self.running_count()
+        estimate = backlog * avg / max(1, self.workers)
+        return round(min(60.0, max(0.5, estimate)), 2)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise JobNotFound(f"no job {job_id!r}") from None
+
+    async def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until the job reaches a terminal state."""
+        job = self.get(job_id)
+        if job.state.terminal or job.done_event is None:
+            return job
+        await asyncio.wait_for(job.done_event.wait(), timeout)
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued job now, or flag a running one to stop."""
+        job = self.get(job_id)
+        if job.state is JobState.QUEUED:
+            job.mark_cancelled("cancelled while queued")
+            self._forget_inflight(job)
+            self._count("jobs_cancelled")
+            self._remember_finished(job)
+            self._set_depth_gauge()
+        elif job.state is JobState.RUNNING:
+            job.cancel_requested = True
+        return job
+
+    def running_count(self) -> int:
+        return sum(
+            1 for j in self.jobs.values() if j.state is JobState.RUNNING
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """The live service picture the protocol's ``stats`` op returns."""
+        return {
+            "queue_depth": len(self.queue),
+            "queue_capacity": self.settings.max_depth,
+            "running": self.running_count(),
+            "workers": self.workers,
+            "isolation": self.settings.isolation,
+            "accepting": self._accepting,
+            "jobs_known": len(self.jobs),
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "counters": dict(self.counters),
+            "retry_after_hint": self.retry_after_estimate(),
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch and execution.
+    # ------------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            # Slot first, then pop: a job must stay *queued* (and count
+            # toward the backpressure bound) until a worker can actually
+            # take it, so capacity is exactly max_depth + workers.
+            await self._slots.acquire()
+            job = await self.queue.pop()
+            if job is None:
+                self._slots.release()
+                return
+            if job.state is not JobState.QUEUED:
+                self._slots.release()
+                continue
+            task = asyncio.create_task(
+                self._run_job(job), name=f"repro-serve-{job.id}"
+            )
+            self._worker_tasks.add(task)
+            task.add_done_callback(self._worker_tasks.discard)
+
+    async def _run_job(self, job: Job) -> None:
+        request = job.request
+        timeout_s = (
+            request.timeout_s
+            if request.timeout_s is not None
+            else self.settings.default_timeout_s
+        )
+        job.mark_running()
+        self._set_depth_gauge()
+        try:
+            attempts = self.settings.max_retries + 1
+            for attempt in range(attempts):
+                if job.cancel_requested:
+                    job.mark_cancelled("cancelled before attempt")
+                    self._count("jobs_cancelled")
+                    break
+                if attempt:
+                    delay = min(
+                        self.settings.retry_cap_s,
+                        self.settings.retry_base_s * (2 ** (attempt - 1)),
+                    )
+                    self._count("jobs_retried")
+                    obs.instant(
+                        "serve/retry", job=job.id, attempt=attempt,
+                        backoff_s=delay,
+                    )
+                    await asyncio.sleep(delay)
+                job.attempts = attempt + 1
+                try:
+                    text = await asyncio.to_thread(
+                        self._execute_attempt, job, attempt, timeout_s
+                    )
+                except WorkerCrashed as error:
+                    if attempt + 1 >= attempts:
+                        job.mark_failed(
+                            error.code,
+                            f"{error} ({job.attempts} attempts)",
+                        )
+                        self._count("jobs_failed")
+                        break
+                    continue
+                except JobTimeout as error:
+                    job.mark_failed(error.code, str(error))
+                    self._count("jobs_failed")
+                    self._count("jobs_timed_out")
+                    break
+                except JobCancelled as error:
+                    job.mark_cancelled(str(error))
+                    self._count("jobs_cancelled")
+                    break
+                except WorkerError as error:
+                    job.mark_failed(error.code, str(error))
+                    self._count("jobs_failed")
+                    break
+                except Exception as error:  # service-side defect
+                    job.mark_failed("service-error", repr(error))
+                    self._count("jobs_failed")
+                    break
+                else:
+                    job.mark_done(text)
+                    self._count("jobs_completed")
+                    if job.started_at and job.finished_at:
+                        seconds = job.finished_at - job.started_at
+                        self._job_seconds_total += seconds
+                        obs.observe("serve.job_seconds", seconds)
+                    break
+        finally:
+            if not job.state.terminal:  # defensive: never leave limbo
+                job.mark_failed("service-error", "attempt loop fell through")
+                self._count("jobs_failed")
+            self._forget_inflight(job)
+            self._remember_finished(job)
+            self._slots.release()
+            self._set_depth_gauge()
+
+    def _execute_attempt(
+        self, job: Job, attempt: int, timeout_s: float | None
+    ) -> str:
+        """One blocking attempt; runs on a worker thread."""
+        payload = job.request.worker_payload(attempt)
+        with obs.span(
+            "serve/attempt",
+            job=job.id,
+            design=job.request.design,
+            width=job.request.width,
+            attempt=attempt,
+        ):
+            return self._runner(
+                payload,
+                timeout_s=timeout_s,
+                should_cancel=lambda: job.cancel_requested,
+            )
+
+    # ------------------------------------------------------------------
+    # Internal bookkeeping.
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+        obs.inc(f"serve.{name}", amount)
+
+    def _set_depth_gauge(self) -> None:
+        obs.set_gauge("serve.queue_depth", float(len(self.queue)))
+
+    def _forget_inflight(self, job: Job) -> None:
+        if self._inflight.get(job.fingerprint) is job:
+            del self._inflight[job.fingerprint]
+
+    def _remember_finished(self, job: Job) -> None:
+        """Bound the finished-job history to ``history_limit``."""
+        self._finished_order.append(job.id)
+        while len(self._finished_order) > self.settings.history_limit:
+            old_id = self._finished_order.popleft()
+            old = self.jobs.get(old_id)
+            if old is not None and old.state.terminal:
+                del self.jobs[old_id]
+
+    # ------------------------------------------------------------------
+    # Queue persistence.
+    # ------------------------------------------------------------------
+
+    def _state_path(self) -> Path | None:
+        if not self.settings.state_dir:
+            return None
+        return Path(self.settings.state_dir).expanduser() / STATE_FILENAME
+
+    def _persist_queue(self) -> int:
+        """Write still-queued jobs for the next service generation."""
+        path = self._state_path()
+        pending = self.queue.snapshot()
+        if path is None:
+            return 0
+        if not pending:
+            path.unlink(missing_ok=True)
+            return 0
+        payload = {
+            "schema": STATE_SCHEMA_VERSION,
+            "saved_at": time.time(),
+            "jobs": pending,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Same atomic-publish discipline as the analysis cache: a
+        # crashed write must never leave a half-readable state file.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".queue-state-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.counters["jobs_persisted"] += len(pending)
+        return len(pending)
+
+    def _restore_queue(self) -> int:
+        """Re-enqueue jobs a previous generation persisted, if any."""
+        path = self._state_path()
+        if path is None or not path.exists():
+            return 0
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload.get("schema") != STATE_SCHEMA_VERSION:
+                raise ValueError(f"schema {payload.get('schema')!r}")
+            records = list(payload["jobs"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # A corrupt state file must not block startup; the jobs it
+            # held are lost, which clients discover via not-found.
+            path.unlink(missing_ok=True)
+            self.counters["state_corrupt"] += 1
+            return 0
+        path.unlink(missing_ok=True)
+        restored = 0
+        for record in records:
+            try:
+                request = PlanRequest.from_dict(record["request"])
+                job = Job(request=request, id=str(record["job_id"]))
+                job.submitted_at = float(
+                    record.get("submitted_at", job.submitted_at)
+                )
+            except Exception:
+                self.counters["state_corrupt"] += 1
+                continue
+            job.done_event = asyncio.Event()
+            self.jobs[job.id] = job
+            self._inflight[job.fingerprint] = job
+            self.queue.push(job)
+            restored += 1
+        if restored:
+            self._count("jobs_restored", restored)
+        return restored
+
+
+def designs_catalog() -> list[dict[str, Any]]:
+    """The design-discovery payload (the ``designs`` protocol op)."""
+    from repro.soc.industrial import design_catalog
+
+    return [dict(row) for row in design_catalog()]
+
+
+def request_from_mapping(data: Mapping[str, Any]) -> PlanRequest:
+    """Convenience used by both the server and local embedding."""
+    return PlanRequest.from_dict(data)

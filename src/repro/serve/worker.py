@@ -1,0 +1,204 @@
+"""Worker-side job execution: one subprocess per attempt.
+
+The service runs every job attempt in a dedicated ``multiprocessing``
+child (``spawn`` context -- fork is unsafe under the service's threaded
+asyncio loop) connected by a one-way pipe.  That buys the three
+lifecycle guarantees a pool cannot give per job:
+
+* **timeout** -- the parent polls the pipe with a deadline and
+  *terminates* the child when it expires, so a runaway plan cannot
+  wedge a worker slot;
+* **cancellation** -- the parent polls a cancel flag between pipe
+  polls and terminates the child on request;
+* **crash detection** -- a child that dies without delivering a result
+  (killed, OOM, ``os._exit``) is surfaced as :class:`WorkerCrashed`,
+  the one failure the service retries with backoff.
+
+``run_job_inline`` is the degraded fallback for platforms where
+multiprocessing cannot spawn (restricted sandboxes) and the fast path
+for tests: same contract minus preemptive timeout/kill (a thread cannot
+be terminated), sharing the parent's in-process analysis memo.
+
+The ``fault`` request field is the chaos hook the fault-injection tests
+drive: ``{"sleep_s": 30}`` delays the worker (timeout tests),
+``{"exit_on_attempts": [0]}`` hard-kills the child on the listed
+attempt indices (crash/retry tests).  Normal clients never set it; it
+participates in the dedup fingerprint so faulty requests cannot
+coalesce with clean ones.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Any, Callable, Mapping
+
+from repro.serve.errors import (
+    JobCancelled,
+    JobTimeout,
+    WorkerCrashed,
+    WorkerError,
+)
+
+#: Seconds between pipe polls; bounds cancel/timeout reaction latency.
+POLL_INTERVAL_S = 0.05
+
+#: Exit code the fault hook uses; distinctive in failure messages.
+FAULT_EXIT_CODE = 43
+
+
+def execute_plan(payload: Mapping[str, Any]) -> str:
+    """Run one plan request to its ``result_to_json`` text.
+
+    Pure apart from the planning engine's own caches: the payload is
+    the :meth:`~repro.serve.protocol.PlanRequest.worker_payload` dict,
+    the return value the lossless JSON the transport ships verbatim.
+    """
+    from repro.pipeline import RunConfig
+    from repro.pipeline import plan as run_plan
+    from repro.reporting.export import result_to_json
+    from repro.soc.industrial import load_design
+
+    soc = load_design(str(payload["design"]))
+    config = RunConfig.from_dict(payload.get("config") or {})
+    result = run_plan(soc, int(payload["width"]), config)
+    return result_to_json(result)
+
+
+def _apply_fault_hooks(payload: Mapping[str, Any]) -> None:
+    fault = payload.get("fault") or {}
+    sleep_s = fault.get("sleep_s")
+    if sleep_s:
+        time.sleep(float(sleep_s))
+    attempt = int(payload.get("attempt", 0))
+    if attempt in tuple(fault.get("exit_on_attempts", ())):
+        os._exit(FAULT_EXIT_CODE)
+
+
+def _subprocess_entry(payload: dict[str, Any], conn: Any) -> None:
+    """Child-process main: plan, ship the result, exit."""
+    # The child must never attach run reports the parent did not ask
+    # for: a spawned child starts clean, but be explicit for any
+    # platform that inherits an enabled context.
+    from repro import obs
+
+    obs.disable()
+    try:
+        _apply_fault_hooks(payload)
+        text = execute_plan(payload)
+        conn.send(("ok", text))
+    except BaseException as error:  # noqa: BLE001 - ships the failure
+        try:
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+        except Exception:
+            os._exit(1)
+    finally:
+        conn.close()
+
+
+def run_job_in_process(
+    payload: Mapping[str, Any],
+    *,
+    timeout_s: float | None = None,
+    should_cancel: Callable[[], bool] | None = None,
+    poll_interval_s: float = POLL_INTERVAL_S,
+) -> str:
+    """Execute one attempt in a fresh child process (blocking).
+
+    Raises :class:`JobTimeout` / :class:`JobCancelled` after
+    terminating the child, :class:`WorkerCrashed` when the child dies
+    silently, :class:`WorkerError` when the child reports a
+    deterministic failure.
+    """
+    ctx = multiprocessing.get_context("spawn")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_subprocess_entry, args=(dict(payload), child_conn), daemon=True
+    )
+    deadline = (
+        time.monotonic() + float(timeout_s) if timeout_s is not None else None
+    )
+    proc.start()
+    child_conn.close()
+    try:
+        while True:
+            if parent_conn.poll(poll_interval_s):
+                try:
+                    message = parent_conn.recv()
+                except EOFError:
+                    break  # died between connect and send: crashed
+                proc.join()
+                kind, value = message
+                if kind == "ok":
+                    return str(value)
+                raise WorkerError(str(value))
+            if should_cancel is not None and should_cancel():
+                _terminate(proc)
+                raise JobCancelled("cancelled while running")
+            if deadline is not None and time.monotonic() > deadline:
+                _terminate(proc)
+                raise JobTimeout(
+                    f"exceeded {timeout_s:.3g} s deadline; worker terminated"
+                )
+            if not proc.is_alive() and not parent_conn.poll():
+                break
+        proc.join()
+        raise WorkerCrashed(
+            f"worker died without a result (exit code {proc.exitcode})",
+            exitcode=proc.exitcode,
+        )
+    finally:
+        parent_conn.close()
+        if proc.is_alive():
+            _terminate(proc)
+
+
+def _terminate(proc: multiprocessing.process.BaseProcess) -> None:
+    proc.terminate()
+    proc.join(timeout=5.0)
+    if proc.is_alive():  # pragma: no cover - last resort
+        proc.kill()
+        proc.join(timeout=5.0)
+
+
+def run_job_inline(
+    payload: Mapping[str, Any],
+    *,
+    timeout_s: float | None = None,
+    should_cancel: Callable[[], bool] | None = None,
+    poll_interval_s: float = POLL_INTERVAL_S,
+) -> str:
+    """Thread-mode attempt: no process isolation, best-effort checks.
+
+    Cancellation and timeout are honored only *before* the plan starts
+    (a running thread cannot be killed); ``fault`` exit hooks are
+    ignored (they would take the whole service down).
+    """
+    del poll_interval_s
+    if should_cancel is not None and should_cancel():
+        raise JobCancelled("cancelled before start")
+    started = time.monotonic()
+    text = execute_plan(payload)
+    if timeout_s is not None and time.monotonic() - started > timeout_s:
+        raise JobTimeout(
+            f"finished after its {timeout_s:.3g} s deadline (inline worker "
+            "cannot preempt); result discarded"
+        )
+    return text
+
+
+def process_isolation_available() -> bool:
+    """Whether the spawn-based worker can run on this platform."""
+    try:
+        ctx = multiprocessing.get_context("spawn")
+        proc = ctx.Process(target=_noop, daemon=True)
+        proc.start()
+        proc.join(timeout=30.0)
+        return proc.exitcode == 0
+    except Exception:
+        return False
+
+
+def _noop() -> None:
+    return None

@@ -17,7 +17,12 @@ from repro.soc.core import Core
 from repro.soc.soc import Soc
 from repro.soc.itc02 import parse_soc, parse_soc_file, format_soc, write_soc_file
 from repro.soc.benchmarks import load_benchmark, benchmark_names
-from repro.soc.industrial import industrial_core, industrial_system, INDUSTRIAL_CORE_NAMES
+from repro.soc.industrial import (
+    INDUSTRIAL_CORE_NAMES,
+    design_catalog,
+    industrial_core,
+    industrial_system,
+)
 from repro.soc.hierarchy import ChildSocCore, HierarchicalPlan, optimize_hierarchical
 
 __all__ = [
@@ -32,6 +37,7 @@ __all__ = [
     "write_soc_file",
     "load_benchmark",
     "benchmark_names",
+    "design_catalog",
     "industrial_core",
     "industrial_system",
     "INDUSTRIAL_CORE_NAMES",

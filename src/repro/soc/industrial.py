@@ -121,3 +121,36 @@ def load_design(name: str) -> Soc:
         return industrial_system(name)
     available = sorted(_BUILDERS) + list(SYSTEM_NAMES)
     raise KeyError(f"unknown design {name!r}; available: {', '.join(available)}")
+
+
+def design_catalog() -> tuple[dict[str, object], ...]:
+    """Every name :func:`load_design` accepts, with summary statistics.
+
+    One row per design: ``name``, ``family`` (``"academic"`` for the
+    embedded ITC'02-class benchmarks, ``"industrial"`` for the
+    System1..4 SOCs), ``cores``, ``scan_cells``, ``patterns``, and
+    ``gates``.  This is the discovery surface service clients use to
+    learn valid design names without reading source (the ``designs``
+    protocol request and the ``repro-soc benchmarks`` subcommand both
+    render it).
+    """
+    from repro.soc.benchmarks import _BUILDERS  # local import: avoid cycle
+
+    rows: list[dict[str, object]] = []
+    for name in sorted(_BUILDERS):
+        soc = _BUILDERS[name]()
+        rows.append(_catalog_row(soc, family="academic"))
+    for name in SYSTEM_NAMES:
+        rows.append(_catalog_row(industrial_system(name), family="industrial"))
+    return tuple(rows)
+
+
+def _catalog_row(soc: Soc, *, family: str) -> dict[str, object]:
+    return {
+        "name": soc.name,
+        "family": family,
+        "cores": len(soc.cores),
+        "scan_cells": soc.total_scan_cells,
+        "patterns": soc.total_patterns,
+        "gates": soc.gates,
+    }

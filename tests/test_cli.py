@@ -85,3 +85,79 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "peak power" in out
+
+
+class TestBenchmarksCommand:
+    def test_table_lists_all_designs(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("d695", "d2758", "System1", "System4"):
+            assert name in out
+        assert "cores" in out and "academic" in out and "industrial" in out
+
+    def test_json_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["benchmarks", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["d695"]["cores"] == 10
+        assert by_name["d695"]["family"] == "academic"
+        assert by_name["System1"]["family"] == "industrial"
+        assert all(row["scan_cells"] > 0 for row in rows)
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 7465
+        assert args.isolation == "process"
+        assert args.queue_depth == 64
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--port",
+                "0",
+                "--jobs",
+                "2",
+                "--queue-depth",
+                "5",
+                "--isolation",
+                "thread",
+                "--state-dir",
+                "/tmp/state",
+            ]
+        )
+        assert args.port == 0 and args.jobs == 2
+        assert args.queue_depth == 5
+        assert args.isolation == "thread"
+        assert args.state_dir == "/tmp/state"
+
+    def test_submit_requires_width(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "d695"])
+
+    def test_submit_flags(self):
+        args = build_parser().parse_args(
+            [
+                "submit",
+                "d695",
+                "--width",
+                "16",
+                "--priority",
+                "3",
+                "--no-wait",
+                "--port",
+                "7465",
+            ]
+        )
+        assert args.design == "d695" and args.width == 16
+        assert args.priority == 3 and args.no_wait
+
+    def test_status_accepts_optional_job_id(self):
+        args = build_parser().parse_args(["status"])
+        assert args.job_id is None
+        args = build_parser().parse_args(["status", "job-abc"])
+        assert args.job_id == "job-abc"

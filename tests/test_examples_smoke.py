@@ -1,0 +1,54 @@
+"""Every script in examples/ must run clean, start to finish.
+
+Each example is executed as a real subprocess -- the way a reader would
+run it -- with a throwaway cache directory so the suite stays hermetic.
+A failure message carries the script's output, so a broken example
+points straight at its own traceback.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+
+TIMEOUT_S = 300
+
+
+def _example_ids() -> list[str]:
+    return [path.stem for path in EXAMPLES]
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 8, [p.name for p in EXAMPLES]
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=_example_ids())
+def test_example_runs_clean(script: Path, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    # Hermetic caching: a real cache dir (examples may exercise it),
+    # but never the user's.
+    env.pop("REPRO_NO_CACHE", None)
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO,
+        timeout=TIMEOUT_S,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} exited {completed.returncode}\n"
+        f"--- stdout ---\n{completed.stdout[-4000:]}\n"
+        f"--- stderr ---\n{completed.stderr[-4000:]}"
+    )

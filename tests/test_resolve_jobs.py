@@ -1,0 +1,93 @@
+"""Hardening tests for :func:`repro.parallel.resolve_jobs`.
+
+``REPRO_JOBS`` is a convenience channel users type by hand; every
+malformed value must degrade to serial execution with a warning, never
+raise, and never spawn an absurd number of workers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.parallel import ENV_JOBS, MAX_JOBS, resolve_jobs
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    monkeypatch.delenv(ENV_JOBS, raising=False)
+
+
+class TestExplicitArgument:
+    def test_none_without_env_is_serial(self):
+        assert resolve_jobs(None) == 1
+
+    def test_positive_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_negative_means_cpu_count(self):
+        assert resolve_jobs(-2) == (os.cpu_count() or 1)
+
+    def test_max_jobs_boundary_allowed(self):
+        assert resolve_jobs(MAX_JOBS) == MAX_JOBS
+
+    def test_huge_explicit_value_warns_and_runs_serially(self):
+        with pytest.warns(RuntimeWarning, match="implausible"):
+            assert resolve_jobs(MAX_JOBS + 1) == 1
+
+
+class TestEnvValues:
+    def _env(self, monkeypatch, value: str) -> None:
+        monkeypatch.setenv(ENV_JOBS, value)
+
+    def test_env_integer(self, monkeypatch):
+        self._env(monkeypatch, "4")
+        assert resolve_jobs() == 4
+
+    def test_env_with_surrounding_whitespace(self, monkeypatch):
+        self._env(monkeypatch, "  4  ")
+        assert resolve_jobs() == 4
+
+    def test_env_pure_whitespace_is_unset(self, monkeypatch):
+        # Whitespace is indistinguishable from "not configured": serial,
+        # and no warning (nothing was plausibly intended).
+        self._env(monkeypatch, "   ")
+        assert resolve_jobs() == 1
+
+    def test_env_empty_is_unset(self, monkeypatch):
+        self._env(monkeypatch, "")
+        assert resolve_jobs() == 1
+
+    @pytest.mark.parametrize(
+        "value", ["abc", "2.5", "1e3", "4,000", "0x10", "two"]
+    )
+    def test_env_non_integer_warns_and_runs_serially(self, monkeypatch, value):
+        self._env(monkeypatch, value)
+        with pytest.warns(RuntimeWarning, match="non-integer"):
+            assert resolve_jobs() == 1
+
+    @pytest.mark.parametrize(
+        "value", [str(MAX_JOBS + 1), "1000000", "10000000000000000000"]
+    )
+    def test_env_huge_warns_and_runs_serially(self, monkeypatch, value):
+        self._env(monkeypatch, value)
+        with pytest.warns(RuntimeWarning, match="implausible"):
+            assert resolve_jobs() == 1
+
+    def test_env_zero_means_cpu_count(self, monkeypatch):
+        self._env(monkeypatch, "0")
+        assert resolve_jobs() == (os.cpu_count() or 1)
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        self._env(monkeypatch, "7")
+        assert resolve_jobs(2) == 2
+
+    def test_malformed_env_never_raises(self, monkeypatch):
+        for value in ["garbage", "9" * 40, "-", "∞", "NaN"]:
+            self._env(monkeypatch, value)
+            with pytest.warns(RuntimeWarning):
+                assert resolve_jobs() >= 1
