@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Cross-planner fuzz run: random SOCs through every planner + checker.
+
+Each seed is one self-contained scenario (see ``repro.verify.fuzz``);
+any failure prints the seed so it can be replayed exactly::
+
+    python scripts/fuzz_plans.py --seeds 500
+    python scripts/fuzz_plans.py --start 1234 --seeds 1   # replay seed 1234
+
+Exits 1 when any property failed, 0 on a clean run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.verify.fuzz import fuzz_one  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seeds", type=int, default=200, help="number of seeds to run"
+    )
+    parser.add_argument(
+        "--start", type=int, default=0, help="first seed (for replays)"
+    )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="stop at the first seed with findings",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    failures = 0
+    for seed in range(args.start, args.start + args.seeds):
+        findings = fuzz_one(seed)
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            failures += 1
+            if args.fail_fast:
+                break
+    elapsed = time.time() - started
+    clean = args.seeds - failures
+    print(
+        f"fuzzed {args.seeds} seed(s) in {elapsed:.1f} s: "
+        f"{clean} clean, {failures} with findings"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

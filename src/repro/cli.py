@@ -75,6 +75,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         compression=compression,
         max_tams=args.max_tams,
         strategy=args.strategy,
+        verify=args.verify,
     )
     result = run_plan(soc, args.width, config)
     print(architecture_summary(result.architecture))
@@ -181,6 +182,47 @@ def _cmd_power(args: argparse.Namespace) -> int:
     )
     print(result.architecture.render_gantt())
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import verify_plan
+
+    if args.plan:
+        from repro.reporting.export import result_from_json
+
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        try:
+            result = result_from_json(text)
+        except (KeyError, TypeError, ValueError) as error:
+            # The export reconstructs through the real constructors, so
+            # a structurally impossible plan (overlap, wrong slot
+            # length) is rejected before it even reaches the checker.
+            print(
+                f"rejected: {args.plan} is not a consistent plan export: "
+                f"{error}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            soc = load_design(result.soc_name)
+        except KeyError:
+            soc = None  # unknown design: structural checks only
+        config = RunConfig(compression=result.compression)
+        report = verify_plan(result, soc, config=config)
+    else:
+        if not args.design or args.width is None:
+            print(
+                "verify needs DESIGN --width W, or --plan FILE",
+                file=sys.stderr,
+            )
+            return 2
+        soc = load_design(args.design)
+        config = _run_config(args, compression=args.compression)
+        result = run_plan(soc, args.width, config)
+        report = verify_plan(result, soc, config=config)
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _cmd_benchmarks(args: argparse.Namespace) -> int:
@@ -363,8 +405,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=["auto", "exhaustive", "greedy"], default="auto"
     )
     plan.add_argument("--gantt", action="store_true", help="print a Gantt chart")
+    plan.add_argument(
+        "--verify",
+        action="store_true",
+        help="run the invariant checker as a pipeline stage (fails the run "
+        "on any violation)",
+    )
     _add_perf_args(plan)
     plan.set_defaults(func=_cmd_plan)
+
+    verify = sub.add_parser(
+        "verify",
+        help="independently re-check a plan against the invariant catalog",
+    )
+    verify.add_argument(
+        "design", nargs="?", default=None, help="design to plan and verify"
+    )
+    verify.add_argument("--width", type=int, default=None, help="W_TAM budget")
+    verify.add_argument(
+        "--compression",
+        choices=["per-core", "none", "auto", "select", "per-tam"],
+        default="per-core",
+    )
+    verify.add_argument(
+        "--plan",
+        default=None,
+        metavar="FILE",
+        help="verify an exported plan JSON instead of planning afresh",
+    )
+    _add_perf_args(verify)
+    verify.set_defaults(func=_cmd_verify)
 
     describe = sub.add_parser("describe", help="print a design summary")
     describe.add_argument("design")

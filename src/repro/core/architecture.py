@@ -164,24 +164,36 @@ class TestArchitecture:
     # ------------------------------------------------------------------
 
     def render_gantt(self, width: int = 72) -> str:
-        """ASCII Gantt chart of the schedule (one row per TAM)."""
+        """ASCII Gantt chart of the schedule (one row per TAM).
+
+        Every slot gets at least one cell, and slots that do not overlap
+        in time never share a cell: a per-TAM cursor pushes each slot
+        past the previous one when rounding would land them on the same
+        column (a short test next to a long one used to be painted over
+        entirely).
+        """
         total = self.test_time
         if total == 0:
             return "(empty schedule)"
         lines = []
         for tam in self.tams:
             row = [" "] * width
-            for item in self.scheduled:
-                if item.tam_index != tam.index:
-                    continue
-                lo = int(item.start / total * width)
-                hi = max(lo + 1, int(item.end / total * width))
+            items = sorted(
+                (s for s in self.scheduled if s.tam_index == tam.index),
+                key=lambda s: (s.start, s.end),
+            )
+            cursor = 0
+            for item in items:
+                lo = max(int(item.start / total * width), cursor)
+                if lo >= width:
+                    break
+                hi = min(max(lo + 1, int(item.end / total * width)), width)
                 label = item.config.core_name[: hi - lo]
-                for pos in range(lo, min(hi, width)):
+                for pos in range(lo, hi):
                     row[pos] = "#"
                 for offset, ch in enumerate(label):
-                    if lo + offset < width:
-                        row[lo + offset] = ch
+                    row[lo + offset] = ch
+                cursor = hi
             lines.append(f"TAM{tam.index} (w={tam.width:>3}) |{''.join(row)}|")
         lines.append(f"total: {total} cycles, {self.total_tam_width} TAM wires")
         return "\n".join(lines)

@@ -92,9 +92,13 @@ def _feasible_windows(
 ) -> list[tuple[int, int]]:
     """Windows >= ready where TAM ``tam`` is free and power admits ``power``.
 
-    ``horizon`` is a time past every existing segment; the final window
-    extends to infinity (represented by ``horizon``... which callers
-    treat as open-ended).
+    ``horizon`` is a time past every existing segment, so the last
+    window always ends *exactly* at ``horizon``: every segment ends at
+    or before ``horizon - 1``, which makes the final sweep interval
+    TAM-free, and the caller pre-checks that ``power`` alone fits the
+    budget.  Callers rely on that trailing window as the place where a
+    test can always run to completion (the schedule simply grows past
+    the horizon).
     """
     # Candidate boundaries: every segment start/end plus `ready`.
     points = {ready, horizon}
@@ -126,6 +130,10 @@ def _feasible_windows(
                 windows[-1] = (windows[-1][0], t1)
             else:
                 windows.append((t0, t1))
+    assert windows and windows[-1][1] == horizon, (
+        "feasible-window sweep must end with a window closing at the "
+        f"horizon; got {windows} for horizon {horizon}"
+    )
     return windows
 
 

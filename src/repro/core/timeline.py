@@ -207,7 +207,7 @@ def schedule_constrained(
         ready_at = max(
             (finished[p] for p in preds[name]), default=0
         )
-        best: tuple[int, int, int] | None = None  # (end, start, tam)
+        best: tuple[int, int, int] | None = None  # (end, tam, start)
         for tam, width in enumerate(widths):
             duration = time_of(name, width)
             earliest = max(tam_free[tam], ready_at)
@@ -219,12 +219,17 @@ def schedule_constrained(
                     continue
             else:
                 start = earliest
-            key = (start + duration, start, tam)
+            # Earliest finish, ties broken by TAM index -- the same
+            # effective order the paper scheduler uses, so the
+            # no-constraints case reduces to it exactly (breaking ties
+            # by start instead diverged on equal-finish candidates and
+            # could end with a worse makespan; found by fuzzing).
+            key = (start + duration, tam, start)
             if best is None or key < best:
                 best = key
         if best is None:
             raise ValueError(f"no feasible placement for core {name!r}")
-        end, start, tam = best
+        end, tam, start = best
         placed.append(
             PlacedInterval(
                 name=name, tam=tam, start=start, end=end, power=power(name)

@@ -18,23 +18,25 @@ def pareto_front(
     """Keep the items where no other item is <= in both cost and resource.
 
     Typical use: wrapper designs, keeping only (TAM width, test time)
-    pairs where widening the TAM actually helps.  Ties keep the first
-    occurrence (stable).
+    pairs where widening the TAM actually helps.
+
+    Tie semantics: among items with equal resource and equal cost the
+    first occurrence wins (the sort is stable); an item whose cost
+    merely equals the best seen at a smaller resource is dropped (the
+    extra resource bought nothing).
     """
     ordered = sorted(items, key=lambda it: (resource(it), cost(it)))
     obs.inc("explore.pareto_front_evaluations")
     obs.inc("explore.pareto_items_considered", len(ordered))
+    # Within one resource value the cheapest item comes first, so a
+    # same-resource successor can never beat the front's tail -- a
+    # strict cost improvement is the only reason to extend the front.
     front: list[T] = []
     best_cost = float("inf")
-    last_resource: float | None = None
     for item in ordered:
-        c, r = cost(item), resource(item)
-        if c < best_cost:
-            if front and last_resource == r:
-                front.pop()  # same resource, strictly better cost
+        if cost(item) < best_cost:
             front.append(item)
-            best_cost = c
-            last_resource = r
+            best_cost = cost(item)
     return front
 
 

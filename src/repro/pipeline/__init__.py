@@ -39,6 +39,7 @@ from repro.pipeline.stages import (
     RobustArchitectureStage,
     ScheduleStage,
     Stage,
+    VerifyStage,
     WrapperStage,
     available_stages,
     register_stage,
@@ -70,6 +71,7 @@ __all__ = [
     "RobustArchitectureStage",
     "ScheduleStage",
     "Stage",
+    "VerifyStage",
     "WrapperStage",
     "available_stages",
     "register_stage",

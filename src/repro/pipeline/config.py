@@ -75,7 +75,12 @@ class RunConfig:
       analysis cache knobs ``cache_dir`` / ``use_cache`` (environment
       overrides ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` /
       ``REPRO_NO_CACHE`` are applied at resolve time, so a default
-      config still honors them).
+      config still honors them);
+    * **verification** -- ``verify`` appends the independent invariant
+      checker (:mod:`repro.verify`) as a final pipeline stage; a plan
+      that fails it raises
+      :class:`~repro.verify.invariants.PlanVerificationError` instead
+      of being returned.
 
     The object is frozen: derive variants with :meth:`replace`.
     """
@@ -94,6 +99,7 @@ class RunConfig:
     jobs: int | None = None
     cache_dir: str | None = None
     use_cache: bool | None = None
+    verify: bool = False
 
     def __post_init__(self) -> None:
         if self.compression not in COMPRESSION_MODES:

@@ -205,12 +205,23 @@ def _event_bridge(active: obs.Observability) -> EventSink:
 
 
 def pipeline_for(config: RunConfig) -> Pipeline:
-    """The built-in pipeline flavor matching a configuration."""
+    """The built-in pipeline flavor matching a configuration.
+
+    ``config.verify`` appends the registered verify stage, so the plan
+    is independently re-checked before it leaves the pipeline.
+    """
     if config.compression == "per-tam":
-        return Pipeline.per_tam()
-    if config.is_constrained:
-        return Pipeline.constrained()
-    return Pipeline.standard()
+        flavor = Pipeline.per_tam()
+    elif config.is_constrained:
+        flavor = Pipeline.constrained()
+    else:
+        flavor = Pipeline.standard()
+    if config.verify:
+        return Pipeline(
+            flavor.stages + (stage_factory("verify", "invariants")(),),
+            name=f"{flavor.name}+verify",
+        )
+    return flavor
 
 
 def plan(

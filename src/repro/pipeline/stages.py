@@ -541,6 +541,74 @@ def _shared_m_config(analysis: CoreAnalysis, shared_m: int):
 
 
 # ---------------------------------------------------------------------------
+# Optional final stage: independent plan verification.
+# ---------------------------------------------------------------------------
+
+
+class VerifyStage(Stage):
+    """Re-check the finished plan against the paper's models.
+
+    Opt-in via ``RunConfig(verify=True)`` (or ``--verify`` on the CLI);
+    the planning service always appends it.  Runs the independent
+    invariant checker of :mod:`repro.verify` over the materialized
+    architecture -- and, for constrained runs, over the timeline
+    schedule -- and raises
+    :class:`~repro.verify.invariants.PlanVerificationError` instead of
+    letting an invalid plan escape the pipeline.
+    """
+
+    name = "verify"
+
+    def run(self, ctx: PlanContext) -> None:
+        # Imported here: repro.verify depends on this package's config.
+        from repro.verify import verify_architecture, verify_constrained
+
+        config = ctx.config
+        if ctx.architecture is None:
+            raise RuntimeError(
+                "VerifyStage needs a materialized architecture; run it "
+                "after the schedule stage"
+            )
+        reports = [
+            verify_architecture(
+                ctx.architecture,
+                soc=ctx.soc,
+                config=config,
+                analyses=ctx.analyses or None,
+                power_of=ctx.power_of,
+                power_budget=config.power_budget,
+                stated_peak=ctx.peak_power if ctx.power_of is not None else None,
+                precedence=config.precedence,
+            )
+        ]
+        schedule = ctx.extras.get("constrained_schedule")
+        if schedule is not None and ctx.tables is not None:
+            reports.append(
+                verify_constrained(
+                    schedule,
+                    ctx.names,
+                    ctx.tables.time_of,
+                    power_of=ctx.power_of,
+                    power_budget=config.power_budget,
+                    precedence=config.precedence,
+                )
+            )
+        violations = sum(len(r.violations) for r in reports)
+        obs.inc("verify.runs")
+        if violations:
+            obs.inc("verify.violations", violations)
+        ctx.extras["verification"] = tuple(reports)
+        ctx.events.emit(
+            "verified",
+            self.name,
+            checks=sum(len(r.checks) for r in reports),
+            violations=violations,
+        )
+        for report in reports:
+            report.raise_if_violations()
+
+
+# ---------------------------------------------------------------------------
 # Stage registry: alternative partitioners/schedulers plug in by name.
 # ---------------------------------------------------------------------------
 
@@ -548,16 +616,18 @@ StageFactory = Callable[..., Stage]
 
 _REGISTRY: dict[tuple[str, str], StageFactory] = {}
 
-#: The two pluggable slots of the standard four-stage flow.
-STAGE_SLOTS = ("architecture", "schedule")
+#: The pluggable slots: the standard four-stage flow's two open steps
+#: plus the optional trailing verification slot.
+STAGE_SLOTS = ("architecture", "schedule", "verify")
 
 
 def register_stage(slot: str, name: str, factory: StageFactory) -> None:
     """Register a stage factory under ``(slot, name)``.
 
-    ``slot`` is "architecture" (the paper's step 3) or "schedule"
-    (step 4).  Registering an existing name replaces it, so downstream
-    code can override the built-ins.
+    ``slot`` is "architecture" (the paper's step 3), "schedule"
+    (step 4), or "verify" (the optional post-plan checker).
+    Registering an existing name replaces it, so downstream code can
+    override the built-ins.
     """
     if slot not in STAGE_SLOTS:
         raise ValueError(
@@ -607,3 +677,4 @@ register_stage("architecture", "robust", RobustArchitectureStage)
 register_stage("schedule", "list", ScheduleStage)
 register_stage("schedule", "constrained", ConstrainedScheduleStage)
 register_stage("schedule", "per-tam", PerTamScheduleStage)
+register_stage("verify", "invariants", VerifyStage)

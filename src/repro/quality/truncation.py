@@ -83,11 +83,15 @@ def truncate_for_depth(
     counts = dict(full_patterns)
     full_quality = soc_quality(soc, counts, models=models)
 
-    def time_of(name: str) -> float:
-        return full_time[name] * counts[name] / full_patterns[name]
+    def time_of(name: str) -> int:
+        # Ceiling division: a truncated test still occupies whole
+        # cycles, so scaled times must round *up*.  Rounding to nearest
+        # let a plan "fit" a depth its integer schedule exceeds (e.g.
+        # a 41.4-cycle load reported as makespan 41 against depth 41).
+        return -(-full_time[name] * counts[name] // full_patterns[name])
 
-    def loads() -> dict[int, float]:
-        out: dict[int, float] = {t.index: 0.0 for t in plan.architecture.tams}
+    def loads() -> dict[int, int]:
+        out: dict[int, int] = {t.index: 0 for t in plan.architecture.tams}
         for name in counts:
             out[tam_of[name]] += time_of(name)
         return out
@@ -119,7 +123,7 @@ def truncate_for_depth(
         iterations += 1
 
     final_loads = loads()
-    makespan = int(round(max(final_loads.values())))
+    makespan = max(final_loads.values())
     return TruncationResult(
         pattern_counts=counts,
         makespan=makespan,

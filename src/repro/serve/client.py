@@ -26,6 +26,7 @@ from repro.pipeline.config import RunConfig
 from repro.pipeline.result import PlanResult
 from repro.serve.errors import (
     BackpressureError,
+    InvalidPlan,
     JobFailed,
     JobNotFound,
     ProtocolError,
@@ -134,6 +135,7 @@ class ServiceClient:
             "bad-request": ProtocolError,
             "not-found": JobNotFound,
             "shutting-down": ShuttingDown,
+            "invalid-plan": InvalidPlan,
         }
         if code in mapped:
             return mapped[code](message)

@@ -95,6 +95,19 @@ class WorkerError(ServiceError):
     code = "worker-error"
 
 
+class InvalidPlan(WorkerError):
+    """The planner produced a result that failed post-plan verification.
+
+    Every plan the service computes is re-checked by the independent
+    invariant checker (:mod:`repro.verify`) before the reply is stored;
+    a violation means a planner defect, so the job fails with this
+    dedicated code rather than shipping a wrong plan.  Deterministic,
+    hence never retried.
+    """
+
+    code = "invalid-plan"
+
+
 class JobTimeout(ServiceError):
     """The job exceeded its deadline and its worker was terminated."""
 

@@ -38,8 +38,10 @@ from repro.serve.errors import ProtocolError
 PROTOCOL_VERSION = 1
 
 #: RunConfig fields that do not change the planned result; excluded
-#: from the dedup fingerprint (see module docstring).
-_PERF_KNOBS = ("jobs", "cache_dir", "use_cache")
+#: from the dedup fingerprint (see module docstring).  ``verify`` is
+#: non-semantic too: the service always verifies before replying, so
+#: a verify=True request coalesces with its verify=False twin.
+_PERF_KNOBS = ("jobs", "cache_dir", "use_cache", "verify")
 
 
 @dataclass(frozen=True)

@@ -41,6 +41,7 @@ from typing import Any, Callable, Mapping
 from repro import obs
 from repro.serve.errors import (
     BackpressureError,
+    InvalidPlan,
     JobCancelled,
     JobNotFound,
     JobTimeout,
@@ -346,6 +347,14 @@ class PlanningService:
                 except JobCancelled as error:
                     job.mark_cancelled(str(error))
                     self._count("jobs_cancelled")
+                    break
+                except InvalidPlan as error:
+                    # The verification gate tripped: a planner defect,
+                    # deterministic, so no retry -- but counted apart
+                    # from ordinary worker errors for alerting.
+                    job.mark_failed(error.code, str(error))
+                    self._count("jobs_failed")
+                    self._count("jobs_invalid_plan")
                     break
                 except WorkerError as error:
                     job.mark_failed(error.code, str(error))

@@ -22,9 +22,11 @@ be terminated), sharing the parent's in-process analysis memo.
 The ``fault`` request field is the chaos hook the fault-injection tests
 drive: ``{"sleep_s": 30}`` delays the worker (timeout tests),
 ``{"exit_on_attempts": [0]}`` hard-kills the child on the listed
-attempt indices (crash/retry tests).  Normal clients never set it; it
-participates in the dedup fingerprint so faulty requests cannot
-coalesce with clean ones.
+attempt indices (crash/retry tests), ``{"corrupt_plan": "overlap"}``
+tampers with the finished plan so the verification gate trips
+(invalid-plan tests).  Normal clients never set it; it participates in
+the dedup fingerprint so faulty requests cannot coalesce with clean
+ones.
 """
 
 from __future__ import annotations
@@ -35,6 +37,7 @@ import time
 from typing import Any, Callable, Mapping
 
 from repro.serve.errors import (
+    InvalidPlan,
     JobCancelled,
     JobTimeout,
     WorkerCrashed,
@@ -54,15 +57,33 @@ def execute_plan(payload: Mapping[str, Any]) -> str:
     Pure apart from the planning engine's own caches: the payload is
     the :meth:`~repro.serve.protocol.PlanRequest.worker_payload` dict,
     the return value the lossless JSON the transport ships verbatim.
+
+    Every result is re-checked by the independent invariant checker
+    before it is serialized; a violation raises :class:`InvalidPlan`,
+    so the service never replies with a plan it cannot prove
+    consistent.  The ``corrupt_plan`` fault hook tampers with the plan
+    between planning and verification, for testing that gate.
     """
     from repro.pipeline import RunConfig
     from repro.pipeline import plan as run_plan
     from repro.reporting.export import result_to_json
     from repro.soc.industrial import load_design
+    from repro.verify import corrupt_result, verify_plan
+    from repro.verify.invariants import PlanVerificationError
 
     soc = load_design(str(payload["design"]))
     config = RunConfig.from_dict(payload.get("config") or {})
-    result = run_plan(soc, int(payload["width"]), config)
+    try:
+        result = run_plan(soc, int(payload["width"]), config)
+    except PlanVerificationError as error:
+        # A config.verify pipeline already failed its own gate.
+        raise InvalidPlan(str(error)) from error
+    corrupt = (payload.get("fault") or {}).get("corrupt_plan")
+    if corrupt:
+        result = corrupt_result(result, str(corrupt))
+    report = verify_plan(result, soc, config=config)
+    if not report.ok:
+        raise InvalidPlan(report.summary())
     return result_to_json(result)
 
 
@@ -88,6 +109,13 @@ def _subprocess_entry(payload: dict[str, Any], conn: Any) -> None:
         _apply_fault_hooks(payload)
         text = execute_plan(payload)
         conn.send(("ok", text))
+    except InvalidPlan as error:
+        # Typed separately so the parent re-raises the dedicated code
+        # (the generic branch collapses everything to WorkerError).
+        try:
+            conn.send(("invalid", str(error)))
+        except Exception:
+            os._exit(1)
     except BaseException as error:  # noqa: BLE001 - ships the failure
         try:
             conn.send(("error", f"{type(error).__name__}: {error}"))
@@ -132,6 +160,8 @@ def run_job_in_process(
                 kind, value = message
                 if kind == "ok":
                     return str(value)
+                if kind == "invalid":
+                    raise InvalidPlan(str(value))
                 raise WorkerError(str(value))
             if should_cancel is not None and should_cancel():
                 _terminate(proc)

@@ -1,0 +1,96 @@
+"""Deliberate plan corruption, for exercising the verifier.
+
+The data model's constructors reject invalid plans outright
+(``TestArchitecture.__post_init__`` raises on overlap, ``ScheduledCore``
+on a wrong slot length), so producing a *bad* plan to test the verifier
+requires bypassing them with ``object.__setattr__`` -- exactly what a
+planner bug inside already-constructed objects, or a defect introduced
+after construction, would look like.  These helpers centralize that
+tampering so tests and the service's fault-injection hook corrupt plans
+the same way.
+
+Every function deep-copies its input; the original plan is never
+mutated.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.core.architecture import TestArchitecture
+from repro.pipeline.result import PlanResult
+
+#: Corruption modes accepted by :func:`corrupt_result` (and the serve
+#: fault hook's ``corrupt_plan`` key).
+CORRUPTION_MODES = ("overlap", "inflate-makespan", "power-overrun")
+
+
+def _corrupt_overlap(architecture: TestArchitecture) -> None:
+    """Slide the second-starting test onto the first one's TAM and slot."""
+    items = sorted(architecture.scheduled, key=lambda s: (s.start, s.end))
+    if len(items) < 2:
+        raise ValueError("need at least two scheduled cores to overlap")
+    first, second = items[0], items[1]
+    object.__setattr__(second, "tam_index", first.tam_index)
+    object.__setattr__(second, "start", first.start)
+    object.__setattr__(
+        second, "end", first.start + second.config.test_time
+    )
+
+
+def _corrupt_makespan(architecture: TestArchitecture) -> None:
+    """Stretch the last-finishing test far beyond its model time."""
+    if not architecture.scheduled:
+        raise ValueError("cannot inflate an empty schedule")
+    last = max(architecture.scheduled, key=lambda s: s.end)
+    stretch = max(1000, last.config.test_time)
+    object.__setattr__(last.config, "test_time", last.config.test_time + stretch)
+    object.__setattr__(last, "end", last.end + stretch)
+
+
+def corrupt_architecture(
+    architecture: TestArchitecture, mode: str
+) -> TestArchitecture:
+    """A corrupted deep copy of ``architecture``."""
+    tampered = copy.deepcopy(architecture)
+    if mode == "overlap":
+        _corrupt_overlap(tampered)
+    elif mode == "inflate-makespan":
+        _corrupt_makespan(tampered)
+    else:
+        raise ValueError(
+            f"unknown architecture corruption {mode!r}; "
+            f"expected one of {CORRUPTION_MODES[:2]}"
+        )
+    return tampered
+
+
+def corrupt_result(result: PlanResult, mode: str) -> PlanResult:
+    """A corrupted deep copy of ``result``.
+
+    ``"overlap"`` and ``"inflate-makespan"`` tamper with the embedded
+    architecture; ``"power-overrun"`` lowers the recorded power budget
+    below the recorded peak, turning a feasible plan into one that
+    violates its own constraint.
+    """
+    tampered = copy.deepcopy(result)
+    if mode in ("overlap", "inflate-makespan"):
+        object.__setattr__(
+            tampered,
+            "architecture",
+            corrupt_architecture(tampered.architecture, mode),
+        )
+    elif mode == "power-overrun":
+        if tampered.peak_power <= 0.0:
+            raise ValueError(
+                "power-overrun corruption needs a power-aware plan "
+                "(peak_power > 0)"
+            )
+        object.__setattr__(
+            tampered, "power_budget", tampered.peak_power / 2.0
+        )
+    else:
+        raise ValueError(
+            f"unknown corruption {mode!r}; expected one of {CORRUPTION_MODES}"
+        )
+    return tampered

@@ -117,6 +117,34 @@ class TestRendering:
         text = architecture_summary(arch)
         assert "soc" in text and "alpha" in text and "(idle)" in text
 
+    def test_adjacent_slots_never_share_a_cell(self):
+        # A 10-cycle test next to a 990-cycle one: both slots used to
+        # round to column 0, so the long test's '#' fill painted over
+        # the short test's label entirely.
+        arch = _arch(
+            [_slot("a", 0, 0, time=10), _slot("b", 0, 10, time=990)]
+        )
+        row = arch.render_gantt().splitlines()[0]
+        cells = row.split("|")[1]
+        assert "a" in cells
+        assert "b" in cells
+        assert cells.index("a") < cells.index("b")
+
+    def test_every_slot_gets_a_cell_even_when_tiny(self):
+        # Three tiny tests before one huge one; each must keep at least
+        # one distinct cell, in schedule order.
+        slots = [
+            _slot("a", 0, 0, time=1),
+            _slot("b", 0, 1, time=1),
+            _slot("c", 0, 2, time=1),
+            _slot("d", 0, 3, time=9997),
+        ]
+        row = _arch(slots).render_gantt().splitlines()[0]
+        cells = row.split("|")[1]
+        positions = [cells.index(ch) for ch in "abcd"]
+        assert positions == sorted(positions)
+        assert len(set(positions)) == 4
+
 
 class TestWidthBudget:
     def test_within_budget(self):

@@ -29,6 +29,46 @@ class TestParetoFront:
         costs = [c for _, c in front]
         assert all(b < a for a, b in zip(costs, costs[1:]))
 
+    def test_equal_resource_equal_cost_keeps_first(self):
+        # Items carry an id so the duplicates are distinguishable.
+        points = [("first", 2, 5), ("second", 2, 5)]
+        front = pareto_front(
+            points, cost=lambda p: p[2], resource=lambda p: p[1]
+        )
+        assert front == [("first", 2, 5)]
+
+    def test_equal_cost_larger_resource_dropped(self):
+        # The wider design buys nothing: same cost, more resource.
+        points = [(1, 5), (3, 5)]
+        front = pareto_front(points, cost=lambda p: p[1], resource=lambda p: p[0])
+        assert front == [(1, 5)]
+
+    def test_brute_force_equivalence(self):
+        # The linear sweep must agree with the O(n^2) definition of
+        # domination (no other item <= in both axes, with at least one
+        # strict, first-occurrence ties) on a tie-rich input.
+        import itertools
+
+        values = [1, 2, 3]
+        for combo in itertools.product(values, repeat=4):
+            points = [(r, c) for r, c in zip([1, 1, 2, 2], combo)]
+            front = pareto_front(
+                points, cost=lambda p: p[1], resource=lambda p: p[0]
+            )
+            costs = [c for _, c in front]
+            resources = [r for r, _ in front]
+            assert costs == sorted(costs, reverse=True)
+            assert all(b < a for a, b in zip(costs, costs[1:]))
+            assert resources == sorted(resources)
+            for kept in front:
+                assert not any(
+                    other is not kept
+                    and other[0] <= kept[0]
+                    and other[1] <= kept[1]
+                    and (other[0] < kept[0] or other[1] < kept[1])
+                    for other in points
+                ), (points, front)
+
 
 class TestMonotonicity:
     def test_is_non_increasing(self):

@@ -52,6 +52,21 @@ class TestIterPartitions:
         partitions = list(iter_partitions(15, 5))
         assert len(partitions) == len(set(partitions))
 
+    def test_count_matches_enumeration_on_full_grid(self):
+        # The closed-form counter and the generator must agree
+        # everywhere, including degenerate corners (min_width > total,
+        # a single part, max_parts far beyond what fits).
+        for total in range(1, 13):
+            for max_parts in range(1, 7):
+                for min_width in range(1, 4):
+                    enumerated = list(
+                        iter_partitions(total, max_parts, min_width)
+                    )
+                    assert len(enumerated) == len(set(enumerated))
+                    assert count_partitions(
+                        total, max_parts, min_width
+                    ) == len(enumerated), (total, max_parts, min_width)
+
 
 class TestSearchPartitions:
     @staticmethod

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.core.preemption import Segment, schedule_preemptive
+from repro.core.preemption import (
+    Segment,
+    _feasible_windows,
+    schedule_preemptive,
+)
 from repro.core.timeline import PrecedenceError, schedule_constrained
 
 
@@ -150,6 +154,48 @@ class TestPreemptionUnderPower:
         for name in times:
             segments = schedule.segments_for(name)
             assert [s.index for s in segments] == list(range(len(segments)))
+
+
+class TestFeasibleWindows:
+    def test_last_window_closes_at_horizon(self):
+        placed = [
+            Segment(name="a", tam=0, start=0, end=5, power=2.0, index=0),
+            Segment(name="b", tam=1, start=2, end=8, power=3.0, index=0),
+        ]
+        horizon = 9  # max end + 1
+        for tam in (0, 1):
+            windows = _feasible_windows(
+                placed, tam, 0, 1.0, budget=10.0, horizon=horizon
+            )
+            assert windows
+            assert windows[-1][1] == horizon
+
+    def test_ready_adjacent_to_horizon(self):
+        # A successor becomes ready one cycle before the horizon (its
+        # predecessor is the last thing placed): the sweep must still
+        # produce the single trailing window [ready, horizon) rather
+        # than an empty list.
+        placed = [
+            Segment(name="pred", tam=0, start=0, end=10, power=0.0, index=0)
+        ]
+        windows = _feasible_windows(
+            placed, tam=0, ready=10, power=0.0, budget=None, horizon=11
+        )
+        assert windows == [(10, 11)]
+
+    def test_successor_ready_at_horizon_minus_one_schedules(self):
+        # End-to-end version of the adjacency case: b's ready time is
+        # exactly horizon - 1 when it is placed.
+        times = {"a": 10, "b": 4}
+        schedule = schedule_preemptive(
+            ["a", "b"],
+            [1],
+            flat_time(times),
+            precedence=[("a", "b")],
+        )
+        (b,) = schedule.segments_for("b")
+        assert b.start == 10
+        assert schedule.makespan == 14
 
 
 class TestPrecedence:

@@ -133,6 +133,67 @@ class TestTruncation:
         with pytest.raises(ValueError):
             truncate_for_depth(soc, plan, 10, step_fraction=2.0)
 
+    def test_integer_ceil_accounting_at_the_floor_boundary(self):
+        # One core, 69 cycles for 10 patterns, floored at 6 patterns:
+        # the truncated test needs ceil(69 * 6 / 10) = 42 whole cycles.
+        # Float accounting rounded the 41.4-cycle load to makespan 41
+        # and reported fits=True against depth 41.
+        from repro.core.architecture import (
+            CoreConfig,
+            DecompressorPlacement,
+            ScheduledCore,
+            Tam,
+            TestArchitecture,
+        )
+        from repro.pipeline.result import PlanResult
+
+        core = Core(
+            name="only",
+            inputs=2,
+            outputs=2,
+            scan_chain_lengths=(30,),
+            patterns=10,
+        )
+        soc = Soc(name="boundary", cores=(core,))
+        config = CoreConfig(
+            core_name="only",
+            uses_compression=False,
+            wrapper_chains=1,
+            code_width=None,
+            test_time=69,
+            volume=690,
+        )
+        arch = TestArchitecture(
+            soc_name="boundary",
+            placement=DecompressorPlacement.NONE,
+            tams=(Tam(0, 1),),
+            scheduled=(
+                ScheduledCore(config=config, tam_index=0, start=0, end=69),
+            ),
+            ate_channels=1,
+        )
+        plan = PlanResult(
+            soc_name="boundary",
+            width_budget=1,
+            compression="none",
+            architecture=arch,
+            cpu_seconds=0.0,
+            partitions_evaluated=1,
+            strategy="exhaustive",
+        )
+        result = truncate_for_depth(
+            soc, plan, 41, min_fraction=0.6, step_fraction=0.1
+        )
+        assert result.pattern_counts == {"only": 6}
+        assert result.makespan == 42
+        assert not result.fits
+        # One cycle of extra depth makes the floored schedule legal.
+        relaxed = truncate_for_depth(
+            soc, plan, 42, min_fraction=0.6, step_fraction=0.1
+        )
+        assert relaxed.fits
+        assert relaxed.makespan == 42
+
     def test_compression_needs_less_truncation(self, planned):
         """The intro's motivation: at the same ATE depth, the compressed
         plan keeps more quality."""
