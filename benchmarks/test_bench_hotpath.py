@@ -1,0 +1,230 @@
+"""Hot-path benchmark guard: artifact schema + never-slower regression.
+
+Three layers of protection for the vectorized single-plan hot path:
+
+* the committed ``BENCH_hotpath.json`` must validate against the
+  ``bench-hotpath`` schema (via the shared validator in
+  ``scripts/check_obs_artifacts.py``) and must record the PR's
+  acceptance number -- a >= 5x cold-plan speedup on d695 with
+  fast/scalar plans identical;
+* the validator itself must reject malformed or inconsistent
+  documents, so a broken bench run cannot record a green artifact;
+* live never-slower checks: the vectorized kernels and the whole fast
+  plan are re-timed here against the retained scalar stack, so a
+  regression that erodes the speedup fails CI even before anyone
+  regenerates the artifact.  (The margins are ~5-10x; the assertions
+  only demand parity, so machine noise cannot flake them.)
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.compression.cubes import generate_cubes
+from repro.compression.hotpath import exact_codeword_totals, symbol_table
+from repro.compression.selective import slice_costs
+from repro.core.partition import iter_partitions
+from repro.core.scheduler import (
+    TimeTable,
+    schedule_cores,
+    schedule_makespans_batch,
+)
+from repro.explore.dse import clear_analysis_cache
+from repro.pipeline import RunConfig, plan
+from repro.soc.industrial import load_design
+from repro.wrapper.design import clear_wrapper_design_cache, design_wrapper
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+ARTIFACT = REPO / "benchmarks" / "results" / "BENCH_hotpath.json"
+
+
+def _load_validator():
+    spec = importlib.util.spec_from_file_location(
+        "check_obs_artifacts", REPO / "scripts" / "check_obs_artifacts.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+validator = _load_validator()
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    with ARTIFACT.open(encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestCommittedArtifact:
+    def test_validates_against_schema(self, artifact):
+        summary = validator.check_bench_hotpath(artifact)
+        assert summary["runs"] >= 1
+
+    def test_records_target_speedup_on_d695(self, artifact):
+        """The PR's acceptance number: >= 5x cold single-plan on d695."""
+        summary = validator.check_bench_hotpath(artifact)
+        assert "d695" in summary["speedups"]
+        assert summary["speedups"]["d695"] >= 5.0
+
+    def test_plans_recorded_identical(self, artifact):
+        assert all(run["identical"] for run in artifact["runs"])
+
+    def test_kernel_breakdown_present(self, artifact):
+        by_design = {run["design"]: run for run in artifact["runs"]}
+        exact = by_design["d695"]["kernel_seconds"]
+        for kernel in (
+            "kernel.exact-totals",
+            "kernel.wrapper-batch",
+            "kernel.schedule-batch",
+        ):
+            assert kernel in exact, kernel
+        if "System1" in by_design:
+            assert "kernel.estimate-batch" in by_design["System1"][
+                "kernel_seconds"
+            ]
+
+
+class TestValidatorRejects:
+    def _base(self, artifact):
+        return copy.deepcopy(artifact)
+
+    def test_wrong_kind(self, artifact):
+        doc = self._base(artifact)
+        doc["kind"] = "bench-something"
+        with pytest.raises(validator.ArtifactError):
+            validator.check_bench_hotpath(doc)
+
+    def test_empty_runs(self, artifact):
+        doc = self._base(artifact)
+        doc["runs"] = []
+        with pytest.raises(validator.ArtifactError):
+            validator.check_bench_hotpath(doc)
+
+    def test_inconsistent_speedup(self, artifact):
+        doc = self._base(artifact)
+        doc["runs"][0]["speedup"] = doc["runs"][0]["speedup"] * 2
+        with pytest.raises(validator.ArtifactError):
+            validator.check_bench_hotpath(doc)
+
+    def test_divergent_plans(self, artifact):
+        doc = self._base(artifact)
+        doc["runs"][0]["identical"] = False
+        with pytest.raises(validator.ArtifactError):
+            validator.check_bench_hotpath(doc)
+
+    def test_negative_kernel_timing(self, artifact):
+        doc = self._base(artifact)
+        doc["runs"][0]["kernel_seconds"]["kernel.exact-totals"] = -0.1
+        with pytest.raises(validator.ArtifactError):
+            validator.check_bench_hotpath(doc)
+
+    def test_missing_field(self, artifact):
+        doc = self._base(artifact)
+        del doc["runs"][0]["fast_seconds"]
+        with pytest.raises(validator.ArtifactError):
+            validator.check_bench_hotpath(doc)
+
+
+class TestNeverSlower:
+    """Vectorized paths must at least match their scalar references.
+
+    Every pair below has a 5-10x measured margin; asserting bare parity
+    keeps the guard immune to machine noise while still catching any
+    change that silently routes the hot path back through scalar code.
+    """
+
+    def test_exact_kernel_not_slower_than_dense(self):
+        soc = load_design("d695")
+        core = max(soc.cores, key=lambda c: c.scan_cells * c.patterns)
+        cubes = generate_cubes(core)
+        designs = [design_wrapper(core, m) for m in range(1, 33)]
+        cubes.slices(designs[0])  # warm any lazy cube state
+
+        # The dense path pays the per-design slice gather every time;
+        # avoiding that materialization is the point of the fused kernel,
+        # so it belongs inside the timed region.
+        began = time.perf_counter()
+        dense = np.array(
+            [int(slice_costs(cubes.slices(d)).sum()) for d in designs],
+            dtype=np.int64,
+        )
+        dense_seconds = time.perf_counter() - began
+
+        began = time.perf_counter()
+        fused = exact_codeword_totals(
+            cubes, designs, symbols=symbol_table(cubes)
+        )
+        fused_seconds = time.perf_counter() - began
+
+        assert np.array_equal(fused, dense)
+        assert fused_seconds <= dense_seconds, (
+            f"fused exact kernel {fused_seconds:.3f}s slower than "
+            f"dense path {dense_seconds:.3f}s"
+        )
+
+    def test_batch_scheduler_not_slower_than_loop(self):
+        rng = np.random.default_rng(11)
+        names = [f"c{i}" for i in range(12)]
+        times = {
+            (n, w): int(rng.integers(100, 10_000))
+            for n in names
+            for w in range(1, 29)
+        }
+        time_of = lambda n, w: times[(n, w)]  # noqa: E731
+        parts = list(iter_partitions(28, 6, 1))
+
+        table = TimeTable(names, time_of)
+        table_warm = TimeTable(names, time_of)
+        for w in range(1, 29):  # exclude lazy fills from both timings
+            table.row(w), table_warm.row(w)
+
+        began = time.perf_counter()
+        batch = schedule_makespans_batch(table, parts)
+        batch_seconds = time.perf_counter() - began
+
+        began = time.perf_counter()
+        loop = [schedule_cores(names, p, time_of).makespan for p in parts]
+        loop_seconds = time.perf_counter() - began
+
+        assert batch.tolist() == loop
+        assert batch_seconds <= loop_seconds, (
+            f"batch scheduler {batch_seconds:.3f}s slower than "
+            f"scalar loop {loop_seconds:.3f}s over {len(parts)} partitions"
+        )
+
+    def test_fast_plan_not_slower_than_scalar(self, monkeypatch):
+        """Cold d695 plan, fast stack vs REPRO_SCALAR_KERNELS=1."""
+        soc = load_design("d695")
+        config = RunConfig(use_cache=False)
+
+        monkeypatch.delenv("REPRO_SCALAR_KERNELS", raising=False)
+        clear_analysis_cache()
+        clear_wrapper_design_cache()
+        began = time.perf_counter()
+        fast = plan(soc, 16, config)
+        fast_seconds = time.perf_counter() - began
+
+        monkeypatch.setenv("REPRO_SCALAR_KERNELS", "1")
+        clear_analysis_cache()
+        clear_wrapper_design_cache()
+        began = time.perf_counter()
+        scalar = plan(soc, 16, config)
+        scalar_seconds = time.perf_counter() - began
+
+        monkeypatch.delenv("REPRO_SCALAR_KERNELS", raising=False)
+        clear_analysis_cache()
+        clear_wrapper_design_cache()
+
+        assert fast.architecture == scalar.architecture
+        assert fast_seconds <= scalar_seconds, (
+            f"fast plan {fast_seconds:.3f}s slower than scalar "
+            f"{scalar_seconds:.3f}s"
+        )

@@ -1,0 +1,226 @@
+#!/usr/bin/env python
+"""Measure the vectorized single-plan hot path against the scalar stack.
+
+For every requested benchmark design the script runs one *cold* plan in
+a fresh subprocess twice -- once on the vectorized fast path and once
+with ``REPRO_SCALAR_KERNELS=1`` (the retained scalar reference
+kernels) -- and records, per run:
+
+* the cold single-plan latency (the ``plan()`` call, imports excluded,
+  best of ``--repeats`` subprocesses);
+* per-kernel timings, aggregated from the observability tracer's spans
+  (the batch kernels are bracketed with ``kernel.*`` spans, the
+  pipeline stages with their stage names);
+* the plan outputs of both stacks, which must be identical -- a latency
+  number for a *different* plan would be meaningless.
+
+The result is written as versioned JSON (``BENCH_hotpath.json``) so CI
+can record it as an artifact and ``benchmarks/test_bench_hotpath.py``
+can validate the committed copy::
+
+    python scripts/bench_hotpath.py --designs d695 \
+        --out benchmarks/results/BENCH_hotpath.json
+
+Validation lives in ``scripts/check_obs_artifacts.py`` (``--bench``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+SCHEMA_KIND = "bench-hotpath"
+SCHEMA_VERSION = 1
+
+#: Span names aggregated into the per-kernel timing section.
+KERNEL_SPANS = (
+    "kernel.exact-totals",
+    "kernel.estimate-batch",
+    "kernel.wrapper-batch",
+    "kernel.schedule-batch",
+)
+PIPELINE_STAGES = ("wrapper", "decompressor", "architecture", "schedule")
+
+DEFAULT_DESIGNS = ("d695", "d2758", "System1", "System2")
+
+
+def _child(design: str, width: int) -> int:
+    """One cold plan in this process; prints a JSON record to stdout."""
+    from repro import obs
+    from repro.pipeline import RunConfig, plan
+    from repro.soc.industrial import load_design
+
+    soc = load_design(design)
+    config = RunConfig(use_cache=False)
+    with obs.enabled() as active:
+        began = time.perf_counter()
+        result = plan(soc, width, config)
+        seconds = time.perf_counter() - began
+
+    # Kernel spans nest: the schedule batch's lazy time-table fills run
+    # the other kernels inside its span.  Attribute each nested kernel's
+    # time to its innermost enclosing kernel span (self-time), so the
+    # per-kernel numbers add up instead of double-counting.
+    kernels = [s for s in active.tracer.spans if s.name in KERNEL_SPANS]
+    self_seconds = {id(s): s.end - s.start for s in kernels}
+    for span in kernels:
+        parent = None
+        for candidate in kernels:
+            if span.path.startswith(candidate.path + "/") and (
+                parent is None or len(candidate.path) > len(parent.path)
+            ):
+                parent = candidate
+        if parent is not None:
+            self_seconds[id(parent)] -= span.end - span.start
+    kernel_seconds: dict[str, float] = {}
+    for span in kernels:
+        kernel_seconds[span.name] = (
+            kernel_seconds.get(span.name, 0.0) + self_seconds[id(span)]
+        )
+    stage_seconds: dict[str, float] = {}
+    for span in active.tracer.spans:
+        if span.name in PIPELINE_STAGES:
+            stage_seconds[span.name] = stage_seconds.get(span.name, 0.0) + (
+                span.end - span.start
+            )
+    record = {
+        "design": design,
+        "seconds": seconds,
+        "scalar": bool(os.environ.get("REPRO_SCALAR_KERNELS")),
+        "kernel_seconds": {
+            name: kernel_seconds[name]
+            for name in KERNEL_SPANS
+            if name in kernel_seconds
+        },
+        "stage_seconds": {
+            name: stage_seconds[name]
+            for name in PIPELINE_STAGES
+            if name in stage_seconds
+        },
+        "plan": {
+            "test_time": result.test_time,
+            "test_data_volume": result.test_data_volume,
+            "tam_widths": list(result.tam_widths),
+            "partitions_evaluated": result.partitions_evaluated,
+            "strategy": result.strategy,
+        },
+    }
+    json.dump(record, sys.stdout)
+    return 0
+
+
+def _run_child(design: str, width: int, *, scalar: bool) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+    if scalar:
+        env["REPRO_SCALAR_KERNELS"] = "1"
+    else:
+        env.pop("REPRO_SCALAR_KERNELS", None)
+    proc = subprocess.run(
+        [
+            sys.executable,
+            os.path.abspath(__file__),
+            "--child",
+            design,
+            "--width",
+            str(width),
+        ],
+        env=env,
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def bench_design(design: str, width: int, repeats: int) -> dict:
+    """Fast/scalar latency pair for one design (best-of-``repeats``)."""
+    fast_runs = [
+        _run_child(design, width, scalar=False) for _ in range(repeats)
+    ]
+    scalar_runs = [
+        _run_child(design, width, scalar=True) for _ in range(repeats)
+    ]
+    fast = min(fast_runs, key=lambda r: r["seconds"])
+    scalar = min(scalar_runs, key=lambda r: r["seconds"])
+    identical = all(r["plan"] == fast["plan"] for r in fast_runs + scalar_runs)
+    return {
+        "design": design,
+        "fast_seconds": round(fast["seconds"], 4),
+        "scalar_seconds": round(scalar["seconds"], 4),
+        "speedup": round(scalar["seconds"] / fast["seconds"], 2),
+        "identical": identical,
+        "test_time": fast["plan"]["test_time"],
+        "test_data_volume": fast["plan"]["test_data_volume"],
+        "tam_widths": fast["plan"]["tam_widths"],
+        "kernel_seconds": {
+            name: round(value, 4)
+            for name, value in fast["kernel_seconds"].items()
+        },
+        "stage_seconds": {
+            name: round(value, 4)
+            for name, value in fast["stage_seconds"].items()
+        },
+        "scalar_stage_seconds": {
+            name: round(value, 4)
+            for name, value in scalar["stage_seconds"].items()
+        },
+    }
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--designs", default=",".join(DEFAULT_DESIGNS))
+    parser.add_argument("--width", type=int, default=64)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--out", default="")
+    parser.add_argument("--child", default="", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args.child:
+        return _child(args.child, args.width)
+
+    import numpy
+
+    runs = []
+    for design in args.designs.split(","):
+        design = design.strip()
+        if not design:
+            continue
+        run = bench_design(design, args.width, args.repeats)
+        runs.append(run)
+        print(
+            f"{design}: fast {run['fast_seconds']:.2f}s  "
+            f"scalar {run['scalar_seconds']:.2f}s  "
+            f"speedup {run['speedup']:.1f}x  "
+            f"identical={run['identical']}"
+        )
+    doc = {
+        "kind": SCHEMA_KIND,
+        "schema": SCHEMA_VERSION,
+        "generated_by": "scripts/bench_hotpath.py",
+        "width_budget": args.width,
+        "repeats": args.repeats,
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "runs": runs,
+    }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    if not all(run["identical"] for run in runs):
+        print("FAIL: fast and scalar stacks produced different plans",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -7,13 +7,20 @@ Chrome trace-event JSON carrying spans from all four pipeline stages
 plus at least one worker lane, and that the report matches the
 ``run-report`` schema with internally consistent numbers.
 
+It also validates the hot-path benchmark artifact
+(``scripts/bench_hotpath.py`` output): schema, internal consistency of
+the latency numbers, and -- crucially -- that the fast and scalar
+stacks produced identical plans, without which the speedups would
+compare apples to oranges.
+
 Usage::
 
     python scripts/check_obs_artifacts.py TRACE.json REPORT.json
+    python scripts/check_obs_artifacts.py --bench BENCH_hotpath.json
 
-Exit status 0 when both artifacts check out; 1 with a message on
-stderr otherwise.  ``check_trace`` / ``check_report`` are importable
-for tests.
+Exit status 0 when the artifacts check out; 1 with a message on
+stderr otherwise.  ``check_trace`` / ``check_report`` /
+``check_bench_hotpath`` are importable for tests.
 """
 
 from __future__ import annotations
@@ -118,10 +125,82 @@ def check_report(data: Any) -> dict[str, int]:
     }
 
 
+def check_bench_hotpath(data: Any) -> dict[str, Any]:
+    """Validate a ``bench-hotpath`` JSON document; returns a summary.
+
+    Checks the schema envelope, every run's required fields, that the
+    recorded speedup equals ``scalar_seconds / fast_seconds``, and that
+    both stacks planned identically (``identical`` is recorded by the
+    bench runner from the actual plan outputs).
+    """
+    if not isinstance(data, dict):
+        _fail("bench: top level must be an object")
+    if data.get("kind") != "bench-hotpath":
+        _fail(f"bench: kind must be 'bench-hotpath', got {data.get('kind')!r}")
+    if data.get("schema") != 1:
+        _fail(f"bench: unknown schema {data.get('schema')!r}")
+    for key in ("width_budget", "repeats", "python", "numpy", "runs"):
+        if key not in data:
+            _fail(f"bench: missing field {key!r}")
+    runs = data["runs"]
+    if not isinstance(runs, list) or not runs:
+        _fail("bench: 'runs' must be a non-empty list")
+    speedups: dict[str, float] = {}
+    for run in runs:
+        design = run.get("design")
+        if not isinstance(design, str) or not design:
+            _fail("bench: run without a design name")
+        for key in (
+            "fast_seconds", "scalar_seconds", "speedup", "identical",
+            "test_time", "test_data_volume", "tam_widths",
+            "kernel_seconds", "stage_seconds",
+        ):
+            if key not in run:
+                _fail(f"bench: run {design!r} missing field {key!r}")
+        if run["fast_seconds"] <= 0 or run["scalar_seconds"] <= 0:
+            _fail(f"bench: run {design!r} has non-positive latency")
+        ratio = run["scalar_seconds"] / run["fast_seconds"]
+        if abs(ratio - run["speedup"]) > 0.011 * ratio:
+            _fail(
+                f"bench: run {design!r} speedup {run['speedup']} "
+                f"inconsistent with latencies ({ratio:.2f})"
+            )
+        if run["identical"] is not True:
+            _fail(f"bench: run {design!r} fast/scalar plans differ")
+        if run["test_time"] <= 0:
+            _fail(f"bench: run {design!r} test_time must be positive")
+        for section in ("kernel_seconds", "stage_seconds"):
+            timings = run[section]
+            if not isinstance(timings, dict):
+                _fail(f"bench: run {design!r} {section} must be an object")
+            for name, value in timings.items():
+                if not isinstance(value, (int, float)) or value < 0:
+                    _fail(
+                        f"bench: run {design!r} {section}[{name!r}] "
+                        "must be a non-negative number"
+                    )
+        speedups[design] = run["speedup"]
+    return {"runs": len(runs), "speedups": speedups}
+
+
 def main(argv: list[str]) -> int:
+    if len(argv) == 2 and argv[0] == "--bench":
+        try:
+            with open(argv[1], "r", encoding="utf-8") as handle:
+                summary = check_bench_hotpath(json.load(handle))
+        except (OSError, json.JSONDecodeError, ArtifactError, KeyError) as error:
+            print(f"FAIL: {error}", file=sys.stderr)
+            return 1
+        rendered = ", ".join(
+            f"{design} {speedup:.1f}x"
+            for design, speedup in summary["speedups"].items()
+        )
+        print(f"OK: bench-hotpath with {summary['runs']} run(s): {rendered}")
+        return 0
     if len(argv) != 2:
         print(
-            "usage: check_obs_artifacts.py TRACE.json REPORT.json",
+            "usage: check_obs_artifacts.py TRACE.json REPORT.json\n"
+            "       check_obs_artifacts.py --bench BENCH_hotpath.json",
             file=sys.stderr,
         )
         return 2

@@ -26,9 +26,11 @@ sample count).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.compression.selective import GROUP_COPY_THRESHOLD, code_parameters
 from repro.soc.core import Core
 from repro.wrapper.design import WrapperDesign
@@ -66,22 +68,22 @@ def _mix_seed(seed: int, m: int, samples: int) -> int:
     return value & 0x7FFFFFFFFFFFFFFF
 
 
-def estimate_slice_costs(
-    core: Core,
-    design: WrapperDesign,
-    *,
-    samples: int = DEFAULT_SAMPLES,
-) -> np.ndarray:
-    """Sampled per-slice codeword counts (length ``samples`` array)."""
-    if samples < 1:
-        raise ValueError(f"samples must be >= 1, got {samples}")
+def _sampled_target_groups(
+    core: Core, design: WrapperDesign, samples: int
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Draw one design's sampled target bits and their group slots.
+
+    Returns ``(targets, group_ids, num_groups)`` where ``targets[s]`` is
+    the number of minority-symbol care bits of sample slice ``s`` and
+    ``group_ids`` holds, slice by slice, the group slot of each such
+    bit.  The random stream is deterministic in
+    ``(core.seed, m, samples)`` and shared verbatim by the fast and
+    reference accountings, so they differ only in arithmetic.
+    """
     m = design.num_chains
     k, _ = code_parameters(m)
     si = design.scan_in_max
-    if si == 0:
-        # Unscanned core: a single degenerate "slice" per pattern is not
-        # meaningful; callers guard on this, but stay safe.
-        return np.ones(samples, dtype=np.int64)
+    num_groups = -(-m // k)
 
     active = design.active_inputs_per_slice()  # (si,)
     # Stratified slice indices over one pattern (patterns are i.i.d. in
@@ -101,15 +103,69 @@ def estimate_slice_costs(
     # Positions are drawn uniformly over the m slots; for the sparse
     # industrial regime (targets << m) the with-replacement approximation
     # is negligible, and the exact path covers the dense regime.
-    num_groups = -(-m // k)
-    total_targets = int(targets.sum())
+    group_ids = rng.integers(0, num_groups, size=int(targets.sum()))
+    return targets, group_ids, num_groups
+
+
+def estimate_slice_costs(
+    core: Core,
+    design: WrapperDesign,
+    *,
+    samples: int = DEFAULT_SAMPLES,
+) -> np.ndarray:
+    """Sampled per-slice codeword counts (length ``samples`` array)."""
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    si = design.scan_in_max
+    if si == 0:
+        # Unscanned core: a single degenerate "slice" per pattern is not
+        # meaningful; callers guard on this, but stay safe.
+        return np.ones(samples, dtype=np.int64)
+
+    targets, group_ids, num_groups = _sampled_target_groups(
+        core, design, samples
+    )
     slice_ids = np.repeat(np.arange(samples), targets)
-    group_ids = rng.integers(0, num_groups, size=total_targets)
     per_group = np.bincount(
         slice_ids * num_groups + group_ids, minlength=samples * num_groups
     ).reshape(samples, num_groups)
-    group_cost = np.where(per_group >= GROUP_COPY_THRESHOLD, 2, per_group)
+    # min(count, 2) is the group cost: below GROUP_COPY_THRESHOLD (= 3)
+    # every target bit costs one single-bit codeword, at or above it the
+    # group is emitted as a 2-codeword group-copy.
+    group_cost = np.minimum(per_group, 2)
     return 1 + group_cost.sum(axis=1)
+
+
+def estimate_slice_costs_reference(
+    core: Core,
+    design: WrapperDesign,
+    *,
+    samples: int = DEFAULT_SAMPLES,
+) -> np.ndarray:
+    """Scalar reference for :func:`estimate_slice_costs`.
+
+    Replays the identical random draws, then accounts the group costs
+    with plain Python loops.  The differential suite holds the
+    vectorized scatter/bincount accounting to this ground truth.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    if design.scan_in_max == 0:
+        return np.ones(samples, dtype=np.int64)
+
+    targets, group_ids, _ = _sampled_target_groups(core, design, samples)
+    costs = np.empty(samples, dtype=np.int64)
+    cursor = 0
+    for index, count in enumerate(targets.tolist()):
+        per_group: dict[int, int] = {}
+        for group in group_ids[cursor : cursor + count].tolist():
+            per_group[group] = per_group.get(group, 0) + 1
+        cursor += count
+        cost = 1
+        for hits in per_group.values():
+            cost += 2 if hits >= GROUP_COPY_THRESHOLD else hits
+        costs[index] = cost
+    return costs
 
 
 def estimate_codewords(
@@ -133,3 +189,79 @@ def estimate_codewords(
         mean_cost=mean_cost,
         total_codewords=int(round(mean_cost * total_slices)),
     )
+
+
+def estimate_codewords_batch(
+    core: Core,
+    designs: Sequence[WrapperDesign],
+    *,
+    samples: int = DEFAULT_SAMPLES,
+) -> list[SliceStatistics]:
+    """Estimate every design of a core through single array passes.
+
+    Bit-identical to calling :func:`estimate_codewords` per design (each
+    design replays its own ``(core.seed, m, samples)`` random stream),
+    but the group-cost accounting of all designs is fused: one bincount
+    scatter and one clamped prefix sum over the concatenated group slots
+    replace the per-design bincount/where/sum chain.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    with obs.span("kernel.estimate-batch", designs=len(designs)):
+        return _estimate_codewords_batch(core, designs, samples)
+
+
+def _estimate_codewords_batch(
+    core: Core, designs: Sequence[WrapperDesign], samples: int
+) -> list[SliceStatistics]:
+    sample_ids = np.arange(samples)
+    id_chunks: list[np.ndarray] = []
+    spans: list[tuple[int, int]] = []  # (flat base, flat length) per design
+    base = 0
+    for design in designs:
+        si = design.scan_in_max
+        if si == 0:
+            spans.append((base, 0))
+            continue
+        targets, group_ids, num_groups = _sampled_target_groups(
+            core, design, samples
+        )
+        slice_ids = np.repeat(sample_ids, targets)
+        id_chunks.append(base + slice_ids * num_groups + group_ids)
+        length = samples * num_groups
+        spans.append((base, length))
+        base += length
+
+    if id_chunks:
+        flat_ids = np.concatenate(id_chunks)
+        per_group = np.bincount(flat_ids, minlength=base)
+        # Same group-copy clamp as estimate_slice_costs; the prefix sum
+        # turns every design's total into two boundary lookups.
+        running = np.concatenate(
+            ([0], np.cumsum(np.minimum(per_group, 2), dtype=np.int64))
+        )
+    else:
+        running = np.zeros(1, dtype=np.int64)
+
+    stats: list[SliceStatistics] = []
+    for design, (start, length) in zip(designs, spans):
+        m = design.num_chains
+        _, w = code_parameters(m)
+        si = design.scan_in_max
+        if si == 0:
+            mean_cost = 1.0
+        else:
+            group_total = int(running[start + length] - running[start])
+            mean_cost = (samples + group_total) / samples
+        total_slices = core.patterns * si
+        stats.append(
+            SliceStatistics(
+                m=m,
+                code_width=w,
+                slices_per_pattern=si,
+                total_slices=total_slices,
+                mean_cost=mean_cost,
+                total_codewords=int(round(mean_cost * total_slices)),
+            )
+        )
+    return stats

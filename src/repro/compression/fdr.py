@@ -14,15 +14,40 @@ co-optimization flow against a different codec family (ablation A2).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.compression.runlength import zero_run_lengths
+
 
 def _group_of(run_length: int) -> int:
-    """Group index ``k`` with ``2^k - 2 <= run_length <= 2^(k+1) - 3``."""
-    return int(math.floor(math.log2(run_length + 2)))
+    """Group index ``k`` with ``2^k - 2 <= run_length <= 2^(k+1) - 3``.
+
+    Computed with integer bit arithmetic: the former float
+    ``floor(log2(L + 2))`` rounds up for ``L + 2`` just below a power of
+    two once the mantissa runs out of bits (e.g. ``L = 2**53 - 3``),
+    assigning the run one group too high.
+    """
+    if run_length < 0:
+        raise ValueError("run length must be >= 0")
+    return (run_length + 2).bit_length() - 1
+
+
+def run_groups(run_lengths: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_group_of` over an int64 run-length array.
+
+    ``frexp`` recovers ``floor(log2)`` exactly for values that convert
+    to float without rounding; the fix-up below catches values just
+    under a power of two whose conversion rounded up (the same boundary
+    the scalar float version got wrong).
+    """
+    values = np.asarray(run_lengths, dtype=np.int64) + 2
+    groups = np.frexp(values.astype(np.float64))[1].astype(np.int64) - 1
+    rounded_up = (np.uint64(1) << groups.astype(np.uint64)) > values.astype(
+        np.uint64
+    )
+    return groups - rounded_up
 
 
 @dataclass(frozen=True)
@@ -43,6 +68,15 @@ class FdrCode:
         return 2 * _group_of(length)
 
     def encode(self, data: np.ndarray) -> list[int]:
+        """Encode a 0/1 stream; runs are extracted in one vectorized
+        pass (differentially pinned to :meth:`encode_reference`)."""
+        bits: list[int] = []
+        for run in zero_run_lengths(data).tolist():
+            bits.extend(self.encode_run(run))
+        return bits
+
+    def encode_reference(self, data: np.ndarray) -> list[int]:
+        """Scalar reference for :meth:`encode` (per-bit Python loop)."""
         stream = np.asarray(data, dtype=np.int8).ravel()
         if stream.size and (stream.min() < 0 or stream.max() > 1):
             raise ValueError("FDR coding needs a fully specified 0/1 stream")
@@ -83,18 +117,9 @@ class FdrCode:
         return out
 
     def encoded_length(self, data: np.ndarray) -> int:
-        """Compressed bit count without materializing the bit list."""
-        stream = np.asarray(data, dtype=np.int8).ravel()
-        if stream.size == 0:
-            return 0
-        ones = np.flatnonzero(stream == 1)
-        if ones.size == 0:
-            run_lengths = np.array([stream.size])
-        else:
-            starts = np.concatenate(([-1], ones))
-            run_lengths = np.diff(starts) - 1
-            tail = stream.size - 1 - ones[-1]
-            if tail:
-                run_lengths = np.concatenate((run_lengths, [tail]))
-        groups = np.floor(np.log2(run_lengths + 2)).astype(np.int64)
-        return int((2 * groups).sum())
+        """Compressed bit count without materializing the bit list.
+
+        Validates the stream exactly like :meth:`encode`: X cells raise
+        instead of being silently counted as zeros.
+        """
+        return int((2 * run_groups(zero_run_lengths(data))).sum())

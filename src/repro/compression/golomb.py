@@ -19,6 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.compression.runlength import zero_run_lengths
+
 
 @dataclass(frozen=True)
 class GolombCode:
@@ -51,7 +53,16 @@ class GolombCode:
 
         A trailing run without a terminating 1 is closed by appending a
         virtual 1 (standard practice; the decoder trims it by length).
+        Runs are extracted in one vectorized pass; differentially pinned
+        to :meth:`encode_reference`.
         """
+        bits: list[int] = []
+        for run in zero_run_lengths(data).tolist():
+            bits.extend(self.encode_run(run))
+        return bits
+
+    def encode_reference(self, data: np.ndarray) -> list[int]:
+        """Scalar reference for :meth:`encode` (per-bit Python loop)."""
         stream = np.asarray(data, dtype=np.int8).ravel()
         if stream.size and (stream.min() < 0 or stream.max() > 1):
             raise ValueError("Golomb coding needs a fully specified 0/1 stream")
@@ -96,24 +107,33 @@ class GolombCode:
     # ------------------------------------------------------------------
 
     def encoded_length(self, data: np.ndarray) -> int:
-        """Compressed bit count without materializing the bit list."""
-        stream = np.asarray(data, dtype=np.int8).ravel()
-        if stream.size == 0:
-            return 0
-        ones = np.flatnonzero(stream == 1)
-        if ones.size == 0:
-            run_lengths = np.array([stream.size])
-        else:
-            starts = np.concatenate(([-1], ones))
-            run_lengths = np.diff(starts) - 1
-            tail = stream.size - 1 - ones[-1]
-            if tail:
-                run_lengths = np.concatenate((run_lengths, [tail]))
+        """Compressed bit count without materializing the bit list.
+
+        Validates the stream exactly like :meth:`encode`: X cells raise
+        instead of being silently counted as zeros.
+        """
+        return self.encoded_length_from_runs(zero_run_lengths(data))
+
+    def encoded_length_from_runs(self, run_lengths: np.ndarray) -> int:
+        """Compressed bit count for pre-extracted zero-run lengths."""
         quotients = run_lengths // self.b
         return int((quotients + 1 + self.remainder_bits).sum())
 
 
-def best_golomb_parameter(data: np.ndarray, candidates: tuple[int, ...] = (2, 4, 8, 16, 32, 64)) -> GolombCode:
-    """Pick the group size minimizing the encoded length."""
-    best = min(candidates, key=lambda b: GolombCode(b).encoded_length(data))
-    return GolombCode(best)
+def best_golomb_parameter(
+    data: np.ndarray, candidates: tuple[int, ...] = (2, 4, 8, 16, 32, 64)
+) -> GolombCode:
+    """Pick the group size minimizing the encoded length.
+
+    The runs are extracted once and scored for every candidate in a
+    single broadcast pass instead of re-scanning the stream per group
+    size.
+    """
+    if not candidates:
+        raise ValueError("need at least one candidate group size")
+    codes = [GolombCode(b) for b in candidates]
+    runs = zero_run_lengths(data)
+    sizes = np.array([code.b for code in codes], dtype=np.int64)
+    totals = (runs[None, :] // sizes[:, None]).sum(axis=1)
+    totals += runs.size * (1 + np.log2(sizes).astype(np.int64))
+    return codes[int(np.argmin(totals))]

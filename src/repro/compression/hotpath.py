@@ -1,0 +1,163 @@
+"""Fused exact-encoding kernels for the single-plan hot path.
+
+The design-space exploration evaluates the selective-encoding codeword
+count for *every* (code width, slice width) candidate of a core.  The
+reference path materializes, per candidate, the dense slice tensor
+``(patterns, si, m)`` (idle pads included) and runs
+:func:`repro.compression.selective.slice_costs` over it -- roughly six
+full passes over padded data per candidate, which profiling shows is
+where a cold plan spends most of its time.
+
+This kernel computes the same totals with two ideas:
+
+1. the cube-side comparison masks ``bits == 1`` / ``bits == 0`` are
+   computed *once per core* and shared by every candidate, instead of
+   being re-derived from a freshly gathered padded slice tensor per
+   candidate;
+2. per candidate, every wrapper chain's scan-in sequence is a short
+   list of *contiguous* stimulus-bit runs that land on *contiguous*
+   slice indices of one chain
+   (:meth:`repro.wrapper.design.WrapperDesign.scan_in_segments`), so
+   the per-(pattern, group, slice) one/zero counts accumulate with one
+   contiguous array-slice add per segment -- no gather, no pad cells,
+   no ``reduceat``/``cumsum`` (both measured far below memcpy speed).
+
+From the ``(2, patterns, groups, si)`` count tensor the rest is
+arithmetic on small arrays: per-slice counts are the group sums, the
+minority target symbol (ties favor 1) picks each group's target count
+as its one count or its zero count, the group-copy rule caps a group
+holding >= GROUP_COPY_THRESHOLD target bits at 2 codewords, and one END
+codeword is charged per slice.
+
+The result is bit-identical to the reference path -- pinned by
+``tests/test_vectorized_differential.py`` on every benchmark SOC plus
+fuzz seeds -- because both implement the exact cost model of
+:func:`repro.compression.selective.encode_slice`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.compression.cubes import TestCubeSet
+from repro.compression.selective import GROUP_COPY_THRESHOLD, code_parameters
+
+# The arithmetic shortcut min(count, 2) below encodes the group-copy
+# rule (2 codewords once a group holds >= GROUP_COPY_THRESHOLD target
+# bits, one per bit below it) and is exact only while the threshold sits
+# one above the copy cost.
+assert GROUP_COPY_THRESHOLD == 3
+from repro.wrapper.design import WrapperDesign
+
+
+def exact_codeword_total(cubes: TestCubeSet, design: WrapperDesign) -> int:
+    """Total selective-encoding codeword count for one wrapper design.
+
+    Equals ``int(slice_costs(cubes.slices(design)).sum())`` without
+    materializing the padded slice tensor.
+    """
+    return int(exact_codeword_totals(cubes, [design])[0])
+
+
+def symbol_table(cubes: TestCubeSet) -> np.ndarray:
+    """Shared per-core symbol table for :func:`exact_codeword_totals`.
+
+    The one-mask and zero-mask of every pattern, transposed to
+    ``(2, bits, patterns)`` so that a run of consecutive stimulus bits
+    is a contiguous 2-D block per plane; each segment add in the kernel
+    then collapses to two linear memory passes.  Callers that evaluate
+    one core repeatedly (the DSE fills its tables width by width) should
+    build this once and pass it back in.
+    """
+    bits = cubes.bits
+    symbols = np.empty((2, bits.shape[1], bits.shape[0]), dtype=np.int8)
+    symbols[0] = (bits == 1).T
+    symbols[1] = (bits == 0).T
+    return symbols
+
+
+def exact_codeword_totals(
+    cubes: TestCubeSet,
+    designs: Sequence[WrapperDesign],
+    *,
+    symbols: np.ndarray | None = None,
+) -> np.ndarray:
+    """Total codeword count per design, sharing one pass of core tables.
+
+    Returns an int64 array aligned with ``designs``.  Every design must
+    belong to ``cubes.core``.  ``symbols`` optionally reuses a cached
+    :func:`symbol_table` of the same cube set.
+    """
+    for design in designs:
+        if design.core != cubes.core:
+            raise ValueError("wrapper design belongs to a different core")
+    totals = np.zeros(len(designs), dtype=np.int64)
+    if not designs:
+        return totals
+    bits = cubes.bits
+    if bits.shape[0] == 0 or bits.shape[1] == 0:
+        return totals
+    if symbols is None:
+        symbols = symbol_table(cubes)
+    elif symbols.shape != (2, bits.shape[1], bits.shape[0]):
+        raise ValueError("symbol table does not match the cube set")
+
+    with obs.span("kernel.exact-totals", designs=len(designs)):
+        for index, design in enumerate(designs):
+            totals[index] = _design_total(symbols, design)
+    return totals
+
+
+def _design_total(symbols: np.ndarray, design: WrapperDesign) -> int:
+    """Codeword total for one design from the shared symbol masks."""
+    patterns = symbols.shape[2]
+    si = design.scan_in_max
+    if si == 0:
+        return 0
+    m = design.num_chains
+    k, _ = code_parameters(m)
+    num_groups = -(-m // k)
+
+    # counts[0/1, g, s]: per (group, slice) one/zero counts of every
+    # pattern over the active cells.  A group never holds more than
+    # k < 128 chains, so int8 cannot overflow.  Idle pads contribute
+    # nothing by construction -- they are never enumerated.  Both sides
+    # of each segment add are contiguous blocks per symbol plane (slice
+    # runs are contiguous inside a group plane, bit runs inside the
+    # symbol table), so every add is two streaming passes.
+    counts = np.zeros((2, num_groups, si, patterns), dtype=np.int8)
+    bit_start, seg_len, slice_start, seg_chain = design.scan_in_segments()
+    group_of_chain = seg_chain // k
+    for a, length, s0, g in zip(
+        bit_start.tolist(),
+        seg_len.tolist(),
+        slice_start.tolist(),
+        group_of_chain.tolist(),
+    ):
+        counts[:, g, s0 : s0 + length] += symbols[:, a : a + length]
+
+    # Per-slice counts are the group sums; m fits int16.  With a single
+    # group the sums are views, not reductions.
+    if num_groups == 1:
+        slice_counts = counts[:, 0]
+    else:
+        slice_counts = counts.sum(axis=1, dtype=np.int16)
+    # Minority care symbol per slice; ties favor encoding the 1s.  Must
+    # happen before the clamp below: with one group ``slice_counts``
+    # aliases ``counts``.
+    target_is_one = slice_counts[0] <= slice_counts[1]
+    # min(count, 2) is each group's cost: below GROUP_COPY_THRESHOLD
+    # (= 3) every target bit is one codeword, at or above it the group
+    # is emitted as a 2-codeword group-copy.  Clamp in place (counts is
+    # dead after the slice sums), reduce the group axis, and only then
+    # select per slice -- the selection runs on small per-slice arrays.
+    np.minimum(counts, 2, out=counts)
+    if num_groups == 1:
+        clipped = counts[:, 0].astype(np.int16)
+    else:
+        clipped = counts.sum(axis=1, dtype=np.int16)
+    group_cost = np.where(target_is_one, clipped[0], clipped[1])
+    return patterns * si + int(group_cost.sum(dtype=np.int64))

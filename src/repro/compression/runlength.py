@@ -1,0 +1,44 @@
+"""Shared zero-run extraction for the run-length codecs.
+
+Golomb and FDR both encode a fully specified 0/1 stream as the sequence
+of its maximal 0-runs, each terminated by a 1 (a trailing unterminated
+run is closed by a virtual 1 that the decoder trims by length).  This
+module holds the single vectorized run extractor both codecs build on,
+so the encoders, the closed-form ``encoded_length`` accountings and the
+batched parameter sweep all agree on one definition of "the runs".
+
+Historical note: the codecs' ``encoded_length`` methods used to skip the
+0/1 validation their ``encode`` methods perform, silently treating
+don't-care (X = 2) cells as non-1 -- i.e. as zeros -- and returning a
+length for streams ``encode`` rejects.  Centralizing extraction here
+closed that contract gap (see ``tests/test_codec_properties.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zero_run_lengths(data: np.ndarray) -> np.ndarray:
+    """Lengths of the maximal 0-runs of a 0/1 stream, in stream order.
+
+    Every run terminated by a 1 is reported (including empty runs
+    between adjacent 1s); a trailing run without a terminating 1 is
+    reported only when non-empty, matching the encoders' virtual
+    terminator convention.  Raises ``ValueError`` when the stream holds
+    anything but 0s and 1s -- don't-care bits must be filled first.
+    """
+    stream = np.asarray(data, dtype=np.int8).ravel()
+    if stream.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if stream.min() < 0 or stream.max() > 1:
+        raise ValueError("run-length coding needs a fully specified 0/1 stream")
+    ones = np.flatnonzero(stream == 1)
+    if ones.size == 0:
+        return np.array([stream.size], dtype=np.int64)
+    starts = np.concatenate(([-1], ones))
+    runs = np.diff(starts) - 1
+    tail = stream.size - 1 - int(ones[-1])
+    if tail:
+        runs = np.concatenate((runs, [tail]))
+    return runs.astype(np.int64)

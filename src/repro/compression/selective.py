@@ -194,9 +194,9 @@ def encode_slices(slices: np.ndarray) -> CompressedStream:
 def slice_costs(slices: np.ndarray) -> np.ndarray:
     """Codeword count of every slice, vectorized (no codeword objects).
 
-    Must agree exactly with ``len(encode_slice(s))`` for every row
-    (unit-tested); this kernel is what the design-space exploration and
-    the sampled estimator are built on.
+    Must agree exactly with :func:`slice_costs_reference` for every row
+    (pinned by the differential suite); this kernel is what the
+    design-space exploration and the sampled estimator are built on.
     """
     arr = np.asarray(slices, dtype=np.int8)
     if arr.ndim == 3:
@@ -205,20 +205,44 @@ def slice_costs(slices: np.ndarray) -> np.ndarray:
         raise ValueError("slices must be 2-D (S, m) or 3-D (p, si, m)")
     S, m = arr.shape
     k, _ = code_parameters(m)
-    ones = (arr == 1).sum(axis=1)
-    zeros = (arr == 0).sum(axis=1)
-    target_is_one = ones <= zeros  # ties favor encoding the 1s
-
-    # Target-bit mask per slice, padded so m divides into whole groups.
-    target_value = np.where(target_is_one, 1, 0).astype(np.int8)
-    target_mask = arr == target_value[:, None]
     num_groups = -(-m // k)
-    padded = np.zeros((S, num_groups * k), dtype=bool)
-    padded[:, :m] = target_mask
-    per_group = padded.reshape(S, num_groups, k).sum(axis=2)
+    if num_groups * k != m:
+        # Pad with X so m divides into whole groups; X counts as neither
+        # symbol, exactly like unspecified cube bits.
+        padded = np.full((S, num_groups * k), X, dtype=np.int8)
+        padded[:, :m] = arr
+    else:
+        padded = arr
+    groups = padded.reshape(S, num_groups, k)
+    # Per-group symbol counts; a group holds at most k bits, so int16 is
+    # ample and keeps the temporaries small.
+    ones_group = (groups == 1).sum(axis=2, dtype=np.int16)
+    zeros_group = (groups == 0).sum(axis=2, dtype=np.int16)
+    ones = ones_group.sum(axis=1, dtype=np.int64)
+    zeros = zeros_group.sum(axis=1, dtype=np.int64)
+    target_is_one = ones <= zeros  # ties favor encoding the 1s
+    target_group = np.where(target_is_one[:, None], ones_group, zeros_group)
+    # min(count, 2) is the group cost: below GROUP_COPY_THRESHOLD (= 3)
+    # every target bit costs one single-bit codeword, at or above it the
+    # group is emitted as a 2-codeword group-copy.
+    group_cost = np.minimum(target_group, 2)
+    return 1 + group_cost.sum(axis=1, dtype=np.int64)
 
-    group_cost = np.where(per_group >= GROUP_COPY_THRESHOLD, 2, per_group)
-    return 1 + group_cost.sum(axis=1)
+
+def slice_costs_reference(slices: np.ndarray) -> np.ndarray:
+    """Scalar reference for :func:`slice_costs` via real codeword lists.
+
+    Encodes every slice with :func:`encode_slice` and counts the
+    codewords.  Slow but independently derived from the codec itself;
+    the differential suite holds :func:`slice_costs` (and the fused
+    kernels in :mod:`repro.compression.hotpath`) to this ground truth.
+    """
+    arr = np.asarray(slices, dtype=np.int8)
+    if arr.ndim == 3:
+        arr = arr.reshape(-1, arr.shape[-1])
+    if arr.ndim != 2:
+        raise ValueError("slices must be 2-D (S, m) or 3-D (p, si, m)")
+    return np.array([len(encode_slice(row)) for row in arr], dtype=np.int64)
 
 
 def encoded_bits(slices: np.ndarray) -> int:

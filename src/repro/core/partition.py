@@ -23,9 +23,20 @@ single-TAM solution).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator, Sequence
 
-from repro.core.scheduler import ScheduleOutcome, TimeFn, schedule_cores
+import numpy as np
+
+from repro.core.scheduler import (
+    ScheduleOutcome,
+    TimeFn,
+    TimeTable,
+    schedule_cores,
+    schedule_cores_indexed,
+    schedule_makespans_batch,
+)
+from repro.flags import use_scalar_kernels
 
 #: "auto" switches from exhaustive to greedy above this many partitions.
 AUTO_PARTITION_LIMIT = 60_000
@@ -66,6 +77,47 @@ def iter_partitions(
             prefix.pop()
 
     yield from recurse(total, total, max_parts, [])
+
+
+@lru_cache(maxsize=64)
+def partitions_list(
+    total: int, max_parts: int, min_width: int = 1
+) -> tuple[tuple[int, ...], ...]:
+    """Materialized (and memoized) :func:`iter_partitions`.
+
+    Equal to ``tuple(iter_partitions(total, max_parts, min_width))``
+    element for element (pinned by the differential suite) but built
+    with a direct append recursion: resuming a ``yield from`` chain
+    per partition costs more than every schedule the partition feeds.
+    Only the exhaustive strategy calls this, so the memo stays below
+    ``AUTO_PARTITION_LIMIT`` tuples per entry.
+    """
+    if total < 1:
+        raise ValueError(f"total width must be >= 1, got {total}")
+    if max_parts < 1:
+        raise ValueError(f"max_parts must be >= 1, got {max_parts}")
+    if min_width < 1:
+        raise ValueError(f"min_width must be >= 1, got {min_width}")
+
+    out: list[tuple[int, ...]] = []
+    prefix: list[int] = []
+
+    def recurse(remaining: int, cap: int, parts_left: int) -> None:
+        if remaining == 0:
+            out.append(tuple(prefix))
+            return
+        if parts_left == 0 or remaining < min_width:
+            return
+        for part in range(min(cap, remaining), min_width - 1, -1):
+            rest = remaining - part
+            if rest and (parts_left - 1 == 0 or rest < min_width):
+                continue
+            prefix.append(part)
+            recurse(rest, part, parts_left - 1)
+            prefix.pop()
+
+    recurse(total, total, max_parts)
+    return tuple(out)
 
 
 def count_partitions(total: int, max_parts: int, min_width: int = 1) -> int:
@@ -116,16 +168,30 @@ def _exhaustive(
     max_parts: int,
     min_width: int,
 ) -> PartitionSearchResult:
-    best: ScheduleOutcome | None = None
-    evaluated = 0
-    for widths in iter_partitions(total_width, max_parts, min_width):
-        outcome = schedule_cores(core_names, widths, time_of)
-        evaluated += 1
-        if best is None or outcome.makespan < best.makespan:
-            best = outcome
-    assert best is not None  # (total,) is always yielded
+    if use_scalar_kernels():
+        best: ScheduleOutcome | None = None
+        evaluated = 0
+        for widths in iter_partitions(total_width, max_parts, min_width):
+            outcome = schedule_cores(core_names, widths, time_of)
+            evaluated += 1
+            if best is None or outcome.makespan < best.makespan:
+                best = outcome
+        assert best is not None  # (total,) is always yielded
+        return PartitionSearchResult(
+            outcome=best, partitions_evaluated=evaluated, strategy="exhaustive"
+        )
+
+    partitions = partitions_list(total_width, max_parts, min_width)
+    table = TimeTable(core_names, time_of)
+    makespans = schedule_makespans_batch(table, partitions)
+    # argmin keeps the first minimum, matching the scalar loop's strict
+    # ``<`` improvement test over the same enumeration order.
+    winner = int(np.argmin(makespans))
+    outcome = schedule_cores_indexed(table, partitions[winner])
     return PartitionSearchResult(
-        outcome=best, partitions_evaluated=evaluated, strategy="exhaustive"
+        outcome=outcome,
+        partitions_evaluated=len(partitions),
+        strategy="exhaustive",
     )
 
 
@@ -163,8 +229,13 @@ def _greedy(
     max_parts: int,
     min_width: int,
 ) -> PartitionSearchResult:
+    if use_scalar_kernels():
+        schedule = lambda widths: schedule_cores(core_names, widths, time_of)  # noqa: E731
+    else:
+        table = TimeTable(core_names, time_of)
+        schedule = lambda widths: schedule_cores_indexed(table, widths)  # noqa: E731
     current = [total_width]
-    best = schedule_cores(core_names, current, time_of)
+    best = schedule(current)
     evaluated = 1
     improved = True
     while improved:
@@ -173,9 +244,7 @@ def _greedy(
         for widths in _greedy_moves(list(best.widths), bottleneck, min_width):
             if len(widths) > max_parts or any(w < min_width for w in widths):
                 continue
-            outcome = schedule_cores(
-                core_names, sorted(widths, reverse=True), time_of
-            )
+            outcome = schedule(sorted(widths, reverse=True))
             evaluated += 1
             if outcome.makespan < best.makespan:
                 best = outcome

@@ -15,6 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+import numpy as np
+
+from repro import obs
 from repro.core.architecture import (
     CoreConfig,
     DecompressorPlacement,
@@ -85,6 +88,150 @@ def schedule_cores(
         makespan=max(loads),
         assignment=tuple(assignment),
     )
+
+
+class TimeTable:
+    """Dense, position-indexed memo over a ``time_of`` callback.
+
+    The partition search schedules tens of thousands of partitions over
+    the same handful of cores and widths; going through the generic
+    ``time_of(name, width)`` callback per (core, TAM) step pays dict and
+    LRU overhead millions of times.  This table resolves each width to a
+    plain row of ints (indexed by core position) once, and memoizes the
+    longest-first core order per widest width -- the only two lookups
+    the inner loop needs.
+    """
+
+    def __init__(self, core_names: Sequence[str], time_of: TimeFn) -> None:
+        self.core_names = list(core_names)
+        self._time_of = time_of
+        self._rows: dict[int, list[int]] = {}
+        self._orders: dict[int, list[int]] = {}
+
+    def row(self, width: int) -> list[int]:
+        """Test time of every core (input order) at ``width``."""
+        row = self._rows.get(width)
+        if row is None:
+            row = [self._time_of(name, width) for name in self.core_names]
+            self._rows[width] = row
+        return row
+
+    def order(self, widest: int) -> list[int]:
+        """Longest-first core order at ``widest`` (ties by name)."""
+        order = self._orders.get(widest)
+        if order is None:
+            row = self.row(widest)
+            names = self.core_names
+            order = sorted(range(len(names)), key=lambda i: (-row[i], names[i]))
+            self._orders[widest] = order
+        return order
+
+
+def schedule_cores_indexed(
+    table: TimeTable, widths: Sequence[int]
+) -> ScheduleOutcome:
+    """Fast path of :func:`schedule_cores` over a :class:`TimeTable`.
+
+    Bit-identical to ``schedule_cores(table.core_names, widths,
+    time_of)`` -- same ordering, same tie-breaks (pinned by the
+    differential suite) -- with every lookup a list index.
+    """
+    if not widths:
+        raise ValueError("at least one TAM is required")
+    if any(w < 1 for w in widths):
+        raise ValueError(f"TAM widths must be >= 1, got {tuple(widths)}")
+
+    order = table.order(max(widths))
+    rows = [table.row(w) for w in widths]
+    num_tams = len(widths)
+    loads = [0] * num_tams
+    assignment = [-1] * len(table.core_names)
+    for index in order:
+        current_makespan = max(loads)
+        best_tam = -1
+        best_key: tuple[int, int, int] | None = None
+        for tam in range(num_tams):
+            finish = loads[tam] + rows[tam][index]
+            key = (max(current_makespan, finish), finish, tam)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_tam = tam
+        assignment[index] = best_tam
+        loads[best_tam] += rows[best_tam][index]
+
+    return ScheduleOutcome(
+        widths=tuple(widths),
+        makespan=max(loads),
+        assignment=tuple(assignment),
+    )
+
+
+def schedule_makespans_batch(
+    table: TimeTable, partitions: Sequence[tuple[int, ...]]
+) -> np.ndarray:
+    """Makespan of every partition, vectorized across partitions.
+
+    Returns an int64 array aligned with ``partitions``, equal to
+    ``[schedule_cores_indexed(table, p).makespan for p in partitions]``
+    (pinned by the differential suite).  The list heuristic is
+    sequential over cores but embarrassingly parallel over partitions:
+    grouping the partitions by (TAM count, widest width) makes every
+    partition in a group place its cores in the *same* order, so the
+    greedy placement advances core by core in lockstep over a
+    ``(partitions, tams)`` load matrix.
+
+    Per core the lexicographic key ``(makespan, finish, tam)`` is
+    minimized in two passes -- mask to the minimum makespan, then take
+    the first minimum finish -- because ``argmin`` resolving ties to the
+    first position is exactly the lowest-TAM tie-break.
+    """
+    makespans = np.zeros(len(partitions), dtype=np.int64)
+    groups: dict[tuple[int, int], list[int]] = {}
+    for position, widths in enumerate(partitions):
+        if not widths:
+            raise ValueError("at least one TAM is required")
+        if any(w < 1 for w in widths):
+            raise ValueError(f"TAM widths must be >= 1, got {tuple(widths)}")
+        groups.setdefault((len(widths), max(widths)), []).append(position)
+
+    with obs.span("kernel.schedule-batch", partitions=len(partitions)):
+        _schedule_groups(table, partitions, groups, makespans)
+    return makespans
+
+
+def _schedule_groups(
+    table: TimeTable,
+    partitions: Sequence[tuple[int, ...]],
+    groups: dict[tuple[int, int], list[int]],
+    makespans: np.ndarray,
+) -> None:
+    sentinel = np.iinfo(np.int64).max
+    for (num_tams, widest), positions in groups.items():
+        widths_arr = np.array(
+            [partitions[p] for p in positions], dtype=np.int64
+        )
+        unique_widths = np.unique(widths_arr)
+        # (cores, unique widths) time matrix; resolving the rows up
+        # front also triggers any lazy fills behind ``time_of`` once.
+        time_mat = np.array(
+            [table.row(int(w)) for w in unique_widths], dtype=np.int64
+        ).T
+        width_idx = np.searchsorted(unique_widths, widths_arr)
+
+        count = len(positions)
+        loads = np.zeros((count, num_tams), dtype=np.int64)
+        current = np.zeros(count, dtype=np.int64)
+        rows = np.arange(count)
+        for core in table.order(widest):
+            finish = loads + time_mat[core][width_idx]
+            span = np.maximum(current[:, None], finish)
+            span_min = span.min(axis=1, keepdims=True)
+            masked = np.where(span == span_min, finish, sentinel)
+            best = np.argmin(masked, axis=1)
+            chosen = finish[rows, best]
+            loads[rows, best] = chosen
+            current = np.maximum(current, chosen)
+        makespans[positions] = loads.max(axis=1)
 
 
 def build_architecture(

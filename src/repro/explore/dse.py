@@ -39,12 +39,18 @@ import numpy as np
 
 from repro import obs
 from repro.compression.cubes import TestCubeSet, generate_cubes
-from repro.compression.estimator import DEFAULT_SAMPLES, estimate_codewords
+from repro.compression.estimator import (
+    DEFAULT_SAMPLES,
+    estimate_codewords,
+    estimate_codewords_batch,
+)
+from repro.compression.hotpath import exact_codeword_totals, symbol_table
 from repro.compression.selective import code_parameters, slice_costs, slice_width_range
 from repro.explore.cache import AnalysisDiskCache, analysis_fingerprint
+from repro.flags import use_scalar_kernels
 from repro.parallel import parallel_map, resolve_jobs
 from repro.soc.core import Core
-from repro.wrapper.design import design_wrapper
+from repro.wrapper.design import design_wrapper, design_wrappers_batch
 from repro.wrapper.timing import scan_test_time, uncompressed_tam_volume
 
 Mode = Literal["auto", "exact", "estimate"]
@@ -61,6 +67,8 @@ MIN_CODE_WIDTH = 3
 
 #: At most this many m values are evaluated per code width.
 DEFAULT_GRID = 48
+
+
 
 
 @dataclass(frozen=True)
@@ -130,6 +138,7 @@ class CoreAnalysis:
         self._compressed: dict[int, CompressedPoint] = {}
         self._best_by_width: dict[int, CompressedPoint | None] = {}
         self._precomputed_width = 0
+        self._symbols: np.ndarray | None = None  # hotpath symbol table
 
     # ------------------------------------------------------------------
 
@@ -193,8 +202,57 @@ class CoreAnalysis:
         point = self._compressed.get(m)
         if point is not None:
             return point
+        self._ensure_points([m])
+        return self._compressed[m]
+
+    def _ensure_points(self, m_values: Iterable[int]) -> None:
+        """Evaluate every missing ``m`` in one batched kernel pass.
+
+        The fast path batches the wrapper BFD across all chain counts
+        and runs the fused codeword kernels
+        (:mod:`repro.compression.hotpath` /
+        :func:`~repro.compression.estimator.estimate_codewords_batch`)
+        over all missing designs at once.  Under
+        ``REPRO_SCALAR_KERNELS`` each design instead goes through the
+        retained reference path one by one; both fill the same memo with
+        bit-identical points.
+        """
+        missing = sorted(
+            {int(m) for m in m_values if int(m) not in self._compressed}
+        )
+        for m in missing:
+            if m < 1:
+                raise ValueError(f"wrapper chain count must be >= 1, got {m}")
+        if not missing:
+            return
+        if use_scalar_kernels():
+            for m in missing:
+                self._compressed[m] = self._scalar_point(m)
+            return
+        designs_by_m = design_wrappers_batch(self.core, missing)
+        designs = [designs_by_m[m] for m in missing]
+        if self.mode == "exact":
+            if self._symbols is None:
+                self._symbols = symbol_table(self.cubes)
+            totals = exact_codeword_totals(
+                self.cubes, designs, symbols=self._symbols
+            )
+            codeword_counts = [int(total) for total in totals]
+            exact = True
+        else:
+            stats = estimate_codewords_batch(
+                self.core, designs, samples=self.samples
+            )
+            codeword_counts = [stat.total_codewords for stat in stats]
+            exact = False
+        for m, design, codewords in zip(missing, designs, codeword_counts):
+            self._compressed[m] = self._build_point(
+                m, design.scan_in_max, design.scan_out_max, codewords, exact
+            )
+
+    def _scalar_point(self, m: int) -> CompressedPoint:
+        """Reference evaluation of one ``m`` (the pre-vectorization path)."""
         design = design_wrapper(self.core, m)
-        k, w = code_parameters(m)
         if self.mode == "exact":
             slices = self.cubes.slices(design)
             codewords = int(slice_costs(slices).sum())
@@ -204,9 +262,16 @@ class CoreAnalysis:
                 self.core, design, samples=self.samples
             ).total_codewords
             exact = False
-        si, so = design.scan_in_max, design.scan_out_max
+        return self._build_point(
+            m, design.scan_in_max, design.scan_out_max, codewords, exact
+        )
+
+    def _build_point(
+        self, m: int, si: int, so: int, codewords: int, exact: bool
+    ) -> CompressedPoint:
+        _, w = code_parameters(m)
         time = codewords + self.core.patterns + min(si, so)
-        point = CompressedPoint(
+        return CompressedPoint(
             m=m,
             code_width=w,
             scan_in_max=si,
@@ -216,8 +281,6 @@ class CoreAnalysis:
             volume=codewords * w,
             exact=exact,
         )
-        self._compressed[m] = point
-        return point
 
     def m_grid_for_code_width(self, w: int) -> list[int]:
         """Slice widths evaluated for code width ``w`` (grid-limited).
@@ -251,10 +314,13 @@ class CoreAnalysis:
 
     def sweep_code_width(self, w: int) -> list[CompressedPoint]:
         """All evaluated configurations with code width exactly ``w``."""
-        return [self.compressed_point(m) for m in self.m_grid_for_code_width(w)]
+        grid = self.m_grid_for_code_width(w)
+        self._ensure_points(grid)
+        return [self.compressed_point(m) for m in grid]
 
     def sweep_wrapper_chains(self, m_values: list[int] | range) -> list[CompressedPoint]:
         """Evaluate explicit wrapper-chain counts (Figure 2 style)."""
+        self._ensure_points(m_values)
         return [self.compressed_point(m) for m in m_values]
 
     def best_for_code_width(self, w: int) -> CompressedPoint | None:
@@ -279,7 +345,16 @@ class CoreAnalysis:
         """
         best: CompressedPoint | None = None
         top = min(tam_width, self.max_code_width)
-        for w in range(MIN_CODE_WIDTH, top + 1):
+        widths = range(MIN_CODE_WIDTH, top + 1)
+        # Batch every uncached width's grid through one kernel pass
+        # before the per-width bookkeeping below hits the memo.
+        self._ensure_points(
+            m
+            for w in widths
+            if w not in self._best_by_width
+            for m in self.m_grid_for_code_width(w)
+        )
+        for w in widths:
             candidate = self.best_for_code_width(w)
             if candidate is None:
                 continue
@@ -360,6 +435,10 @@ class CoreAnalysis:
             raise ValueError(f"TAM width must be >= 1, got {max_tam_width}")
         if self.is_complete_for(max_tam_width):
             return
+        if not use_scalar_kernels():
+            # One batched BFD pass warms the wrapper cache for every
+            # width the loops below will ask for.
+            design_wrappers_batch(self.core, range(1, max_tam_width + 1))
         for w in range(1, max_tam_width + 1):
             self.uncompressed_point(w)
         top = min(max_tam_width, self.max_code_width)

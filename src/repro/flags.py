@@ -1,0 +1,22 @@
+"""Process-wide kernel-selection flags.
+
+Every vectorized fast path in the repo keeps its scalar reference
+implementation; ``REPRO_SCALAR_KERNELS`` switches the whole pipeline
+onto the references at once.  The differential suite and the hot-path
+benchmark both lean on this: the former to prove bit-identity between
+the two stacks, the latter to measure the speedup on the same build.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def use_scalar_kernels() -> bool:
+    """True when ``REPRO_SCALAR_KERNELS`` selects the scalar kernels.
+
+    Read at call time (not import time) so tests and the benchmark can
+    flip the environment per subprocess.  Unset, empty, and ``"0"`` all
+    mean the vectorized fast path.
+    """
+    return os.environ.get("REPRO_SCALAR_KERNELS", "").strip() not in ("", "0")

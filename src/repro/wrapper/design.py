@@ -27,6 +27,8 @@ from __future__ import annotations
 import heapq
 from collections import OrderedDict
 from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable
 
 import numpy as np
 
@@ -60,7 +62,7 @@ class WrapperDesign:
     def num_chains(self) -> int:
         return len(self.chains_scan)
 
-    @property
+    @cached_property
     def scan_in_lengths(self) -> tuple[int, ...]:
         """Scan-in length of every wrapper chain (input cells + scan FFs)."""
         lengths = self.core.scan_chain_lengths
@@ -69,7 +71,7 @@ class WrapperDesign:
             for h in range(self.num_chains)
         )
 
-    @property
+    @cached_property
     def scan_out_lengths(self) -> tuple[int, ...]:
         """Scan-out length of every wrapper chain (scan FFs + output cells)."""
         lengths = self.core.scan_chain_lengths
@@ -78,12 +80,12 @@ class WrapperDesign:
             for h in range(self.num_chains)
         )
 
-    @property
+    @cached_property
     def scan_in_max(self) -> int:
         """``si``: the longest scan-in chain (0 for an unscanned design)."""
         return max(self.scan_in_lengths, default=0)
 
-    @property
+    @cached_property
     def scan_out_max(self) -> int:
         """``so``: the longest scan-out chain."""
         return max(self.scan_out_lengths, default=0)
@@ -105,13 +107,73 @@ class WrapperDesign:
         cycles.  Returns an int array of shape ``(si,)`` where entry ``j``
         is the number of chains with a real bit in shift cycle ``j``.  The
         remaining ``m - active`` positions of slice ``j`` are idle bits.
+
+        Computed as a difference histogram: a chain of length L raises
+        the count from slice ``si - L`` on, so one bincount over the
+        chain lengths plus a cumulative sum replaces the former
+        per-chain Python loop (O(si + m) instead of O(si * m)).
         """
         si = self.scan_in_max
         counts = np.zeros(si, dtype=np.int64)
-        for length in self.scan_in_lengths:
-            if length:
-                counts[si - length :] += 1
+        if si == 0:
+            return counts
+        lens = np.asarray(self.scan_in_lengths, dtype=np.int64)
+        lens = lens[lens > 0]
+        if lens.size == 0:
+            return counts
+        np.cumsum(np.bincount(si - lens, minlength=si)[:si], out=counts)
         return counts
+
+    def scan_in_segments(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Contiguous stimulus-bit segments of the scan-in schedule.
+
+        Every wrapper chain's scan-in sequence is a concatenation of
+        contiguous runs of stimulus-bit indices (its wrapper input cells,
+        then each assigned internal scan chain).  Returns four equal-length
+        int64 arrays ``(bit_start, length, slice_start, chain)``: segment
+        ``s`` covers stimulus bits ``bit_start[s] .. bit_start[s]+length[s]-1``,
+        occupying slices ``slice_start[s] ..`` on wrapper chain
+        ``chain[s]``.  This is the compact form of
+        :meth:`scan_in_position_matrix` the vectorized kernels consume;
+        only non-empty segments are returned.
+        """
+        core = self.core
+        scan_starts = np.concatenate(
+            ([0], np.cumsum(core.scan_chain_lengths))
+        ).astype(np.int64)
+        input_base = int(scan_starts[-1])  # input cells follow all scan cells
+        si = self.scan_in_max
+        in_lengths = self.scan_in_lengths
+        bit_start: list[int] = []
+        seg_len: list[int] = []
+        slice_start: list[int] = []
+        seg_chain: list[int] = []
+        next_input_cell = 0
+        for h in range(self.num_chains):
+            cursor = si - in_lengths[h]
+            inputs = self.chains_inputs[h]
+            if inputs:
+                bit_start.append(input_base + next_input_cell)
+                seg_len.append(inputs)
+                slice_start.append(cursor)
+                seg_chain.append(h)
+                next_input_cell += inputs
+                cursor += inputs
+            for chain_index in self.chains_scan[h]:
+                length = core.scan_chain_lengths[chain_index]
+                if not length:
+                    continue
+                bit_start.append(int(scan_starts[chain_index]))
+                seg_len.append(length)
+                slice_start.append(cursor)
+                seg_chain.append(h)
+                cursor += length
+        return (
+            np.asarray(bit_start, dtype=np.int64),
+            np.asarray(seg_len, dtype=np.int64),
+            np.asarray(slice_start, dtype=np.int64),
+            np.asarray(seg_chain, dtype=np.int64),
+        )
 
     def scan_in_position_matrix(self) -> np.ndarray:
         """Map (slice index, wrapper chain) -> stimulus-bit index, or -1.
@@ -123,25 +185,21 @@ class WrapperDesign:
         scan chains in assignment order.  Entry ``[j, h]`` is the stimulus
         bit shifted on wrapper chain ``h`` during cycle ``j`` (leading-pad
         alignment), or -1 for an idle-bit position.
+
+        Built from :meth:`scan_in_segments` with one vectorized scatter
+        instead of the former per-cell Python loop.
         """
-        core = self.core
-        scan_starts = np.concatenate(
-            ([0], np.cumsum(core.scan_chain_lengths))
-        ).astype(np.int64)
-        input_base = int(scan_starts[-1])  # input cells follow all scan cells
         si = self.scan_in_max
         matrix = np.full((si, self.num_chains), -1, dtype=np.int64)
-        next_input_cell = 0
-        for h in range(self.num_chains):
-            sequence: list[int] = []
-            for _ in range(self.chains_inputs[h]):
-                sequence.append(input_base + next_input_cell)
-                next_input_cell += 1
-            for chain_index in self.chains_scan[h]:
-                start = int(scan_starts[chain_index])
-                sequence.extend(range(start, start + core.scan_chain_lengths[chain_index]))
-            if sequence:
-                matrix[si - len(sequence) :, h] = sequence
+        bit_start, seg_len, slice_start, seg_chain = self.scan_in_segments()
+        if seg_len.size == 0:
+            return matrix
+        offsets = np.arange(int(seg_len.sum()), dtype=np.int64)
+        offsets -= np.repeat(np.cumsum(seg_len) - seg_len, seg_len)
+        bits = np.repeat(bit_start, seg_len) + offsets
+        slices = np.repeat(slice_start, seg_len) + offsets
+        chains = np.repeat(seg_chain, seg_len)
+        matrix[slices, chains] = bits
         return matrix
 
 
@@ -184,6 +242,95 @@ def design_wrapper(core: Core, m: int) -> WrapperDesign:
         _WRAPPER_CACHE.popitem(last=False)
         _WRAPPER_CACHE_COUNTERS["evictions"] += 1
     return design
+
+
+def design_wrappers_batch(core: Core, ms: Iterable[int]) -> dict[int, WrapperDesign]:
+    """Wrapper designs for many chain counts of one core in one pass.
+
+    Bit-identical to calling :func:`design_wrapper` per ``m`` (the
+    differential suite pins this), but the Best-Fit-Decreasing loop runs
+    *across* all candidate chain counts at once: one ``(num_ms, max_m)``
+    load matrix, one vectorized argmin per internal scan chain, instead
+    of ``num_ms`` independent heap simulations.  Results are shared with
+    (and served from) the :func:`design_wrapper` memo.
+    """
+    wanted = sorted({int(m) for m in ms})
+    if not wanted:
+        return {}
+    if wanted[0] < 1:
+        raise ValueError(f"wrapper chain count must be >= 1, got {wanted[0]}")
+    out: dict[int, WrapperDesign] = {}
+    core_key = core.cache_key()
+    missing: list[int] = []
+    for m in wanted:
+        design = _WRAPPER_CACHE.get((core_key, m))
+        if design is not None:
+            _WRAPPER_CACHE.move_to_end((core_key, m))
+            _WRAPPER_CACHE_COUNTERS["hits"] += 1
+            out[m] = design
+        else:
+            missing.append(m)
+    if not missing:
+        return out
+
+    with obs.span(
+        "kernel.wrapper-batch", requested=len(wanted), missing=len(missing)
+    ):
+        _design_wrappers_missing(core, core_key, missing, out)
+    return out
+
+
+def _design_wrappers_missing(
+    core: Core,
+    core_key: tuple,
+    missing: list[int],
+    out: dict[int, WrapperDesign],
+) -> None:
+    lengths = core.scan_chain_lengths
+    order = sorted(range(len(lengths)), key=lambda i: lengths[i], reverse=True)
+    num_ms = len(missing)
+    m_max = missing[-1]
+    # Chain counts beyond each candidate's m are fenced with a sentinel
+    # load so argmin never assigns to them.  The heap variant resolves
+    # load ties to the lowest chain id; np.argmin picks the first
+    # minimum, which is the same tie-break.
+    sentinel = np.int64(1) << 62
+    loads = np.zeros((num_ms, m_max), dtype=np.int64)
+    for i, m in enumerate(missing):
+        loads[i, m:] = sentinel
+    picks = np.empty((len(order), num_ms), dtype=np.int64)
+    rows = np.arange(num_ms)
+    for t, chain_index in enumerate(order):
+        h = np.argmin(loads, axis=1)
+        picks[t] = h
+        loads[rows, h] += lengths[chain_index]
+
+    picks_list = picks.tolist()
+    for i, m in enumerate(missing):
+        assignment: list[list[int]] = [[] for _ in range(m)]
+        for t, chain_index in enumerate(order):
+            assignment[picks_list[t][i]].append(chain_index)
+        scan_load = loads[i, :m].tolist()
+        chain_order = sorted(range(m), key=lambda h: (scan_load[h], h))
+        inputs = _distribute_cells(
+            scan_load, m, core.wrapper_input_cells, order=chain_order
+        )
+        outputs = _distribute_cells(
+            scan_load, m, core.wrapper_output_cells, order=chain_order
+        )
+        design = WrapperDesign(
+            core=core,
+            chains_scan=tuple(tuple(chains) for chains in assignment),
+            chains_inputs=tuple(inputs),
+            chains_outputs=tuple(outputs),
+        )
+        _WRAPPER_CACHE_COUNTERS["misses"] += 1
+        obs.inc("wrapper.designs_computed")
+        _WRAPPER_CACHE[(core_key, m)] = design
+        out[m] = design
+    while len(_WRAPPER_CACHE) > WRAPPER_CACHE_MAX_ENTRIES:
+        _WRAPPER_CACHE.popitem(last=False)
+        _WRAPPER_CACHE_COUNTERS["evictions"] += 1
 
 
 def wrapper_cache_info() -> dict[str, int]:
@@ -230,16 +377,22 @@ def _design_wrapper_uncached(core: Core, m: int) -> WrapperDesign:
     )
 
 
-def _distribute_cells(scan_load: list[int], m: int, cells: int) -> list[int]:
+def _distribute_cells(
+    scan_load: list[int], m: int, cells: int, *, order: list[int] | None = None
+) -> list[int]:
     """Spread ``cells`` wrapper cells over chains, shortest-first.
 
     Equivalent to adding the cells one at a time to the currently
     shortest chain, but computed in O(m log m + m) by water-filling.
+    ``order`` optionally passes the chains pre-sorted by ``(load, id)``
+    so callers distributing against the same loads twice (input and
+    output cells) share one sort.
     """
     if cells <= 0:
         return [0] * m
     counts = [0] * m
-    order = sorted(range(m), key=lambda h: (scan_load[h], h))
+    if order is None:
+        order = sorted(range(m), key=lambda h: (scan_load[h], h))
     loads = [scan_load[h] for h in order]
     remaining = cells
     # Water-fill: raise the lowest levels together until cells run out.
@@ -276,4 +429,5 @@ def pareto_wrapper_designs(core: Core, max_chains: int) -> dict[int, WrapperDesi
     """
     if max_chains < 1:
         raise ValueError(f"max_chains must be >= 1, got {max_chains}")
-    return {m: design_wrapper(core, m) for m in range(1, max_chains + 1)}
+    designs = design_wrappers_batch(core, range(1, max_chains + 1))
+    return {m: designs[m] for m in range(1, max_chains + 1)}

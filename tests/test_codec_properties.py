@@ -1,0 +1,203 @@
+"""Codec property battery: round-trips, closed-form lengths, contracts.
+
+The run-length codecs (Golomb, FDR) were vectorized on top of the
+shared zero-run extractor (:mod:`repro.compression.runlength`); these
+properties pin everything the rewrite must preserve:
+
+* ``decode(encode(x), len(x)) == x`` for any 0/1 stream;
+* ``encoded_length(x) == len(encode(x))`` -- the closed-form accounting
+  equals the materialized bit stream;
+* the vectorized ``encode`` equals the retained per-bit
+  ``encode_reference``;
+* streams with don't-care cells (X = 2) are rejected by *both*
+  ``encode`` and ``encoded_length``.  The length accountings used to
+  skip validation and silently treat X as 0 -- a contract gap the
+  vectorization surfaced; the rejection tests here failed before the
+  fix;
+* FDR's group index is exact integer arithmetic.  The old
+  ``floor(log2(L + 2))`` float path rounds up once ``L + 2`` is within
+  float-mantissa exhaustion of a power of two (``L = 2**53 - 3``),
+  assigning the run one group too high; ``test_group_of_huge_runs``
+  failed before the fix and pins both the scalar and the vectorized
+  form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression.fdr import FdrCode, _group_of, run_groups
+from repro.compression.golomb import GolombCode, best_golomb_parameter
+from repro.compression.runlength import zero_run_lengths
+
+bitstream = st.lists(st.integers(0, 1), min_size=0, max_size=400).map(
+    lambda bits: np.array(bits, dtype=np.int8)
+)
+
+CODECS = [GolombCode(2), GolombCode(8), GolombCode(64), FdrCode()]
+
+
+def _xlike_streams(rng):
+    """Cube-flavored streams: mostly X with sparse care bits."""
+    for density in (0.0, 0.02, 0.3, 0.9):
+        care = rng.random(700) < density
+        ones = rng.random(700) < 0.4
+        stream = np.full(700, 2, dtype=np.int8)
+        stream[care] = ones[care].astype(np.int8)
+        yield stream
+
+
+# ---------------------------------------------------------------------------
+# Zero-run extraction.
+# ---------------------------------------------------------------------------
+
+
+class TestZeroRunLengths:
+    @given(bitstream)
+    def test_runs_reconstruct_the_stream(self, data):
+        runs = zero_run_lengths(data)
+        rebuilt: list[int] = []
+        for run in runs.tolist():
+            rebuilt.extend([0] * run + [1])
+        # The final run's virtual terminating 1 (or the terminator of a
+        # stream ending in 1) may fall past the stream end; trim.
+        assert rebuilt[: data.size] == data.tolist()
+
+    @given(bitstream)
+    def test_run_count_and_mass(self, data):
+        runs = zero_run_lengths(data)
+        assert int(runs.sum()) == int((data == 0).sum())
+        ones = int((data == 1).sum())
+        assert len(runs) in (ones, ones + 1)
+
+    def test_rejects_dont_care_cells(self):
+        with pytest.raises(ValueError):
+            zero_run_lengths(np.array([0, 1, 2], dtype=np.int8))
+        with pytest.raises(ValueError):
+            zero_run_lengths(np.array([0, -1], dtype=np.int8))
+
+    def test_empty_stream(self):
+        assert zero_run_lengths(np.zeros(0, dtype=np.int8)).size == 0
+
+
+# ---------------------------------------------------------------------------
+# Shared codec properties.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("codec", CODECS, ids=lambda c: repr(c))
+class TestCodecProperties:
+    @given(data=bitstream)
+    def test_roundtrip(self, codec, data):
+        assert np.array_equal(codec.decode(codec.encode(data), data.size), data)
+
+    @given(data=bitstream)
+    def test_encoded_length_matches_encode(self, codec, data):
+        assert codec.encoded_length(data) == len(codec.encode(data))
+
+    @given(data=bitstream)
+    def test_encode_matches_reference(self, codec, data):
+        assert codec.encode(data) == codec.encode_reference(data)
+
+    def test_dense_random_streams(self, codec, rng):
+        for density in (0.01, 0.1, 0.5, 0.95):
+            data = (rng.random(3000) < density).astype(np.int8)
+            bits = codec.encode(data)
+            assert bits == codec.encode_reference(data)
+            assert codec.encoded_length(data) == len(bits)
+            assert np.array_equal(codec.decode(bits, data.size), data)
+
+
+# ---------------------------------------------------------------------------
+# The X-validation contract (regression: failed before the fix).
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("codec", CODECS, ids=lambda c: repr(c))
+class TestDontCareRejection:
+    def test_encode_rejects_x(self, codec, rng):
+        for stream in _xlike_streams(rng):
+            if not (stream == 2).any():
+                continue
+            with pytest.raises(ValueError):
+                codec.encode(stream)
+
+    def test_encoded_length_rejects_x_like_encode(self, codec, rng):
+        """``encoded_length`` used to count X cells as zeros and return
+        a length for streams ``encode`` rejects."""
+        for stream in _xlike_streams(rng):
+            if not (stream == 2).any():
+                continue
+            with pytest.raises(ValueError):
+                codec.encoded_length(stream)
+
+    def test_zero_filled_stream_is_accepted(self, codec, rng):
+        """Filling the don't-cares first (the TDC 0-fill) stays valid."""
+        for stream in _xlike_streams(rng):
+            filled = np.where(stream == 2, 0, stream).astype(np.int8)
+            assert codec.encoded_length(filled) == len(codec.encode(filled))
+
+
+# ---------------------------------------------------------------------------
+# FDR group arithmetic (regression: failed before the fix).
+# ---------------------------------------------------------------------------
+
+
+class TestFdrGroups:
+    def test_group_of_huge_runs(self):
+        """Integer group index where the float log2 rounded up.
+
+        ``2**53 - 1`` is the first odd integer float64 cannot represent:
+        ``log2(float(2**53 - 1)) == 53.0`` exactly, so the old
+        ``floor(log2(L + 2))`` put the run ``L = 2**53 - 3`` in group 53
+        although ``L + 2 < 2**53``.
+        """
+        assert _group_of(2**53 - 3) == 52
+        assert _group_of(2**53 - 2) == 53
+
+    @pytest.mark.parametrize("k", [1, 2, 10, 31, 52, 60])
+    def test_group_boundaries_scalar_and_vector(self, k):
+        # Group A_k covers run lengths 2^k - 2 .. 2^(k+1) - 3.
+        lengths = np.array(
+            [2**k - 2, 2**k - 1, 2 ** (k + 1) - 4, 2 ** (k + 1) - 3],
+            dtype=np.int64,
+        )
+        lengths = lengths[lengths >= 0]
+        expected = [k] * len(lengths)
+        assert [_group_of(int(v)) for v in lengths] == expected
+        assert run_groups(lengths).tolist() == expected
+
+    @given(st.integers(0, 2**62))
+    def test_vectorized_matches_scalar(self, length):
+        assert run_groups(np.array([length])).tolist() == [_group_of(length)]
+
+    def test_run_cost_matches_encode_run(self):
+        code = FdrCode()
+        for length in (0, 1, 2, 5, 6, 13, 14, 1000, 2**20 - 2):
+            assert code.run_cost(length) == len(code.encode_run(length))
+
+
+# ---------------------------------------------------------------------------
+# Batched Golomb parameter sweep.
+# ---------------------------------------------------------------------------
+
+
+class TestBestGolombParameter:
+    def test_matches_per_candidate_scoring(self, rng):
+        candidates = (2, 4, 8, 16, 32, 64)
+        for density in (0.005, 0.05, 0.3):
+            data = (rng.random(4000) < density).astype(np.int8)
+            best = best_golomb_parameter(data, candidates)
+            scores = {
+                b: GolombCode(b).encoded_length(data) for b in candidates
+            }
+            # First minimum wins, matching the batched argmin tie-break.
+            expected = min(candidates, key=lambda b: (scores[b], candidates.index(b)))
+            assert best.b == expected
+
+    def test_rejects_empty_candidates(self):
+        with pytest.raises(ValueError):
+            best_golomb_parameter(np.zeros(4, dtype=np.int8), ())

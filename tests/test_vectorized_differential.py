@@ -1,0 +1,393 @@
+"""Differential battery pinning every vectorized hot-path kernel.
+
+The single-plan hot path (PR: "vectorize the single-plan hot path")
+rewrote five layers with numpy -- selective slice costs, the fused
+exact codeword kernel, the sampled estimator, wrapper BFD, and the
+partition scheduler -- and every fast path retained its scalar
+reference implementation.  This suite holds each pair bit-identical:
+
+* **kernels** -- fast vs. reference on real benchmark cores (d695 /
+  d2758 exact, the industrial ckt cores for the estimator) and on
+  ``REPRO_FUZZ_SEEDS`` random cores from the fuzz generator;
+* **whole plans** -- ``REPRO_SCALAR_KERNELS=1`` flips the entire
+  pipeline onto the scalar stack; both plans of every catalog SOC and
+  of random fuzz SOCs must produce equal architectures, and every
+  fast-path plan is re-checked by the independent invariant catalog
+  (:mod:`repro.verify`).
+
+The codec fast/reference pairs (Golomb, FDR, zero-run extraction) are
+pinned in ``tests/test_codecs.py`` next to their unit tests.
+
+``REPRO_FUZZ_SEEDS`` widens the random sweeps in CI (the verification
+job sets it to 200); the local default keeps the file in tens of
+seconds.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.compression.cubes import generate_cubes
+from repro.compression.estimator import (
+    estimate_codewords,
+    estimate_codewords_batch,
+    estimate_slice_costs,
+    estimate_slice_costs_reference,
+)
+from repro.compression.hotpath import (
+    exact_codeword_total,
+    exact_codeword_totals,
+    symbol_table,
+)
+from repro.compression.selective import slice_costs, slice_costs_reference
+from repro.core.partition import (
+    iter_partitions,
+    partitions_list,
+    search_partitions,
+)
+from repro.core.scheduler import (
+    TimeTable,
+    schedule_cores,
+    schedule_cores_indexed,
+    schedule_makespans_batch,
+)
+from repro.explore.dse import analysis_for, clear_analysis_cache
+from repro.pipeline import RunConfig, plan
+from repro.pipeline.tables import LookupTables
+from repro.soc.industrial import load_design
+from repro.verify.fuzz import random_core, random_soc
+from repro.verify.invariants import verify_plan
+from repro.wrapper.design import (
+    _design_wrapper_uncached,
+    clear_wrapper_design_cache,
+    design_wrapper,
+    design_wrappers_batch,
+)
+
+FUZZ_SEEDS = int(os.environ.get("REPRO_FUZZ_SEEDS", 24))
+#: Plan-level differentials replan every SOC twice; scale them slower.
+PLAN_SEEDS = max(4, FUZZ_SEEDS // 4)
+
+#: Chain counts probed on real benchmark cores: every small m (where
+#: group effects are strongest) plus a spread of larger ones.
+BENCH_MS = (1, 2, 3, 4, 5, 6, 7, 8, 12, 17, 23, 31, 46, 64)
+
+
+def _bench_cores(name):
+    return load_design(name).cores
+
+
+# ---------------------------------------------------------------------------
+# Exact kernels on real benchmark cores.
+# ---------------------------------------------------------------------------
+
+
+class TestExactKernelsOnBenchmarks:
+    @pytest.mark.parametrize("design_name", ["d695", "d2758"])
+    def test_fused_totals_match_dense_slice_costs(self, design_name):
+        """The fused kernel equals the dense per-design path, per core."""
+        for core in _bench_cores(design_name):
+            cubes = generate_cubes(core)
+            designs = [design_wrapper(core, m) for m in BENCH_MS]
+            fused = exact_codeword_totals(
+                cubes, designs, symbols=symbol_table(cubes)
+            )
+            dense = np.array(
+                [slice_costs(cubes.slices(d)).sum() for d in designs],
+                dtype=np.int64,
+            )
+            assert np.array_equal(fused, dense), (design_name, core.name)
+
+    def test_single_design_wrapper_matches(self):
+        core = _bench_cores("d695")[0]
+        cubes = generate_cubes(core)
+        design = design_wrapper(core, 5)
+        assert exact_codeword_total(cubes, design) == int(
+            slice_costs(cubes.slices(design)).sum()
+        )
+
+    def test_mismatched_core_rejected(self):
+        cores = _bench_cores("d695")
+        cubes = generate_cubes(cores[0])
+        foreign = design_wrapper(cores[1], 3)
+        with pytest.raises(ValueError):
+            exact_codeword_totals(cubes, [foreign])
+
+    def test_mismatched_symbol_table_rejected(self):
+        core = _bench_cores("d695")[0]
+        cubes = generate_cubes(core)
+        design = design_wrapper(core, 3)
+        bad = np.zeros((2, 3, 3), dtype=np.int8)
+        with pytest.raises(ValueError):
+            exact_codeword_totals(cubes, [design], symbols=bad)
+
+
+def test_slice_costs_match_encode_reference_on_fuzz_cores():
+    """Vectorized slice costs == per-slice ``encode_slice`` ground truth.
+
+    The reference walks every sampled slice through the actual encoder,
+    so this also re-pins the vectorized path to the codeword semantics,
+    not just to another array formulation.
+    """
+    for seed in range(FUZZ_SEEDS):
+        rng = random.Random(10_000 + seed)
+        core = random_core(rng, seed)
+        cubes = generate_cubes(core)
+        for m in (1, 2, 3, rng.randint(4, 12)):
+            design = design_wrapper(core, m)
+            slices = cubes.slices(design)
+            fast = slice_costs(slices)
+            ref = slice_costs_reference(slices)
+            assert np.array_equal(fast, ref), (seed, m)
+            assert exact_codeword_total(cubes, design) == int(ref.sum()), (
+                seed,
+                m,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Sampled estimator.
+# ---------------------------------------------------------------------------
+
+
+class TestEstimatorDifferential:
+    #: ckt cores drive the estimate mode on the System SOCs.
+    CKT_CORES = ("ckt-1", "ckt-5", "ckt-11")
+
+    def _cores(self):
+        by_name = {c.name: c for c in load_design("System4").cores}
+        return [by_name[name] for name in self.CKT_CORES]
+
+    def test_vectorized_costs_match_reference(self):
+        for core in self._cores():
+            for m in (1, 3, 8, 33):
+                design = design_wrapper(core, m)
+                fast = estimate_slice_costs(core, design, samples=192)
+                ref = estimate_slice_costs_reference(core, design, samples=192)
+                assert np.array_equal(fast, ref), (core.name, m)
+
+    def test_batch_matches_per_design_calls(self):
+        for core in self._cores():
+            designs = [design_wrapper(core, m) for m in (1, 2, 5, 9, 17, 40)]
+            batch = estimate_codewords_batch(core, designs, samples=192)
+            singles = [
+                estimate_codewords(core, d, samples=192) for d in designs
+            ]
+            assert batch == singles, core.name
+
+    def test_batch_on_fuzz_cores(self):
+        for seed in range(FUZZ_SEEDS):
+            rng = random.Random(20_000 + seed)
+            core = random_core(rng, seed)
+            ms = sorted({rng.randint(1, 10) for _ in range(4)})
+            designs = [design_wrapper(core, m) for m in ms]
+            batch = estimate_codewords_batch(core, designs, samples=64)
+            singles = [
+                estimate_codewords(core, d, samples=64) for d in designs
+            ]
+            assert batch == singles, seed
+
+
+# ---------------------------------------------------------------------------
+# Wrapper BFD batch.
+# ---------------------------------------------------------------------------
+
+
+class TestWrapperBatchDifferential:
+    def _check_core(self, core, ms):
+        clear_wrapper_design_cache()
+        batch = design_wrappers_batch(core, ms)
+        try:
+            for m in ms:
+                assert batch[m] == _design_wrapper_uncached(core, m), (
+                    core.name,
+                    m,
+                )
+        finally:
+            clear_wrapper_design_cache()
+
+    @pytest.mark.parametrize("design_name", ["d695", "System1"])
+    def test_batch_matches_sequential_bfd(self, design_name):
+        for core in load_design(design_name).cores:
+            self._check_core(core, list(BENCH_MS))
+
+    def test_batch_on_fuzz_cores(self):
+        for seed in range(FUZZ_SEEDS):
+            rng = random.Random(30_000 + seed)
+            core = random_core(rng, seed)
+            ms = sorted({rng.randint(1, 14) for _ in range(5)})
+            self._check_core(core, ms)
+
+
+# ---------------------------------------------------------------------------
+# Scheduler and partition search.
+# ---------------------------------------------------------------------------
+
+
+def _random_table(rng):
+    names = [f"c{i}" for i in range(rng.randint(1, 12))]
+    times = {
+        (name, w): rng.randint(1, 400)
+        for name in names
+        for w in range(1, 33)
+    }
+    return names, (lambda name, w: times[(name, w)])
+
+
+class TestSchedulerDifferential:
+    def test_indexed_matches_scalar_on_random_tables(self):
+        for seed in range(FUZZ_SEEDS):
+            rng = random.Random(40_000 + seed)
+            names, time_of = _random_table(rng)
+            table = TimeTable(names, time_of)
+            for _ in range(5):
+                widths = tuple(
+                    rng.randint(1, 32) for _ in range(rng.randint(1, 6))
+                )
+                assert schedule_cores_indexed(
+                    table, widths
+                ) == schedule_cores(names, widths, time_of), (seed, widths)
+
+    def test_batch_makespans_match_scalar(self):
+        for seed in range(FUZZ_SEEDS):
+            rng = random.Random(50_000 + seed)
+            names, time_of = _random_table(rng)
+            table = TimeTable(names, time_of)
+            total = rng.randint(1, 28)
+            max_parts = rng.randint(1, 6)
+            min_width = rng.randint(1, max(1, total // 2))
+            parts = list(iter_partitions(total, max_parts, min_width))
+            batch = schedule_makespans_batch(table, parts)
+            ref = np.array(
+                [
+                    schedule_cores(names, p, time_of).makespan
+                    for p in parts
+                ],
+                dtype=np.int64,
+            )
+            assert np.array_equal(batch, ref), (seed, total, max_parts)
+
+    def test_exhaustive_search_matches_scalar_loop(self):
+        """Vectorized argmin keeps the scalar loop's first-win tie-break."""
+        for seed in range(FUZZ_SEEDS):
+            rng = random.Random(60_000 + seed)
+            names, time_of = _random_table(rng)
+            total = rng.randint(1, 24)
+            fast = search_partitions(
+                names, total, time_of, strategy="exhaustive"
+            )
+            best = None
+            for widths in iter_partitions(total, min(len(names), 6), 1):
+                outcome = schedule_cores(names, widths, time_of)
+                if best is None or outcome.makespan < best.makespan:
+                    best = outcome
+            assert fast.outcome == best, seed
+            assert fast.partitions_evaluated == len(
+                partitions_list(total, min(len(names), 6), 1)
+            )
+
+    def test_batch_rejects_bad_widths(self):
+        table = TimeTable(["a"], lambda n, w: w)
+        with pytest.raises(ValueError):
+            schedule_makespans_batch(table, [()])
+        with pytest.raises(ValueError):
+            schedule_makespans_batch(table, [(2, 0)])
+
+    def test_on_benchmark_tables(self):
+        """Same checks over real DSE-backed time tables (d695 cores)."""
+        soc = load_design("d695")
+        tables = LookupTables(
+            {
+                core.name: analysis_for(core, mode="exact")
+                for core in soc.cores
+            },
+            "per-core",
+        )
+        names = [core.name for core in soc.cores]
+        time_of = tables.time_of
+        table = TimeTable(names, time_of)
+        parts = list(iter_partitions(12, 4, 1))
+        batch = schedule_makespans_batch(table, parts)
+        for widths, makespan in zip(parts, batch.tolist()):
+            scalar = schedule_cores(names, widths, time_of)
+            assert scalar == schedule_cores_indexed(table, widths)
+            assert scalar.makespan == makespan, widths
+
+
+def test_partitions_list_matches_iterator():
+    cases = [(64, 6, 1), (32, 4, 2), (17, 3, 1), (5, 6, 1), (1, 1, 1)]
+    rng = random.Random(7)
+    cases += [
+        (rng.randint(1, 40), rng.randint(1, 6), rng.randint(1, 4))
+        for _ in range(20)
+    ]
+    for total, max_parts, min_width in cases:
+        assert partitions_list(total, max_parts, min_width) == tuple(
+            iter_partitions(total, max_parts, min_width)
+        ), (total, max_parts, min_width)
+
+
+# ---------------------------------------------------------------------------
+# Whole plans: fast stack vs. REPRO_SCALAR_KERNELS=1.
+# ---------------------------------------------------------------------------
+
+
+def _plan_fingerprint(result):
+    return (
+        result.architecture,
+        result.test_time,
+        result.test_data_volume,
+        result.tam_widths,
+        result.partitions_evaluated,
+        result.strategy,
+    )
+
+
+def _plan_both_ways(soc, width, config, monkeypatch):
+    """Plan cold on the fast stack, then cold on the scalar stack."""
+    monkeypatch.delenv("REPRO_SCALAR_KERNELS", raising=False)
+    clear_analysis_cache()
+    clear_wrapper_design_cache()
+    fast = plan(soc, width, config)
+    monkeypatch.setenv("REPRO_SCALAR_KERNELS", "1")
+    clear_analysis_cache()
+    clear_wrapper_design_cache()
+    scalar = plan(soc, width, config)
+    monkeypatch.delenv("REPRO_SCALAR_KERNELS", raising=False)
+    clear_analysis_cache()
+    clear_wrapper_design_cache()
+    return fast, scalar
+
+
+CATALOG = ("d695", "d2758", "System1", "System2", "System3", "System4")
+
+
+@pytest.mark.parametrize("design_name", CATALOG)
+def test_plans_bit_identical_on_catalog(design_name, monkeypatch):
+    """Fast and scalar stacks plan every catalog SOC identically.
+
+    The fast-path plan additionally passes the independent invariant
+    checker, so the speedup cannot have bought an inconsistent plan.
+    """
+    soc = load_design(design_name)
+    config = RunConfig(use_cache=False)
+    fast, scalar = _plan_both_ways(soc, 16, config, monkeypatch)
+    assert _plan_fingerprint(fast) == _plan_fingerprint(scalar)
+    report = verify_plan(fast, soc, config=config)
+    assert report.ok, "\n".join(v.format() for v in report.violations)
+
+
+def test_plans_bit_identical_on_fuzz_socs(monkeypatch):
+    for seed in range(PLAN_SEEDS):
+        rng = random.Random(70_000 + seed)
+        soc = random_soc(rng)
+        width = rng.randint(4, 20)
+        config = RunConfig(compression="per-core", mode="exact", use_cache=False)
+        fast, scalar = _plan_both_ways(soc, width, config, monkeypatch)
+        assert _plan_fingerprint(fast) == _plan_fingerprint(scalar), seed
+        report = verify_plan(fast, soc, config=config)
+        assert report.ok, (seed, [v.format() for v in report.violations])
