@@ -1,0 +1,123 @@
+"""Search-backend benchmark guard: artifact schema + live smoke.
+
+Two layers of protection for the ``BENCH_search.json`` artifact:
+
+* the committed document must validate against the ``bench-search``
+  schema (via the shared validator in
+  ``scripts/check_obs_artifacts.py``) and record all three required
+  backends (greedy / anneal / evolutionary) on the many-core
+  synthetic workload, under a fixed seed;
+* the validator must reject malformed or inconsistent documents, so a
+  broken bench run cannot record a green artifact; and the bench
+  runner itself is re-run live on a small synthetic SOC to prove it
+  still produces a document the validator accepts.
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+ARTIFACT = REPO / "benchmarks" / "results" / "BENCH_search.json"
+
+
+def _load_script(name: str):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO / "scripts" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+validator = _load_script("check_obs_artifacts")
+
+
+@pytest.fixture(scope="module")
+def artifact() -> dict:
+    return json.loads(ARTIFACT.read_text())
+
+
+class TestCommittedArtifact:
+    def test_validates(self, artifact):
+        summary = validator.check_bench_search(artifact)
+        assert summary["runs"] >= 3
+
+    def test_records_the_many_core_workload(self, artifact):
+        assert artifact["design"].startswith("synth")
+        assert artifact["cores"] >= 100
+        assert artifact["width_budget"] >= 64
+        assert artifact["seed"] == 0
+
+    def test_all_backends_present(self, artifact):
+        backends = {run["backend"] for run in artifact["runs"]}
+        assert {"greedy", "anneal", "evolutionary"} <= backends
+
+    def test_metaheuristics_report_throughput(self, artifact):
+        by_backend = {run["backend"]: run for run in artifact["runs"]}
+        for backend in ("anneal", "evolutionary"):
+            run = by_backend[backend]
+            assert run["evals_per_sec"] > run["evaluations"] / (
+                run["seconds"] * 1.02
+            )
+            assert run["evaluations"] > 100
+
+
+class TestValidatorRejections:
+    def test_wrong_kind(self, artifact):
+        doc = copy.deepcopy(artifact)
+        doc["kind"] = "bench-hotpath"
+        with pytest.raises(validator.ArtifactError, match="kind"):
+            validator.check_bench_search(doc)
+
+    def test_missing_backend(self, artifact):
+        doc = copy.deepcopy(artifact)
+        doc["runs"] = [
+            r for r in doc["runs"] if r["backend"] != "evolutionary"
+        ]
+        with pytest.raises(validator.ArtifactError, match="evolutionary"):
+            validator.check_bench_search(doc)
+
+    def test_inconsistent_rate(self, artifact):
+        doc = copy.deepcopy(artifact)
+        doc["runs"][0]["evals_per_sec"] = (
+            doc["runs"][0]["evals_per_sec"] * 10 + 1
+        )
+        with pytest.raises(validator.ArtifactError, match="evals_per_sec"):
+            validator.check_bench_search(doc)
+
+    def test_infeasible_widths(self, artifact):
+        doc = copy.deepcopy(artifact)
+        doc["runs"][0]["tam_widths"] = [doc["width_budget"] + 1]
+        with pytest.raises(validator.ArtifactError, match="exceed"):
+            validator.check_bench_search(doc)
+
+    def test_dispatch_knows_both_kinds(self):
+        assert set(validator.BENCH_CHECKERS) >= {
+            "bench-hotpath",
+            "bench-search",
+        }
+
+
+class TestLiveSmoke:
+    def test_runner_produces_valid_document(self, monkeypatch):
+        """The bench runner end-to-end on a small synthetic SOC."""
+        bench = _load_script("bench_search")
+        monkeypatch.setattr(
+            bench,
+            "BACKEND_OPTIONS",
+            {
+                "greedy": {},
+                "anneal": {"iterations": 300},
+                "evolutionary": {"generations": 3, "population": 6},
+            },
+        )
+        doc = bench.measure("synth20", 24, 0)
+        summary = validator.check_bench_search(doc)
+        assert summary["runs"] == 3
+        assert doc["cores"] == 20

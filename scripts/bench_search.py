@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Benchmark the architecture-search backends on a many-core SOC.
+
+The ``repro.search`` refactor exists for the regime where the partition
+space is not enumerable (``synth150`` at ``W_TAM = 128`` has ~588k
+partitions at the default six-TAM cap, an order of magnitude past
+``AUTO_PARTITION_LIMIT``).  This script measures what each backend
+does with that budget: per backend it records the wall-clock of the
+*search itself* (per-core analysis excluded -- it is identical for
+every backend and timed once), the evaluation count, the throughput
+in evaluations/second, and the best makespan found, under a fixed
+seed so the numbers are reproducible.
+
+The result is written as versioned JSON (``BENCH_search.json``) so CI
+can record it as an artifact and ``benchmarks/test_bench_search.py``
+can validate the committed copy::
+
+    python scripts/bench_search.py --design synth150 --width 128 \
+        --out benchmarks/results/BENCH_search.json
+
+Validation lives in ``scripts/check_obs_artifacts.py`` (``--bench``
+dispatches on the document's ``kind``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Mapping
+
+SCHEMA_KIND = "bench-search"
+SCHEMA_VERSION = 1
+
+#: Backend -> fixed hyperparameters benchmarked (seed is injected).
+#: Exhaustive is deliberately absent: the workload is chosen so the
+#: partition space is *not* enumerable -- that is the point.
+BACKEND_OPTIONS: dict[str, dict[str, Any]] = {
+    "greedy": {},
+    "anneal": {"iterations": 4000},
+    "evolutionary": {"generations": 20, "population": 24},
+}
+
+SEEDED = ("anneal", "evolutionary")
+
+
+def build_tables(design: str, width: int):
+    """(core names, lookup tables, analysis seconds) for one design."""
+    from repro.pipeline.config import RunConfig
+    from repro.pipeline.events import EventRecorder
+    from repro.pipeline.stages import (
+        DecompressorStage,
+        PlanContext,
+        WrapperStage,
+    )
+    from repro.soc.industrial import load_design
+
+    soc = load_design(design)
+    ctx = PlanContext(soc, width, RunConfig(use_cache=False), EventRecorder())
+    began = time.perf_counter()
+    WrapperStage().run(ctx)
+    DecompressorStage().run(ctx)
+    seconds = time.perf_counter() - began
+    assert ctx.tables is not None
+    return ctx.names, ctx.tables, seconds
+
+
+def bench_backend(
+    names: list[str],
+    tables: Any,
+    width: int,
+    backend: str,
+    options: Mapping[str, Any],
+) -> dict[str, Any]:
+    """Time one backend's search over the shared lookup tables."""
+    from repro.search import run_search
+
+    began = time.perf_counter()
+    result = run_search(
+        names, width, tables.time_of, strategy=backend, options=dict(options)
+    )
+    seconds = time.perf_counter() - began
+    return {
+        "backend": backend,
+        "options": dict(options),
+        "seconds": round(seconds, 4),
+        "evaluations": result.partitions_evaluated,
+        "evals_per_sec": round(result.partitions_evaluated / seconds, 1),
+        "best_makespan": result.makespan,
+        "tam_widths": list(result.widths),
+    }
+
+
+def measure(design: str, width: int, seed: int) -> dict[str, Any]:
+    """The full bench document for one design/width/seed triple."""
+    import numpy
+
+    names, tables, analysis_seconds = build_tables(design, width)
+    runs = []
+    for backend, options in BACKEND_OPTIONS.items():
+        opts = dict(options)
+        if backend in SEEDED:
+            opts["seed"] = seed
+        run = bench_backend(names, tables, width, backend, opts)
+        runs.append(run)
+        print(
+            f"{backend}: best {run['best_makespan']} cycles  "
+            f"{run['evaluations']} evals in {run['seconds']:.2f}s  "
+            f"({run['evals_per_sec']:.0f} evals/s)"
+        )
+    return {
+        "kind": SCHEMA_KIND,
+        "schema": SCHEMA_VERSION,
+        "generated_by": "scripts/bench_search.py",
+        "design": design,
+        "width_budget": width,
+        "seed": seed,
+        "cores": len(names),
+        "analysis_seconds": round(analysis_seconds, 4),
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "runs": runs,
+    }
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--design", default="synth150")
+    parser.add_argument("--width", type=int, default=128)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="")
+    args = parser.parse_args(argv)
+
+    doc = measure(args.design, args.width, args.seed)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, "src")
+    raise SystemExit(main(sys.argv[1:]))

@@ -13,14 +13,21 @@ the latency numbers, and -- crucially -- that the fast and scalar
 stacks produced identical plans, without which the speedups would
 compare apples to oranges.
 
+Bench artifacts are dispatched by their ``kind`` field:
+``bench-hotpath`` (``scripts/bench_hotpath.py``) and ``bench-search``
+(``scripts/bench_search.py``, the architecture-search backend
+throughput/quality record on the many-core synthetic workload).
+
 Usage::
 
     python scripts/check_obs_artifacts.py TRACE.json REPORT.json
     python scripts/check_obs_artifacts.py --bench BENCH_hotpath.json
+    python scripts/check_obs_artifacts.py --bench BENCH_search.json
 
 Exit status 0 when the artifacts check out; 1 with a message on
 stderr otherwise.  ``check_trace`` / ``check_report`` /
-``check_bench_hotpath`` are importable for tests.
+``check_bench_hotpath`` / ``check_bench_search`` are importable for
+tests.
 """
 
 from __future__ import annotations
@@ -183,19 +190,117 @@ def check_bench_hotpath(data: Any) -> dict[str, Any]:
     return {"runs": len(runs), "speedups": speedups}
 
 
+SCHEMA_KIND_SEARCH = "bench-search"
+
+#: Required backends in a ``bench-search`` document -- the metaheuristic
+#: pair the search layer was built for, plus the greedy baseline.
+SEARCH_BACKENDS = ("greedy", "anneal", "evolutionary")
+
+
+def check_bench_search(data: Any) -> dict[str, Any]:
+    """Validate a ``bench-search`` JSON document; returns a summary.
+
+    Checks the schema envelope, that the greedy/anneal/evolutionary
+    backends are all present, and every run's internal consistency:
+    positive latency, ``evals_per_sec`` matching
+    ``evaluations / seconds``, a feasible width vector, and a positive
+    best makespan.
+    """
+    if not isinstance(data, dict):
+        _fail("bench: top level must be an object")
+    if data.get("kind") != SCHEMA_KIND_SEARCH:
+        _fail(f"bench: kind must be 'bench-search', got {data.get('kind')!r}")
+    if data.get("schema") != 1:
+        _fail(f"bench: unknown schema {data.get('schema')!r}")
+    for key in (
+        "design", "width_budget", "seed", "cores", "analysis_seconds",
+        "python", "numpy", "runs",
+    ):
+        if key not in data:
+            _fail(f"bench: missing field {key!r}")
+    runs = data["runs"]
+    if not isinstance(runs, list) or not runs:
+        _fail("bench: 'runs' must be a non-empty list")
+    width_budget = data["width_budget"]
+    seen: dict[str, int] = {}
+    for run in runs:
+        backend = run.get("backend")
+        if not isinstance(backend, str) or not backend:
+            _fail("bench: run without a backend name")
+        for key in (
+            "options", "seconds", "evaluations", "evals_per_sec",
+            "best_makespan", "tam_widths",
+        ):
+            if key not in run:
+                _fail(f"bench: run {backend!r} missing field {key!r}")
+        if not isinstance(run["options"], dict):
+            _fail(f"bench: run {backend!r} options must be an object")
+        if run["seconds"] <= 0:
+            _fail(f"bench: run {backend!r} has non-positive latency")
+        if not isinstance(run["evaluations"], int) or run["evaluations"] < 1:
+            _fail(f"bench: run {backend!r} needs a positive evaluation count")
+        rate = run["evaluations"] / run["seconds"]
+        if abs(rate - run["evals_per_sec"]) > 0.02 * rate:
+            _fail(
+                f"bench: run {backend!r} evals_per_sec "
+                f"{run['evals_per_sec']} inconsistent with "
+                f"{run['evaluations']} evals / {run['seconds']}s"
+            )
+        if run["best_makespan"] <= 0:
+            _fail(f"bench: run {backend!r} best_makespan must be positive")
+        widths = run["tam_widths"]
+        if not isinstance(widths, list) or not widths:
+            _fail(f"bench: run {backend!r} tam_widths must be non-empty")
+        if any(not isinstance(w, int) or w < 1 for w in widths):
+            _fail(f"bench: run {backend!r} has a non-positive TAM width")
+        if sum(widths) > width_budget:
+            _fail(
+                f"bench: run {backend!r} widths {widths} exceed the "
+                f"budget {width_budget}"
+            )
+        seen[backend] = run["best_makespan"]
+    for backend in SEARCH_BACKENDS:
+        if backend not in seen:
+            _fail(f"bench: no run for required backend {backend!r}")
+    return {"runs": len(runs), "best_makespans": seen}
+
+
+#: ``kind`` -> (validator, one-line renderer) for ``--bench`` files.
+BENCH_CHECKERS = {
+    "bench-hotpath": (
+        check_bench_hotpath,
+        lambda s: ", ".join(
+            f"{design} {speedup:.1f}x"
+            for design, speedup in s["speedups"].items()
+        ),
+    ),
+    SCHEMA_KIND_SEARCH: (
+        check_bench_search,
+        lambda s: ", ".join(
+            f"{backend} best {makespan}"
+            for backend, makespan in s["best_makespans"].items()
+        ),
+    ),
+}
+
+
 def main(argv: list[str]) -> int:
     if len(argv) == 2 and argv[0] == "--bench":
         try:
             with open(argv[1], "r", encoding="utf-8") as handle:
-                summary = check_bench_hotpath(json.load(handle))
+                doc = json.load(handle)
+            kind = doc.get("kind") if isinstance(doc, dict) else None
+            if kind not in BENCH_CHECKERS:
+                _fail(
+                    f"bench: unknown artifact kind {kind!r} (known: "
+                    f"{', '.join(sorted(BENCH_CHECKERS))})"
+                )
+            checker, render = BENCH_CHECKERS[kind]
+            summary = checker(doc)
         except (OSError, json.JSONDecodeError, ArtifactError, KeyError) as error:
             print(f"FAIL: {error}", file=sys.stderr)
             return 1
-        rendered = ", ".join(
-            f"{design} {speedup:.1f}x"
-            for design, speedup in summary["speedups"].items()
-        )
-        print(f"OK: bench-hotpath with {summary['runs']} run(s): {rendered}")
+        print(f"OK: {kind} with {summary['runs']} run(s): {render(summary)}")
         return 0
     if len(argv) != 2:
         print(

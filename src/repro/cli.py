@@ -67,17 +67,46 @@ def _configure_logging(verbosity: int) -> None:
     logger.setLevel(level)
 
 
+def _search_opts_from_args(args: argparse.Namespace) -> dict[str, str]:
+    """Collect --search-opt KEY=VALUE pairs (plus --study/--resume sugar)."""
+    opts: dict[str, str] = {}
+    for item in getattr(args, "search_opt", None) or []:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise ValueError(
+                f"--search-opt expects KEY=VALUE, got {item!r}"
+            )
+        opts[key.strip()] = value
+    if getattr(args, "study", None):
+        opts.setdefault("study", args.study)
+    if getattr(args, "resume", False):
+        opts.setdefault("resume", "true")
+    return opts
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     soc = load_design(args.design)
     compression = "none" if args.no_compression else args.compression
+    try:
+        search_opts = _search_opts_from_args(args)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     config = _run_config(
         args,
         compression=compression,
         max_tams=args.max_tams,
         strategy=args.strategy,
+        search_opts=tuple(sorted(search_opts.items())),
         verify=args.verify,
     )
-    result = run_plan(soc, args.width, config)
+    try:
+        result = run_plan(soc, args.width, config)
+    except ValueError as error:
+        # Backend option validation (unknown knob, bad value) is a usage
+        # error, same as a malformed --search-opt.
+        print(str(error), file=sys.stderr)
+        return 2
     print(architecture_summary(result.architecture))
     print(
         f"partitions evaluated: {result.partitions_evaluated} "
@@ -392,7 +421,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     plan = sub.add_parser("plan", help="optimize one design at a width budget")
-    plan.add_argument("design", help="d695, d2758, or System1..System4")
+    plan.add_argument(
+        "design",
+        help="d695, d2758, System1..System4, or a synthetic synthN "
+        "(e.g. synth150)",
+    )
     plan.add_argument("--width", type=int, required=True, help="W_TAM budget")
     plan.add_argument(
         "--compression",
@@ -402,7 +435,32 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--no-compression", action="store_true")
     plan.add_argument("--max-tams", type=int, default=None)
     plan.add_argument(
-        "--strategy", choices=["auto", "exhaustive", "greedy"], default="auto"
+        "--strategy",
+        choices=["auto", "exhaustive", "greedy", "anneal", "evolutionary"],
+        default="auto",
+        help="architecture-search backend (see docs/search.md)",
+    )
+    plan.add_argument(
+        "--search-opt",
+        action="append",
+        metavar="KEY=VALUE",
+        default=None,
+        help="backend hyperparameter override, repeatable (e.g. "
+        "--search-opt iterations=8000 --search-opt seed=7); keys are "
+        "validated against the chosen backend",
+    )
+    plan.add_argument(
+        "--study",
+        metavar="PATH",
+        default=None,
+        help="evolutionary only: JSON study store checkpointed every "
+        "generation (shorthand for --search-opt study=PATH)",
+    )
+    plan.add_argument(
+        "--resume",
+        action="store_true",
+        help="evolutionary only: continue from the --study checkpoint "
+        "(shorthand for --search-opt resume=true)",
     )
     plan.add_argument("--gantt", action="store_true", help="print a Gantt chart")
     plan.add_argument(

@@ -1,40 +1,27 @@
-"""Simulated-annealing architecture search (extension).
+"""Simulated-annealing architecture search (compatibility shim).
 
-A third search strategy beside the exhaustive enumeration and the
-greedy local search: simulated annealing over the joint
-(partition, assignment) space.  SA is the classic metaheuristic for
-TAM optimization in the literature; here it serves as an independent
-check on the list heuristic (the optimizer-quality ablation) and as a
-fallback for search spaces too large to enumerate but too rugged for
-the greedy walker.
+The annealer now lives in :mod:`repro.search.backends.anneal` as a
+registered backend of the search layer; this module keeps the
+historical ``anneal_search`` signature for existing callers and tests.
 
-The state is a TAM width vector plus an explicit core-to-TAM
-assignment; moves are: reassign a core, shift a wire between TAMs,
-split a TAM, merge two TAMs.  Cooling is geometric and the whole run
-is deterministic in ``seed``.
+One intentional behavior change vs. the original implementation rides
+along (its own satellite fix, pinned by the differential suite):
+cooling is applied exactly once per iteration.  The old loop skipped
+``temperature *= cooling`` whenever a drawn move was invalid, so the
+effective cooling schedule silently depended on the move-validity
+rate.  Also, an explicit ``max_parts < 1`` now raises (the shared
+:func:`repro.search.resolve_search_space` validation) instead of being
+silently clamped to 1.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
-import numpy as np
+from repro.core.scheduler import TimeFn
+from repro.search.state import PartitionSearchResult
 
-from repro.core.partition import PartitionSearchResult
-from repro.core.scheduler import ScheduleOutcome, TimeFn
-
-
-def _makespan(
-    core_names: Sequence[str],
-    widths: list[int],
-    assignment: list[int],
-    time_of: TimeFn,
-) -> int:
-    loads = [0] * len(widths)
-    for index, tam in enumerate(assignment):
-        loads[tam] += time_of(core_names[index], widths[tam])
-    return max(loads) if loads else 0
+__all__ = ["anneal_search"]
 
 
 def anneal_search(
@@ -50,99 +37,21 @@ def anneal_search(
     seed: int = 0,
 ) -> PartitionSearchResult:
     """Simulated annealing over partitions and assignments."""
-    if not core_names:
-        raise ValueError("cannot design an architecture for zero cores")
-    if total_width < min_width:
-        raise ValueError(
-            f"width {total_width} cannot host a TAM of min width {min_width}"
-        )
-    if max_parts is None:
-        max_parts = min(len(core_names), 6)
-    max_parts = max(1, min(max_parts, total_width // min_width))
-    if not 0.0 < cooling < 1.0:
-        raise ValueError(f"cooling must be in (0, 1), got {cooling}")
+    from repro.search import run_search
 
-    rng = np.random.default_rng(seed)
-    names = list(core_names)
-    n = len(names)
-
-    # Start from the single full-width TAM, everything serial.
-    widths: list[int] = [total_width]
-    assignment: list[int] = [0] * n
-    current = _makespan(names, widths, assignment, time_of)
-    best = current
-    best_state = (list(widths), list(assignment))
-    if initial_temperature is None:
-        initial_temperature = max(1.0, 0.2 * current)
-    temperature = float(initial_temperature)
-    evaluated = 1
-
-    for _ in range(iterations):
-        move = int(rng.integers(0, 4))
-        new_widths = list(widths)
-        new_assignment = list(assignment)
-        if move == 0 and len(new_widths) > 1:
-            # Reassign one core.
-            index = int(rng.integers(0, n))
-            new_assignment[index] = int(rng.integers(0, len(new_widths)))
-        elif move == 1 and len(new_widths) > 1:
-            # Shift a wire between two TAMs.
-            donor = int(rng.integers(0, len(new_widths)))
-            taker = int(rng.integers(0, len(new_widths)))
-            if donor == taker or new_widths[donor] <= min_width:
-                continue
-            new_widths[donor] -= 1
-            new_widths[taker] += 1
-        elif move == 2 and len(new_widths) < max_parts:
-            # Split a TAM; its cores land randomly on the two halves.
-            victim = int(rng.integers(0, len(new_widths)))
-            if new_widths[victim] < 2 * min_width:
-                continue
-            half = int(rng.integers(min_width, new_widths[victim] - min_width + 1))
-            new_widths[victim] -= half
-            new_widths.append(half)
-            fresh = len(new_widths) - 1
-            for index in range(n):
-                if new_assignment[index] == victim and rng.random() < 0.5:
-                    new_assignment[index] = fresh
-        elif move == 3 and len(new_widths) > 1:
-            # Merge two TAMs.
-            a = int(rng.integers(0, len(new_widths)))
-            b = int(rng.integers(0, len(new_widths)))
-            if a == b:
-                continue
-            a, b = min(a, b), max(a, b)
-            new_widths[a] += new_widths[b]
-            del new_widths[b]
-            for index in range(n):
-                if new_assignment[index] == b:
-                    new_assignment[index] = a
-                elif new_assignment[index] > b:
-                    new_assignment[index] -= 1
-        else:
-            continue
-
-        candidate = _makespan(names, new_widths, new_assignment, time_of)
-        evaluated += 1
-        delta = candidate - current
-        if delta <= 0 or rng.random() < math.exp(-delta / max(1e-9, temperature)):
-            widths, assignment, current = new_widths, new_assignment, candidate
-            if current < best:
-                best = current
-                best_state = (list(widths), list(assignment))
-        temperature *= cooling
-
-    best_widths, best_assignment = best_state
-    # Canonicalize: widths sorted descending, assignment remapped.
-    order = sorted(
-        range(len(best_widths)), key=lambda t: -best_widths[t]
-    )
-    remap = {old: new for new, old in enumerate(order)}
-    outcome = ScheduleOutcome(
-        widths=tuple(best_widths[t] for t in order),
-        makespan=best,
-        assignment=tuple(remap[t] for t in best_assignment),
-    )
-    return PartitionSearchResult(
-        outcome=outcome, partitions_evaluated=evaluated, strategy="anneal"
+    options: dict[str, object] = {
+        "iterations": iterations,
+        "cooling": cooling,
+        "seed": seed,
+    }
+    if initial_temperature is not None:
+        options["initial_temperature"] = initial_temperature
+    return run_search(
+        core_names,
+        total_width,
+        time_of,
+        strategy="anneal",
+        max_parts=max_parts,
+        min_width=min_width,
+        options=options,
     )

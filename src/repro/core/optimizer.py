@@ -33,7 +33,7 @@ must use the same expanded width ``M_j``.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from repro.compression.estimator import DEFAULT_SAMPLES
 from repro.explore.dse import DEFAULT_GRID, Mode
@@ -60,6 +60,7 @@ def optimize_soc(
     max_tams: int | None = None,
     min_tam_width: int = 1,
     strategy: str = "auto",
+    search_opts: "Mapping[str, object] | tuple[tuple[str, str], ...]" = (),
     jobs: int | None = None,
     cache_dir: str | None = None,
     use_cache: bool | None = None,
@@ -83,6 +84,10 @@ def optimize_soc(
         Passed to the per-core design-space exploration.
     max_tams, min_tam_width, strategy:
         Partition-search controls (see :mod:`repro.core.partition`).
+    search_opts:
+        Backend hyperparameter overrides (e.g. ``{"iterations": 8000,
+        "seed": 7}`` for the anneal strategy), validated against the
+        chosen :mod:`repro.search` backend's declared knobs.
     jobs:
         Worker processes for the per-core analyses (default serial; see
         :func:`repro.parallel.resolve_jobs` for the env override).
@@ -105,6 +110,9 @@ def optimize_soc(
         max_tams=max_tams,
         min_tam_width=min_tam_width,
         strategy=strategy,
+        search_opts=tuple(
+            sorted((str(k), str(v)) for k, v in dict(search_opts).items())
+        ),
         jobs=jobs,
         cache_dir=cache_dir,
         use_cache=use_cache,

@@ -1,42 +1,35 @@
-"""TAM partition search (the paper's step 3).
+"""TAM partition enumeration + the ``search_partitions`` façade.
 
-The top-level width ``W_TAM`` must be cut into ``k`` fixed-width TAMs.
-Two search strategies are provided:
+This module owns the *enumeration* of the partition space (the paper's
+step 3 domain): :func:`iter_partitions`, its materialized/memoized twin
+:func:`partitions_list`, and :func:`count_partitions` with the
+``AUTO_PARTITION_LIMIT`` that decides when "auto" stops enumerating.
 
-* ``exhaustive`` -- enumerate every integer partition of ``W`` into at
-  most ``max_parts`` parts of at least ``min_width`` wires and schedule
-  each one.  Exact over the partition space and affordable for the
-  paper-scale problems (W <= 64, k <= 6: tens of thousands of
-  partitions, each scheduled in O(n k) table lookups).
-* ``greedy`` -- a TR-Architect-flavored local search: start from one TAM
-  of the full width, then repeatedly apply the best of three moves
-  (split the bottleneck TAM, shift one wire toward the bottleneck TAM,
-  merge the two least-loaded TAMs) while the makespan improves.  Used
-  for wide budgets / many TAMs where enumeration explodes.
-
-``search_partitions`` picks per the ``strategy`` argument ("auto" runs
-the exhaustive search when the partition count is small and falls back
-to greedy otherwise, keeping the better of greedy and the trivial
-single-TAM solution).
+The *search strategies* that used to live here as private functions
+(``_exhaustive``, ``_greedy``) moved to :mod:`repro.search` as
+registered backends; :func:`search_partitions` is now a thin façade
+over :func:`repro.search.run_search`, kept because every paper-facing
+consumer (optimizer, robust planning, tests) speaks this signature.
+Results are bit-identical to the pre-refactor implementation (pinned by
+``tests/test_search_differential.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from functools import lru_cache
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Mapping, Sequence
 
-import numpy as np
+from repro.core.scheduler import TimeFn
+from repro.search.state import PartitionSearchResult
 
-from repro.core.scheduler import (
-    ScheduleOutcome,
-    TimeFn,
-    TimeTable,
-    schedule_cores,
-    schedule_cores_indexed,
-    schedule_makespans_batch,
-)
-from repro.flags import use_scalar_kernels
+__all__ = [
+    "AUTO_PARTITION_LIMIT",
+    "PartitionSearchResult",
+    "count_partitions",
+    "iter_partitions",
+    "partitions_list",
+    "search_partitions",
+]
 
 #: "auto" switches from exhaustive to greedy above this many partitions.
 AUTO_PARTITION_LIMIT = 60_000
@@ -144,126 +137,6 @@ def count_partitions(total: int, max_parts: int, min_width: int = 1) -> int:
     return count(total, total, max_parts)
 
 
-@dataclass(frozen=True)
-class PartitionSearchResult:
-    """Best partition found, with its schedule."""
-
-    outcome: ScheduleOutcome
-    partitions_evaluated: int
-    strategy: str
-
-    @property
-    def widths(self) -> tuple[int, ...]:
-        return self.outcome.widths
-
-    @property
-    def makespan(self) -> int:
-        return self.outcome.makespan
-
-
-def _exhaustive(
-    core_names: Sequence[str],
-    total_width: int,
-    time_of: TimeFn,
-    max_parts: int,
-    min_width: int,
-) -> PartitionSearchResult:
-    if use_scalar_kernels():
-        best: ScheduleOutcome | None = None
-        evaluated = 0
-        for widths in iter_partitions(total_width, max_parts, min_width):
-            outcome = schedule_cores(core_names, widths, time_of)
-            evaluated += 1
-            if best is None or outcome.makespan < best.makespan:
-                best = outcome
-        assert best is not None  # (total,) is always yielded
-        return PartitionSearchResult(
-            outcome=best, partitions_evaluated=evaluated, strategy="exhaustive"
-        )
-
-    partitions = partitions_list(total_width, max_parts, min_width)
-    table = TimeTable(core_names, time_of)
-    makespans = schedule_makespans_batch(table, partitions)
-    # argmin keeps the first minimum, matching the scalar loop's strict
-    # ``<`` improvement test over the same enumeration order.
-    winner = int(np.argmin(makespans))
-    outcome = schedule_cores_indexed(table, partitions[winner])
-    return PartitionSearchResult(
-        outcome=outcome,
-        partitions_evaluated=len(partitions),
-        strategy="exhaustive",
-    )
-
-
-def _greedy_moves(widths: list[int], bottleneck: int, min_width: int) -> list[list[int]]:
-    """Candidate neighbor partitions for the local search."""
-    candidates: list[list[int]] = []
-    # Split the bottleneck TAM in two (parallelism for its cores).
-    w = widths[bottleneck]
-    if w >= 2 * min_width:
-        half = w // 2
-        split = widths[:bottleneck] + widths[bottleneck + 1 :] + [w - half, half]
-        candidates.append(split)
-    # Shift one wire from every other TAM toward the bottleneck TAM.
-    for donor in range(len(widths)):
-        if donor == bottleneck or widths[donor] <= min_width:
-            continue
-        shifted = list(widths)
-        shifted[donor] -= 1
-        shifted[bottleneck] += 1
-        candidates.append(shifted)
-    # Merge the two narrowest TAMs (serialize their cores, free width).
-    if len(widths) >= 2:
-        order = sorted(range(len(widths)), key=lambda i: widths[i])
-        a, b = order[0], order[1]
-        merged = [w for i, w in enumerate(widths) if i not in (a, b)]
-        merged.append(widths[a] + widths[b])
-        candidates.append(merged)
-    return candidates
-
-
-def _greedy(
-    core_names: Sequence[str],
-    total_width: int,
-    time_of: TimeFn,
-    max_parts: int,
-    min_width: int,
-) -> PartitionSearchResult:
-    if use_scalar_kernels():
-        schedule = lambda widths: schedule_cores(core_names, widths, time_of)  # noqa: E731
-    else:
-        table = TimeTable(core_names, time_of)
-        schedule = lambda widths: schedule_cores_indexed(table, widths)  # noqa: E731
-    current = [total_width]
-    best = schedule(current)
-    evaluated = 1
-    improved = True
-    while improved:
-        improved = False
-        bottleneck = _bottleneck_tam(core_names, best, time_of)
-        for widths in _greedy_moves(list(best.widths), bottleneck, min_width):
-            if len(widths) > max_parts or any(w < min_width for w in widths):
-                continue
-            outcome = schedule(sorted(widths, reverse=True))
-            evaluated += 1
-            if outcome.makespan < best.makespan:
-                best = outcome
-                improved = True
-                break
-    return PartitionSearchResult(
-        outcome=best, partitions_evaluated=evaluated, strategy="greedy"
-    )
-
-
-def _bottleneck_tam(
-    core_names: Sequence[str], outcome: ScheduleOutcome, time_of: TimeFn
-) -> int:
-    loads = [0] * len(outcome.widths)
-    for index, tam in enumerate(outcome.assignment):
-        loads[tam] += time_of(core_names[index], outcome.widths[tam])
-    return max(range(len(loads)), key=lambda i: loads[i])
-
-
 def search_partitions(
     core_names: Sequence[str],
     total_width: int,
@@ -272,33 +145,24 @@ def search_partitions(
     max_parts: int | None = None,
     min_width: int = 1,
     strategy: str = "auto",
+    options: Mapping[str, Any] | None = None,
 ) -> PartitionSearchResult:
-    """Find the best TAM partition + schedule for a width budget."""
-    if not core_names:
-        raise ValueError("cannot design an architecture for zero cores")
-    if max_parts is None:
-        max_parts = min(len(core_names), 6)
-    max_parts = min(max_parts, total_width // min_width)
-    if max_parts < 1:
-        raise ValueError(
-            f"width {total_width} cannot host a TAM of min width {min_width}"
-        )
+    """Find the best TAM partition + schedule for a width budget.
 
-    if strategy == "auto":
-        size = count_partitions(total_width, max_parts, min_width)
-        strategy = "exhaustive" if size <= AUTO_PARTITION_LIMIT else "greedy"
-    if strategy == "exhaustive":
-        return _exhaustive(core_names, total_width, time_of, max_parts, min_width)
-    if strategy == "greedy":
-        return _greedy(core_names, total_width, time_of, max_parts, min_width)
-    if strategy == "anneal":
-        from repro.core.anneal import anneal_search
+    ``strategy`` names a registered :mod:`repro.search` backend ("auto"
+    picks exhaustive or greedy from the partition count); ``options``
+    passes backend hyperparameters through (e.g. ``iterations`` /
+    ``seed`` for anneal, ``generations`` / ``population`` for
+    evolutionary), validated against the backend's declared knobs.
+    """
+    from repro.search import run_search
 
-        return anneal_search(
-            core_names,
-            total_width,
-            time_of,
-            max_parts=max_parts,
-            min_width=min_width,
-        )
-    raise ValueError(f"unknown strategy {strategy!r}")
+    return run_search(
+        core_names,
+        total_width,
+        time_of,
+        strategy=strategy,
+        max_parts=max_parts,
+        min_width=min_width,
+        options=options,
+    )

@@ -196,6 +196,7 @@ def robust_search(
     max_parts: int | None = None,
     min_width: int = 1,
     strategy: str = "auto",
+    options: "Any | None" = None,
 ) -> RobustPlan:
     """Optimize against inflated times (box-uncertainty surrogate).
 
@@ -217,6 +218,7 @@ def robust_search(
         max_parts=max_parts,
         min_width=min_width,
         strategy=strategy,
+        options=options,
     )
     outcome = search.outcome
     nominal_times = {

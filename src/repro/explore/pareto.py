@@ -40,6 +40,42 @@ def pareto_front(
     return front
 
 
+def pareto_fronts(points: Sequence[Sequence[float]]) -> list[list[int]]:
+    """Non-dominated sorting of n-objective points (all minimized).
+
+    Returns index lists: front 0 is the Pareto front of ``points``,
+    front 1 the front once front 0 is removed, and so on.  Point ``a``
+    dominates ``b`` when it is <= in every objective and < in at least
+    one.  Duplicated points land in the same front.  O(n^2 m) for n
+    points and m objectives -- made for search populations, not for
+    millions of points.
+    """
+    remaining = list(range(len(points)))
+    obs.inc("explore.pareto_items_considered", len(remaining))
+    fronts: list[list[int]] = []
+    while remaining:
+        front = [
+            i
+            for i in remaining
+            if not any(
+                j != i and _dominates(points[j], points[i])
+                for j in remaining
+            )
+        ]
+        if not front:  # pragma: no cover -- dominance is irreflexive
+            front = list(remaining)
+        fronts.append(front)
+        survivors = set(front)
+        remaining = [i for i in remaining if i not in survivors]
+    return fronts
+
+
+def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
 def is_non_increasing(values: Sequence[float]) -> bool:
     """True if the sequence never increases (monotonicity checks)."""
     return all(b <= a for a, b in zip(values, values[1:]))

@@ -23,6 +23,7 @@ from repro.explore.dse import DEFAULT_GRID, Mode, analyze_soc_cores
 
 if TYPE_CHECKING:
     from repro.explore.dse import CoreAnalysis
+    from repro.search.backend import BackendConfig
     from repro.soc.core import Core
 
 #: Accepted compression placements/modes.  The first four come from
@@ -93,6 +94,7 @@ class RunConfig:
     min_tam_width: int = 1
     min_code_width: int = 3
     strategy: str = "auto"
+    search_opts: tuple[tuple[str, str], ...] = ()
     power_budget: float | None = None
     power_of: Mapping[str, float] | None = None
     precedence: tuple[tuple[str, str], ...] = ()
@@ -114,6 +116,16 @@ class RunConfig:
             "precedence",
             tuple((str(a), str(b)) for a, b in self.precedence),
         )
+        # Backend hyperparameters travel as sorted (key, value-string)
+        # pairs: hashable on the frozen config, JSON-clean, and coerced
+        # to real types only by the chosen backend's declared knobs.
+        object.__setattr__(
+            self,
+            "search_opts",
+            tuple(
+                sorted((str(k), str(v)) for k, v in dict(self.search_opts).items())
+            ),
+        )
 
     # ------------------------------------------------------------------
 
@@ -129,6 +141,7 @@ class RunConfig:
         """
         data = dataclasses.asdict(self)
         data["precedence"] = [list(pair) for pair in self.precedence]
+        data["search_opts"] = [list(pair) for pair in self.search_opts]
         if self.power_of is not None:
             data["power_of"] = dict(self.power_of)
         return data
@@ -152,6 +165,16 @@ class RunConfig:
                 (str(a), str(b)) for a, b in kwargs["precedence"]
             )
         return cls(**kwargs)
+
+    def search_options(self) -> dict[str, str]:
+        """The backend hyperparameter overrides as a plain dict."""
+        return dict(self.search_opts)
+
+    def backend_config(self) -> "BackendConfig":
+        """The architecture-search backend choice this config implies."""
+        from repro.search.backend import BackendConfig
+
+        return BackendConfig(name=self.strategy, options=self.search_opts)
 
     @property
     def is_constrained(self) -> bool:

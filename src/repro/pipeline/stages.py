@@ -38,8 +38,9 @@ from repro.core.architecture import (
     Tam,
     TestArchitecture,
 )
-from repro.core.partition import PartitionSearchResult, iter_partitions, search_partitions
+from repro.core.partition import PartitionSearchResult, iter_partitions
 from repro.core.scheduler import build_architecture, schedule_cores
+from repro.search import resolve_search_space, run_search
 from repro.explore.dse import CoreAnalysis
 from repro.pipeline.config import RunConfig
 from repro.pipeline.events import EventRecorder
@@ -173,30 +174,51 @@ def _require_tables(ctx: PlanContext, stage: str) -> LookupTables:
 
 
 class ArchitectureStage(Stage):
-    """Partition search over fixed-width TAMs (the paper's step 3)."""
+    """Architecture search over fixed-width TAMs (the paper's step 3).
+
+    Thin driver over :func:`repro.search.run_search`: the strategy
+    names a registered backend, ``config.search_opts`` carries its
+    hyperparameters, and the multi-objective backends get volume/power
+    lookups wired from the same tables the scheduler uses.
+    """
 
     name = "architecture"
 
     def __init__(self, strategy: str | None = None) -> None:
         #: When set, overrides ``config.strategy`` (the registry uses
-        #: this to expose "exhaustive"/"greedy"/"anneal" as stages).
+        #: this to expose "exhaustive"/"greedy"/"anneal"/"evolutionary"
+        #: as stages).
         self.strategy = strategy
 
     def run(self, ctx: PlanContext) -> None:
         config = ctx.config
         tables = _require_tables(ctx, self.name)
+
+        def volume_of(name: str, width: int) -> int:
+            return tables.config_of(name, width).volume
+
+        power_map = config.power_of
+        power_of = (
+            (lambda name: float(power_map.get(name, 0.0)))
+            if power_map is not None
+            else None
+        )
         with obs.span(
             "search", strategy=self.strategy or config.strategy
         ) as attrs:
-            search = search_partitions(
+            search = run_search(
                 ctx.names,
                 ctx.width_budget,
                 tables.time_of,
                 max_parts=config.max_tams,
                 min_width=config.min_tam_width,
                 strategy=self.strategy or config.strategy,
+                options=config.search_options(),
+                volume_of=volume_of,
+                power_of=power_of,
             )
             attrs["partitions"] = search.partitions_evaluated
+            attrs["backend"] = search.strategy
         obs.inc("architecture.partitions_evaluated", search.partitions_evaluated)
         ctx.search = search
         ctx.partitions_evaluated = search.partitions_evaluated
@@ -230,21 +252,18 @@ class ConstrainedArchitectureStage(Stage):
             )
         ctx.power_of = power_of
 
-        max_tams = config.max_tams
-        if max_tams is None:
-            max_tams = min(len(ctx.names), 6)
-        max_tams = min(max_tams, ctx.width_budget // config.min_tam_width)
-        if max_tams < 1:
-            raise ValueError(
-                f"width {ctx.width_budget} cannot host a TAM of min width "
-                f"{config.min_tam_width}"
-            )
+        space = resolve_search_space(
+            len(ctx.names),
+            ctx.width_budget,
+            max_parts=config.max_tams,
+            min_width=config.min_tam_width,
+        )
 
         best: ConstrainedSchedule | None = None
         evaluated = 0
         with obs.span("search", strategy="exhaustive") as attrs:
             for widths in iter_partitions(
-                ctx.width_budget, max_tams, config.min_tam_width
+                space.total_width, space.max_parts, space.min_width
             ):
                 schedule = schedule_constrained(
                     ctx.names,
@@ -282,10 +301,12 @@ class PerTamArchitectureStage(Stage):
         config = ctx.config
         analyses = ctx.analyses
         names = ctx.names
-        max_tams = config.max_tams
-        if max_tams is None:
-            max_tams = min(len(names), 6)
-        max_tams = min(max_tams, ctx.width_budget // config.min_code_width)
+        space = resolve_search_space(
+            len(names),
+            ctx.width_budget,
+            max_parts=config.max_tams,
+            min_width=config.min_code_width,
+        )
 
         def code_width_time(name: str, w: int) -> int:
             analysis = analyses[name]
@@ -297,7 +318,7 @@ class PerTamArchitectureStage(Stage):
         best_arch: tuple[int, tuple[int, ...], list[int], list[int]] | None = None
         evaluated = 0
         for widths in iter_partitions(
-            ctx.width_budget, max_tams, config.min_code_width
+            space.total_width, space.max_parts, space.min_width
         ):
             evaluated += 1
             outcome = schedule_cores(names, widths, code_width_time)
@@ -374,6 +395,7 @@ class RobustArchitectureStage(Stage):
             max_parts=config.max_tams,
             min_width=config.min_tam_width,
             strategy=config.strategy,
+            options=config.search_options(),
         )
         obs.inc(
             "architecture.partitions_evaluated",
@@ -670,6 +692,11 @@ register_stage(
 )
 register_stage(
     "architecture", "anneal", lambda: ArchitectureStage(strategy="anneal")
+)
+register_stage(
+    "architecture",
+    "evolutionary",
+    lambda: ArchitectureStage(strategy="evolutionary"),
 )
 register_stage("architecture", "constrained", ConstrainedArchitectureStage)
 register_stage("architecture", "per-tam", PerTamArchitectureStage)

@@ -1,0 +1,19 @@
+"""Built-in search backends; importing this package registers them."""
+
+from repro.search.backend import register_backend
+from repro.search.backends.anneal import AnnealBackend
+from repro.search.backends.evolutionary import EvolutionaryBackend
+from repro.search.backends.exhaustive import ExhaustiveBackend
+from repro.search.backends.greedy import GreedyBackend
+
+register_backend(ExhaustiveBackend())
+register_backend(GreedyBackend())
+register_backend(AnnealBackend())
+register_backend(EvolutionaryBackend())
+
+__all__ = [
+    "AnnealBackend",
+    "EvolutionaryBackend",
+    "ExhaustiveBackend",
+    "GreedyBackend",
+]

@@ -1,0 +1,311 @@
+"""Evolutionary backend: a population search over the joint space.
+
+The first backend the ``repro.search`` layer exists for: a (mu+lambda)-
+style genetic search whose individuals are full
+:class:`~repro.search.state.SearchState` points.  Mutation reuses the
+annealer's move set (reassign / shift / split / merge, same code in
+:mod:`repro.search.moves`); crossover mixes the core-to-TAM assignment
+vectors of two parents; selection is multi-objective -- members are
+ranked by :func:`repro.explore.pareto.pareto_fronts` over
+``(makespan, data volume, peak-power proxy)`` and tournaments pick by
+front rank, so low-volume / low-power architectures survive even when
+a single makespan champion exists.
+
+The search is resumable: with ``study=<path>`` the full state (RNG,
+population, fitness, best, history) is checkpointed to a JSON
+:class:`~repro.search.study.Study` after initialization and after
+every generation, and ``resume=true`` continues a saved study
+bit-identically to a run that never stopped.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import obs
+from repro.explore.pareto import pareto_fronts
+from repro.search.evaluator import Evaluator
+from repro.search.moves import propose_move
+from repro.search.state import PartitionSearchResult, SearchSpace, SearchState
+from repro.search.study import Study, StudyMember
+
+#: A mutation retries at most this many draws per requested move, so a
+#: cramped space (e.g. max_parts=1 disables every move) cannot spin.
+MUTATION_TRIES_PER_MOVE = 8
+
+Fitness = tuple[float, ...]
+
+
+def random_state(
+    rng: np.random.Generator, space: SearchSpace, num_cores: int
+) -> SearchState:
+    """A uniform-ish random member: random composition + assignment."""
+    k = int(rng.integers(1, space.max_parts + 1))
+    extra = space.total_width - k * space.min_width
+    cuts = sorted(int(rng.integers(0, extra + 1)) for _ in range(k - 1))
+    bounds = [0, *cuts, extra]
+    widths = tuple(
+        space.min_width + bounds[i + 1] - bounds[i] for i in range(k)
+    )
+    assignment = tuple(int(rng.integers(0, k)) for _ in range(num_cores))
+    return SearchState(widths=widths, assignment=assignment)
+
+
+def crossover_states(
+    rng: np.random.Generator, a: SearchState, b: SearchState
+) -> SearchState:
+    """Child on parent A's widths, mixing both assignment vectors.
+
+    Per core a fair coin picks parent B's TAM when it also exists under
+    A's partition (TAM counts can differ); otherwise the core keeps
+    A's TAM.
+    """
+    k = len(a.widths)
+    assignment = tuple(
+        b.assignment[i]
+        if rng.random() < 0.5 and b.assignment[i] < k
+        else a.assignment[i]
+        for i in range(len(a.assignment))
+    )
+    return SearchState(widths=a.widths, assignment=assignment)
+
+
+def mutate_state(
+    rng: np.random.Generator,
+    state: SearchState,
+    space: SearchSpace,
+    count: int,
+) -> SearchState:
+    """Apply ``count`` valid moves from the shared SA move set."""
+    widths, assignment = list(state.widths), list(state.assignment)
+    applied = 0
+    for _ in range(MUTATION_TRIES_PER_MOVE * count):
+        if applied >= count:
+            break
+        proposal = propose_move(
+            rng,
+            widths,
+            assignment,
+            max_parts=space.max_parts,
+            min_width=space.min_width,
+        )
+        if proposal is not None:
+            widths, assignment = proposal
+            applied += 1
+    return SearchState(widths=tuple(widths), assignment=tuple(assignment))
+
+
+def rank_population(fitness: list[Fitness]) -> tuple[list[int], int]:
+    """Best-first member indices + size of the non-dominated front.
+
+    Front by front (non-dominated sorting), within a front by makespan
+    then by index -- deterministic for identical fitness vectors.
+    """
+    fronts = pareto_fronts(fitness)
+    order: list[int] = []
+    for front in fronts:
+        order.extend(sorted(front, key=lambda i: (fitness[i][0], i)))
+    return order, len(fronts[0]) if fronts else 0
+
+
+class EvolutionaryBackend:
+    name = "evolutionary"
+    hyperparameters: Mapping[str, type] = {
+        "generations": int,
+        "population": int,
+        "seed": int,
+        "elite": int,
+        "crossover": float,
+        "mutations": int,
+        "tournament": int,
+        "study": str,
+        "resume": bool,
+    }
+
+    def run(
+        self,
+        evaluator: Evaluator,
+        space: SearchSpace,
+        *,
+        generations: int = 40,
+        population: int = 24,
+        seed: int = 0,
+        elite: int = 4,
+        crossover: float = 0.6,
+        mutations: int = 2,
+        tournament: int = 3,
+        study: str = "",
+        resume: bool = False,
+    ) -> PartitionSearchResult:
+        if generations < 0:
+            raise ValueError(f"generations must be >= 0, got {generations}")
+        if population < 2:
+            raise ValueError(f"population must be >= 2, got {population}")
+        if not 0.0 <= crossover <= 1.0:
+            raise ValueError(f"crossover must be in [0, 1], got {crossover}")
+        if mutations < 1:
+            raise ValueError(f"mutations must be >= 1, got {mutations}")
+        if tournament < 1:
+            raise ValueError(f"tournament must be >= 1, got {tournament}")
+        if elite < 0:
+            raise ValueError(f"elite must be >= 0, got {elite}")
+        if resume and not study:
+            raise ValueError("resume=true requires a study path")
+
+        num_cores = len(evaluator.core_names)
+        rng = np.random.default_rng(seed)
+        store: Study | None = None
+        if resume and study and Path(study).exists():
+            store = Study.load(study)
+            if not store.matches(self.name, seed, space):
+                raise ValueError(
+                    f"study {study} was recorded for a different "
+                    f"backend/seed/search space; refusing to resume"
+                )
+
+        if store is not None and store.population:
+            rng.bit_generator.state = store.rng_state
+            pop: list[tuple[SearchState, Fitness]] = [
+                (
+                    SearchState(
+                        widths=tuple(m.widths),
+                        assignment=tuple(m.assignment),
+                    ),
+                    tuple(m.fitness),
+                )
+                for m in store.population
+            ]
+            evaluator.evaluations = store.evaluations
+            assert store.best is not None
+            best_makespan = int(store.best["makespan"])
+            best_state = SearchState(
+                widths=tuple(store.best["widths"]),
+                assignment=tuple(store.best["assignment"]),
+            )
+            start_generation = store.generation
+            history = list(store.history)
+        else:
+            single = SearchState(
+                widths=space.single_tam, assignment=(0,) * num_cores
+            )
+            states = [single] + [
+                random_state(rng, space, num_cores)
+                for _ in range(population - 1)
+            ]
+            pop = [(s, evaluator.objectives(s)) for s in states]
+            best_index = min(
+                range(len(pop)), key=lambda i: (pop[i][1][0], i)
+            )
+            best_state, best_fit = pop[best_index]
+            best_makespan = int(best_fit[0])
+            start_generation = 0
+            history = []
+            store = Study.for_space(self.name, seed, space)
+            self._checkpoint(
+                store,
+                study,
+                rng,
+                pop,
+                best_makespan,
+                best_state,
+                start_generation,
+                evaluator,
+                history,
+            )
+
+        for generation in range(start_generation, generations):
+            with obs.span(
+                "search.generation",
+                backend=self.name,
+                generation=generation,
+            ) as attrs:
+                order, front_size = rank_population([f for _, f in pop])
+                position = {idx: r for r, idx in enumerate(order)}
+
+                def pick() -> SearchState:
+                    drawn = [
+                        int(rng.integers(0, len(pop)))
+                        for _ in range(tournament)
+                    ]
+                    return pop[min(drawn, key=lambda i: position[i])][0]
+
+                children = [pop[i][0] for i in order[: min(elite, population)]]
+                while len(children) < population:
+                    parent_a = pick()
+                    parent_b = pick()
+                    if rng.random() < crossover:
+                        child = crossover_states(rng, parent_a, parent_b)
+                    else:
+                        child = parent_a
+                    children.append(
+                        mutate_state(rng, child, space, mutations)
+                    )
+                pop = [(s, evaluator.objectives(s)) for s in children]
+                for state, fit in pop:
+                    if fit[0] < best_makespan:
+                        best_makespan = int(fit[0])
+                        best_state = state
+                history.append(
+                    {
+                        "generation": generation,
+                        "best_makespan": best_makespan,
+                        "evaluations": evaluator.evaluations,
+                        "front_size": front_size,
+                    }
+                )
+                attrs["best_makespan"] = best_makespan
+                attrs["front_size"] = front_size
+                attrs["evaluations"] = evaluator.evaluations
+            self._checkpoint(
+                store,
+                study,
+                rng,
+                pop,
+                best_makespan,
+                best_state,
+                generation + 1,
+                evaluator,
+                history,
+            )
+
+        outcome = best_state.canonical().outcome(best_makespan)
+        return PartitionSearchResult(
+            outcome=outcome,
+            partitions_evaluated=evaluator.evaluations,
+            strategy=self.name,
+        )
+
+    @staticmethod
+    def _checkpoint(
+        store: Study,
+        study_path: str,
+        rng: np.random.Generator,
+        pop: list[tuple[SearchState, Fitness]],
+        best_makespan: int,
+        best_state: SearchState,
+        generation: int,
+        evaluator: Evaluator,
+        history: list[dict[str, Any]],
+    ) -> None:
+        store.generation = generation
+        store.evaluations = evaluator.evaluations
+        store.rng_state = rng.bit_generator.state
+        store.population = [
+            StudyMember(
+                widths=list(s.widths),
+                assignment=list(s.assignment),
+                fitness=list(f),
+            )
+            for s, f in pop
+        ]
+        store.best = {
+            "makespan": best_makespan,
+            "widths": list(best_state.widths),
+            "assignment": list(best_state.assignment),
+        }
+        store.history = history
+        if study_path:
+            store.save(study_path)

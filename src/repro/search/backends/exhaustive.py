@@ -1,0 +1,45 @@
+"""Exhaustive backend: schedule every partition, keep the best.
+
+Bit-identical to the pre-refactor ``_exhaustive`` in
+``repro/core/partition.py`` (pinned by the differential suite),
+including the ``REPRO_SCALAR_KERNELS`` gate between the scalar
+reference loop and the vectorized batch kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.flags import use_scalar_kernels
+from repro.search.evaluator import Evaluator
+from repro.search.state import PartitionSearchResult, SearchSpace
+
+
+class ExhaustiveBackend:
+    name = "exhaustive"
+    hyperparameters: Mapping[str, type] = {}
+
+    def run(
+        self, evaluator: Evaluator, space: SearchSpace, **options: Any
+    ) -> PartitionSearchResult:
+        from repro.core.partition import iter_partitions, partitions_list
+
+        if use_scalar_kernels():
+            for widths in iter_partitions(
+                space.total_width, space.max_parts, space.min_width
+            ):
+                evaluator.schedule_scalar(widths)
+        else:
+            partitions = partitions_list(
+                space.total_width, space.max_parts, space.min_width
+            )
+            # The batch kernel tracks the argmin winner on the
+            # evaluator (first minimum -- the legacy tie-break).
+            evaluator.batch_makespans(partitions)
+        best = evaluator.best
+        assert best is not None  # (total,) is always enumerated
+        return PartitionSearchResult(
+            outcome=best,
+            partitions_evaluated=evaluator.evaluations,
+            strategy=self.name,
+        )

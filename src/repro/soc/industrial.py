@@ -112,14 +112,18 @@ def industrial_system(name: str) -> Soc:
 
 
 def load_design(name: str) -> Soc:
-    """Load any design the paper evaluates: d695, d2758, or System1..4."""
+    """Load any catalogued design: d695, d2758, System1..4, or synth<N>."""
     from repro.soc.benchmarks import _BUILDERS  # local import: avoid cycle
+    from repro.soc.synthetic import load_synthetic
 
     if name in _BUILDERS:
         return _BUILDERS[name]()
     if name in _SYSTEM_CORES:
         return industrial_system(name)
-    available = sorted(_BUILDERS) + list(SYSTEM_NAMES)
+    synthetic = load_synthetic(name)
+    if synthetic is not None:
+        return synthetic
+    available = sorted(_BUILDERS) + list(SYSTEM_NAMES) + ["synth<N>"]
     raise KeyError(f"unknown design {name!r}; available: {', '.join(available)}")
 
 
@@ -128,13 +132,15 @@ def design_catalog() -> tuple[dict[str, object], ...]:
 
     One row per design: ``name``, ``family`` (``"academic"`` for the
     embedded ITC'02-class benchmarks, ``"industrial"`` for the
-    System1..4 SOCs), ``cores``, ``scan_cells``, ``patterns``, and
-    ``gates``.  This is the discovery surface service clients use to
-    learn valid design names without reading source (the ``designs``
-    protocol request and the ``repro-soc benchmarks`` subcommand both
-    render it).
+    System1..4 SOCs, ``"synthetic"`` for the seeded many-core
+    ``synth<N>`` workloads), ``cores``, ``scan_cells``, ``patterns``,
+    and ``gates``.  This is the discovery surface service clients use
+    to learn valid design names without reading source (the
+    ``designs`` protocol request and the ``repro-soc benchmarks``
+    subcommand both render it).
     """
     from repro.soc.benchmarks import _BUILDERS  # local import: avoid cycle
+    from repro.soc.synthetic import CATALOG_CORE_COUNTS, synthetic_soc
 
     rows: list[dict[str, object]] = []
     for name in sorted(_BUILDERS):
@@ -142,6 +148,10 @@ def design_catalog() -> tuple[dict[str, object], ...]:
         rows.append(_catalog_row(soc, family="academic"))
     for name in SYSTEM_NAMES:
         rows.append(_catalog_row(industrial_system(name), family="industrial"))
+    for num_cores in CATALOG_CORE_COUNTS:
+        rows.append(
+            _catalog_row(synthetic_soc(num_cores), family="synthetic")
+        )
     return tuple(rows)
 
 

@@ -1,0 +1,114 @@
+"""Seeded synthetic many-core SOCs (the 100+-core search workload).
+
+The paper's designs top out at a few dozen cores, where the partition
+space at paper-scale widths stays enumerable.  The ``repro.search``
+layer exists for the regime beyond that: at ``W_TAM = 128`` the
+partition count blows past ``AUTO_PARTITION_LIMIT`` even at the default
+six-TAM cap, so only the greedy / anneal / evolutionary backends can
+play.  This module generates that workload: ``synth<N>`` SOCs with
+``N`` small cores (fuzz-sized, so the per-core analysis of hundreds of
+cores stays cheap while the *architecture search* is the hard part).
+
+Generation is deterministic: the design name seeds an FNV hash, every
+core derives from one :mod:`numpy` generator, and the same name always
+yields the same SOC -- ``synth150`` is as stable a benchmark name as
+``d695``.  ``synth100`` / ``synth150`` / ``synth300`` appear in the
+benchmarks catalog; any ``synth<N>`` with ``N`` in bounds loads.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+
+#: Bounds on the accepted ``synth<N>`` core counts.
+MIN_SYNTHETIC_CORES = 2
+MAX_SYNTHETIC_CORES = 512
+
+#: The core counts listed in the benchmarks catalog.
+CATALOG_CORE_COUNTS: tuple[int, ...] = (100, 150, 300)
+
+_NAME_RE = re.compile(r"^synth(\d+)$")
+
+_GATES_PER_SCAN_CELL = 22  # reporting-only approximation
+
+
+def _seed_for(name: str) -> int:
+    value = 2166136261
+    for ch in name.encode("utf-8"):
+        value = ((value ^ ch) * 16777619) & 0xFFFFFFFF
+    return value
+
+
+def parse_synthetic_name(name: str) -> int | None:
+    """``"synth150"`` -> 150; ``None`` when ``name`` is not synthetic.
+
+    A well-formed ``synth<N>`` outside the supported bounds raises
+    (the caller asked for a synthetic design; silently treating it as
+    an unknown name would misreport the problem).
+    """
+    match = _NAME_RE.match(name)
+    if match is None:
+        return None
+    num_cores = int(match.group(1))
+    if not MIN_SYNTHETIC_CORES <= num_cores <= MAX_SYNTHETIC_CORES:
+        raise ValueError(
+            f"synthetic designs support {MIN_SYNTHETIC_CORES}.."
+            f"{MAX_SYNTHETIC_CORES} cores, got {name!r}"
+        )
+    return num_cores
+
+
+def synthetic_core(rng: np.random.Generator, index: int) -> Core:
+    """One small core; sized so exact-mode analysis stays cheap."""
+    chains = tuple(
+        int(rng.integers(6, 41)) for _ in range(int(rng.integers(1, 5)))
+    )
+    cells = sum(chains)
+    return Core(
+        name=f"sc{index}",
+        inputs=int(rng.integers(1, 11)),
+        outputs=int(rng.integers(1, 11)),
+        bidirs=int(rng.integers(0, 3)),
+        scan_chain_lengths=chains,
+        patterns=int(rng.integers(8, 49)),
+        care_bit_density=float(rng.uniform(0.05, 0.3)),
+        one_fraction=float(rng.uniform(0.2, 0.8)),
+        seed=int(rng.integers(0, 2**31)),
+        gates=cells * _GATES_PER_SCAN_CELL,
+    )
+
+
+def synthetic_soc(num_cores: int, *, seed: int | None = None) -> Soc:
+    """A deterministic ``num_cores``-core SOC named ``synth<N>``.
+
+    ``seed`` defaults to a hash of the name, so ``synthetic_soc(150)``
+    is reproducible across processes and sessions; passing an explicit
+    seed yields alternate instances of the same size for fuzzing.
+    """
+    if not MIN_SYNTHETIC_CORES <= num_cores <= MAX_SYNTHETIC_CORES:
+        raise ValueError(
+            f"synthetic SOCs support {MIN_SYNTHETIC_CORES}.."
+            f"{MAX_SYNTHETIC_CORES} cores, got {num_cores}"
+        )
+    name = f"synth{num_cores}"
+    rng = np.random.default_rng(_seed_for(name) if seed is None else seed)
+    cores = tuple(synthetic_core(rng, index) for index in range(num_cores))
+    return Soc(
+        name=name,
+        cores=cores,
+        gates=sum(core.gates for core in cores),
+        latches=sum(core.scan_cells for core in cores),
+    )
+
+
+def load_synthetic(name: str) -> Soc | None:
+    """Resolve a ``synth<N>`` design name, or ``None`` if not synthetic."""
+    num_cores = parse_synthetic_name(name)
+    if num_cores is None:
+        return None
+    return synthetic_soc(num_cores)

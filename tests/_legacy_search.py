@@ -1,0 +1,369 @@
+"""Verbatim pre-refactor architecture-search code (differential baseline).
+
+This module freezes the search implementations exactly as they stood on
+``main`` before the `repro.search` backend layer existed (the PR that
+introduced `src/repro/search/`): the ``_exhaustive`` / ``_greedy``
+private functions and the string-dispatching ``search_partitions`` from
+``repro/core/partition.py``, and ``anneal_search`` from
+``repro/core/anneal.py`` -- including its cooling-schedule bug, where
+invalid moves hit ``continue`` before ``temperature *= cooling`` so the
+effective schedule depended on the move-validity rate.
+
+``tests/test_search_differential.py`` runs these against the refactored
+backends:
+
+* exhaustive and greedy must be **bit-identical** to this copy;
+* anneal must be bit-identical to :func:`legacy_anneal_search_fixed`,
+  which is this copy with *only* the cooling line moved (the one
+  intentional behavior change, shipped as its own satellite fix).
+
+Do not "improve" this file; it is a measurement instrument.  The only
+edits vs. the historical code are renames (``legacy_`` prefixes) and
+imports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.partition import (
+    AUTO_PARTITION_LIMIT,
+    PartitionSearchResult,
+    count_partitions,
+    iter_partitions,
+    partitions_list,
+)
+from repro.core.scheduler import (
+    ScheduleOutcome,
+    TimeFn,
+    TimeTable,
+    schedule_cores,
+    schedule_cores_indexed,
+    schedule_makespans_batch,
+)
+from repro.flags import use_scalar_kernels
+
+
+def legacy_exhaustive(
+    core_names: Sequence[str],
+    total_width: int,
+    time_of: TimeFn,
+    max_parts: int,
+    min_width: int,
+) -> PartitionSearchResult:
+    if use_scalar_kernels():
+        best: ScheduleOutcome | None = None
+        evaluated = 0
+        for widths in iter_partitions(total_width, max_parts, min_width):
+            outcome = schedule_cores(core_names, widths, time_of)
+            evaluated += 1
+            if best is None or outcome.makespan < best.makespan:
+                best = outcome
+        assert best is not None  # (total,) is always yielded
+        return PartitionSearchResult(
+            outcome=best, partitions_evaluated=evaluated, strategy="exhaustive"
+        )
+
+    partitions = partitions_list(total_width, max_parts, min_width)
+    table = TimeTable(core_names, time_of)
+    makespans = schedule_makespans_batch(table, partitions)
+    winner = int(np.argmin(makespans))
+    outcome = schedule_cores_indexed(table, partitions[winner])
+    return PartitionSearchResult(
+        outcome=outcome,
+        partitions_evaluated=len(partitions),
+        strategy="exhaustive",
+    )
+
+
+def _legacy_greedy_moves(
+    widths: list[int], bottleneck: int, min_width: int
+) -> list[list[int]]:
+    candidates: list[list[int]] = []
+    w = widths[bottleneck]
+    if w >= 2 * min_width:
+        half = w // 2
+        split = widths[:bottleneck] + widths[bottleneck + 1 :] + [w - half, half]
+        candidates.append(split)
+    for donor in range(len(widths)):
+        if donor == bottleneck or widths[donor] <= min_width:
+            continue
+        shifted = list(widths)
+        shifted[donor] -= 1
+        shifted[bottleneck] += 1
+        candidates.append(shifted)
+    if len(widths) >= 2:
+        order = sorted(range(len(widths)), key=lambda i: widths[i])
+        a, b = order[0], order[1]
+        merged = [w for i, w in enumerate(widths) if i not in (a, b)]
+        merged.append(widths[a] + widths[b])
+        candidates.append(merged)
+    return candidates
+
+
+def _legacy_bottleneck_tam(
+    core_names: Sequence[str], outcome: ScheduleOutcome, time_of: TimeFn
+) -> int:
+    loads = [0] * len(outcome.widths)
+    for index, tam in enumerate(outcome.assignment):
+        loads[tam] += time_of(core_names[index], outcome.widths[tam])
+    return max(range(len(loads)), key=lambda i: loads[i])
+
+
+def legacy_greedy(
+    core_names: Sequence[str],
+    total_width: int,
+    time_of: TimeFn,
+    max_parts: int,
+    min_width: int,
+) -> PartitionSearchResult:
+    if use_scalar_kernels():
+        schedule = lambda widths: schedule_cores(core_names, widths, time_of)  # noqa: E731
+    else:
+        table = TimeTable(core_names, time_of)
+        schedule = lambda widths: schedule_cores_indexed(table, widths)  # noqa: E731
+    current = [total_width]
+    best = schedule(current)
+    evaluated = 1
+    improved = True
+    while improved:
+        improved = False
+        bottleneck = _legacy_bottleneck_tam(core_names, best, time_of)
+        for widths in _legacy_greedy_moves(list(best.widths), bottleneck, min_width):
+            if len(widths) > max_parts or any(w < min_width for w in widths):
+                continue
+            outcome = schedule(sorted(widths, reverse=True))
+            evaluated += 1
+            if outcome.makespan < best.makespan:
+                best = outcome
+                improved = True
+                break
+    return PartitionSearchResult(
+        outcome=best, partitions_evaluated=evaluated, strategy="greedy"
+    )
+
+
+def legacy_search_partitions(
+    core_names: Sequence[str],
+    total_width: int,
+    time_of: TimeFn,
+    *,
+    max_parts: int | None = None,
+    min_width: int = 1,
+    strategy: str = "auto",
+) -> PartitionSearchResult:
+    if not core_names:
+        raise ValueError("cannot design an architecture for zero cores")
+    if max_parts is None:
+        max_parts = min(len(core_names), 6)
+    max_parts = min(max_parts, total_width // min_width)
+    if max_parts < 1:
+        raise ValueError(
+            f"width {total_width} cannot host a TAM of min width {min_width}"
+        )
+
+    if strategy == "auto":
+        size = count_partitions(total_width, max_parts, min_width)
+        strategy = "exhaustive" if size <= AUTO_PARTITION_LIMIT else "greedy"
+    if strategy == "exhaustive":
+        return legacy_exhaustive(core_names, total_width, time_of, max_parts, min_width)
+    if strategy == "greedy":
+        return legacy_greedy(core_names, total_width, time_of, max_parts, min_width)
+    if strategy == "anneal":
+        return legacy_anneal_search(
+            core_names,
+            total_width,
+            time_of,
+            max_parts=max_parts,
+            min_width=min_width,
+        )
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def _legacy_makespan(
+    core_names: Sequence[str],
+    widths: list[int],
+    assignment: list[int],
+    time_of: TimeFn,
+) -> int:
+    loads = [0] * len(widths)
+    for index, tam in enumerate(assignment):
+        loads[tam] += time_of(core_names[index], widths[tam])
+    return max(loads) if loads else 0
+
+
+def _legacy_anneal(
+    core_names: Sequence[str],
+    total_width: int,
+    time_of: TimeFn,
+    *,
+    max_parts: int | None,
+    min_width: int,
+    iterations: int,
+    initial_temperature: float | None,
+    cooling: float,
+    seed: int,
+    cool_every_iteration: bool,
+) -> PartitionSearchResult:
+    """The historical annealer; ``cool_every_iteration`` selects the
+    buggy (False, as shipped) or fixed (True) cooling placement."""
+    if not core_names:
+        raise ValueError("cannot design an architecture for zero cores")
+    if total_width < min_width:
+        raise ValueError(
+            f"width {total_width} cannot host a TAM of min width {min_width}"
+        )
+    if max_parts is None:
+        max_parts = min(len(core_names), 6)
+    max_parts = max(1, min(max_parts, total_width // min_width))
+    if not 0.0 < cooling < 1.0:
+        raise ValueError(f"cooling must be in (0, 1), got {cooling}")
+
+    rng = np.random.default_rng(seed)
+    names = list(core_names)
+    n = len(names)
+
+    widths: list[int] = [total_width]
+    assignment: list[int] = [0] * n
+    current = _legacy_makespan(names, widths, assignment, time_of)
+    best = current
+    best_state = (list(widths), list(assignment))
+    if initial_temperature is None:
+        initial_temperature = max(1.0, 0.2 * current)
+    temperature = float(initial_temperature)
+    evaluated = 1
+
+    for _ in range(iterations):
+        move = int(rng.integers(0, 4))
+        new_widths = list(widths)
+        new_assignment = list(assignment)
+        if move == 0 and len(new_widths) > 1:
+            index = int(rng.integers(0, n))
+            new_assignment[index] = int(rng.integers(0, len(new_widths)))
+        elif move == 1 and len(new_widths) > 1:
+            donor = int(rng.integers(0, len(new_widths)))
+            taker = int(rng.integers(0, len(new_widths)))
+            if donor == taker or new_widths[donor] <= min_width:
+                if cool_every_iteration:
+                    temperature *= cooling
+                continue
+            new_widths[donor] -= 1
+            new_widths[taker] += 1
+        elif move == 2 and len(new_widths) < max_parts:
+            victim = int(rng.integers(0, len(new_widths)))
+            if new_widths[victim] < 2 * min_width:
+                if cool_every_iteration:
+                    temperature *= cooling
+                continue
+            half = int(rng.integers(min_width, new_widths[victim] - min_width + 1))
+            new_widths[victim] -= half
+            new_widths.append(half)
+            fresh = len(new_widths) - 1
+            for index in range(n):
+                if new_assignment[index] == victim and rng.random() < 0.5:
+                    new_assignment[index] = fresh
+        elif move == 3 and len(new_widths) > 1:
+            a = int(rng.integers(0, len(new_widths)))
+            b = int(rng.integers(0, len(new_widths)))
+            if a == b:
+                if cool_every_iteration:
+                    temperature *= cooling
+                continue
+            a, b = min(a, b), max(a, b)
+            new_widths[a] += new_widths[b]
+            del new_widths[b]
+            for index in range(n):
+                if new_assignment[index] == b:
+                    new_assignment[index] = a
+                elif new_assignment[index] > b:
+                    new_assignment[index] -= 1
+        else:
+            if cool_every_iteration:
+                temperature *= cooling
+            continue
+
+        candidate = _legacy_makespan(names, new_widths, new_assignment, time_of)
+        evaluated += 1
+        delta = candidate - current
+        if delta <= 0 or rng.random() < math.exp(-delta / max(1e-9, temperature)):
+            widths, assignment, current = new_widths, new_assignment, candidate
+            if current < best:
+                best = current
+                best_state = (list(widths), list(assignment))
+        temperature *= cooling
+
+    best_widths, best_assignment = best_state
+    order = sorted(
+        range(len(best_widths)), key=lambda t: -best_widths[t]
+    )
+    remap = {old: new for new, old in enumerate(order)}
+    outcome = ScheduleOutcome(
+        widths=tuple(best_widths[t] for t in order),
+        makespan=best,
+        assignment=tuple(remap[t] for t in best_assignment),
+    )
+    return PartitionSearchResult(
+        outcome=outcome, partitions_evaluated=evaluated, strategy="anneal"
+    )
+
+
+def legacy_anneal_search(
+    core_names: Sequence[str],
+    total_width: int,
+    time_of: TimeFn,
+    *,
+    max_parts: int | None = None,
+    min_width: int = 1,
+    iterations: int = 4000,
+    initial_temperature: float | None = None,
+    cooling: float = 0.999,
+    seed: int = 0,
+) -> PartitionSearchResult:
+    """Simulated annealing exactly as shipped (skewed cooling schedule)."""
+    return _legacy_anneal(
+        core_names,
+        total_width,
+        time_of,
+        max_parts=max_parts,
+        min_width=min_width,
+        iterations=iterations,
+        initial_temperature=initial_temperature,
+        cooling=cooling,
+        seed=seed,
+        cool_every_iteration=False,
+    )
+
+
+def legacy_anneal_search_fixed(
+    core_names: Sequence[str],
+    total_width: int,
+    time_of: TimeFn,
+    *,
+    max_parts: int | None = None,
+    min_width: int = 1,
+    iterations: int = 4000,
+    initial_temperature: float | None = None,
+    cooling: float = 0.999,
+    seed: int = 0,
+) -> PartitionSearchResult:
+    """The shipped annealer with only the cooling line moved.
+
+    This is the oracle for the refactored anneal backend: identical RNG
+    stream and move/acceptance logic, cooling applied exactly once per
+    iteration (valid proposal or not).
+    """
+    return _legacy_anneal(
+        core_names,
+        total_width,
+        time_of,
+        max_parts=max_parts,
+        min_width=min_width,
+        iterations=iterations,
+        initial_temperature=initial_temperature,
+        cooling=cooling,
+        seed=seed,
+        cool_every_iteration=True,
+    )

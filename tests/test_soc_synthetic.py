@@ -1,0 +1,89 @@
+"""The seeded ``synth<N>`` many-core SOC generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.soc.industrial import design_catalog, load_design
+from repro.soc.synthetic import (
+    CATALOG_CORE_COUNTS,
+    MAX_SYNTHETIC_CORES,
+    MIN_SYNTHETIC_CORES,
+    load_synthetic,
+    parse_synthetic_name,
+    synthetic_soc,
+)
+
+
+class TestNameParsing:
+    def test_parses_core_count(self):
+        assert parse_synthetic_name("synth150") == 150
+
+    @pytest.mark.parametrize("name", ["d695", "System1", "synthx", "synth"])
+    def test_non_synthetic_names_return_none(self, name):
+        assert parse_synthetic_name(name) is None
+        assert load_synthetic(name) is None
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            f"synth{MIN_SYNTHETIC_CORES - 1}",
+            f"synth{MAX_SYNTHETIC_CORES + 1}",
+            "synth0",
+        ],
+    )
+    def test_out_of_bounds_raises(self, name):
+        with pytest.raises(ValueError, match="cores"):
+            parse_synthetic_name(name)
+
+
+class TestGeneration:
+    def test_deterministic_across_calls(self):
+        a = synthetic_soc(100)
+        b = synthetic_soc(100)
+        assert a.name == b.name == "synth100"
+        assert len(a.cores) == len(b.cores) == 100
+        assert a.cores == b.cores
+
+    def test_explicit_seed_gives_alternate_instance(self):
+        default = synthetic_soc(50)
+        alt = synthetic_soc(50, seed=1234)
+        assert default.name == alt.name
+        assert default.cores != alt.cores
+
+    def test_core_count_out_of_bounds_raises(self):
+        with pytest.raises(ValueError, match="cores"):
+            synthetic_soc(MAX_SYNTHETIC_CORES + 1)
+
+    def test_cores_are_fuzz_sized(self):
+        soc = synthetic_soc(60)
+        for core in soc.cores:
+            assert 1 <= len(core.scan_chain_lengths) <= 4
+            assert all(6 <= n <= 40 for n in core.scan_chain_lengths)
+            assert 8 <= core.patterns <= 48
+
+    def test_totals_are_consistent(self):
+        soc = synthetic_soc(40)
+        assert soc.latches == sum(c.scan_cells for c in soc.cores)
+        assert soc.gates == sum(c.gates for c in soc.cores)
+
+
+class TestCatalogIntegration:
+    def test_load_design_resolves_synthetic(self):
+        soc = load_design("synth100")
+        assert soc == synthetic_soc(100)
+
+    def test_load_design_unknown_name_mentions_synth(self):
+        with pytest.raises(KeyError, match="synth<N>"):
+            load_design("bogus")
+
+    def test_load_design_out_of_bounds_synth_raises_value_error(self):
+        with pytest.raises(ValueError, match="cores"):
+            load_design("synth9999")
+
+    def test_catalog_lists_synthetic_family(self):
+        rows = {row["name"]: row for row in design_catalog()}
+        for count in CATALOG_CORE_COUNTS:
+            row = rows[f"synth{count}"]
+            assert row["family"] == "synthetic"
+            assert row["cores"] == count
