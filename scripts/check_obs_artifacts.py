@@ -14,15 +14,18 @@ stacks produced identical plans, without which the speedups would
 compare apples to oranges.
 
 Bench artifacts are dispatched by their ``kind`` field:
-``bench-hotpath`` (``scripts/bench_hotpath.py``) and ``bench-search``
+``bench-hotpath`` (``scripts/bench_hotpath.py``), ``bench-search``
 (``scripts/bench_search.py``, the architecture-search backend
-throughput/quality record on the many-core synthetic workload).
+throughput/quality record on the many-core synthetic workload), and
+``bench-serve`` (``scripts/loadtest_serve.py``, the planning-service
+load test with its telemetry-overhead gate).
 
 Usage::
 
     python scripts/check_obs_artifacts.py TRACE.json REPORT.json
     python scripts/check_obs_artifacts.py --bench BENCH_hotpath.json
     python scripts/check_obs_artifacts.py --bench BENCH_search.json
+    python scripts/check_obs_artifacts.py --bench BENCH_serve.json
 
 Exit status 0 when the artifacts check out; 1 with a message on
 stderr otherwise.  ``check_trace`` / ``check_report`` /
@@ -265,6 +268,135 @@ def check_bench_search(data: Any) -> dict[str, Any]:
     return {"runs": len(runs), "best_makespans": seen}
 
 
+SCHEMA_KIND_SERVE = "bench-serve"
+
+#: Telemetry-on throughput must stay at least this fraction of the
+#: telemetry-off run for the artifact to be accepted: the "within
+#: noise" overhead gate of the live-telemetry layer.
+SERVE_OVERHEAD_FLOOR = 0.70
+
+
+def check_bench_serve(data: Any) -> dict[str, Any]:
+    """Validate a ``bench-serve`` JSON document; returns a summary.
+
+    Checks the schema envelope, that exactly one telemetry-on and one
+    telemetry-off pass are present, each pass's internal consistency
+    (request accounting, server-counter conservation, monotone latency
+    quantiles, throughput arithmetic), that the workload really was
+    duplicate-heavy, and the overhead gate: telemetry-on sustained
+    throughput no worse than ``SERVE_OVERHEAD_FLOOR`` of telemetry-off.
+    """
+    if not isinstance(data, dict):
+        _fail("bench: top level must be an object")
+    if data.get("kind") != SCHEMA_KIND_SERVE:
+        _fail(f"bench: kind must be 'bench-serve', got {data.get('kind')!r}")
+    if data.get("schema") != 1:
+        _fail(f"bench: unknown schema {data.get('schema')!r}")
+    for key in (
+        "clients", "requests_per_client", "workers", "workload",
+        "python", "passes", "throughput_ratio",
+    ):
+        if key not in data:
+            _fail(f"bench: missing field {key!r}")
+    if not isinstance(data["clients"], int) or data["clients"] < 1:
+        _fail("bench: 'clients' must be a positive integer")
+    workload = data["workload"]
+    if not isinstance(workload, list) or not workload:
+        _fail("bench: 'workload' must be a non-empty list")
+    passes = data["passes"]
+    if not isinstance(passes, list) or len(passes) != 2:
+        _fail("bench: exactly two passes required (telemetry off and on)")
+    by_telemetry: dict[bool, dict] = {}
+    for record in passes:
+        label = "on" if record.get("telemetry") else "off"
+        for key in (
+            "telemetry", "wall_seconds", "requests", "completed",
+            "deduped", "rejected", "failed", "submit_attempts",
+            "requests_per_s", "plans_per_s", "latency_s", "server",
+        ):
+            if key not in record:
+                _fail(f"bench: pass {label!r} missing field {key!r}")
+        if record["telemetry"] in by_telemetry:
+            _fail(f"bench: duplicate telemetry={record['telemetry']} pass")
+        by_telemetry[bool(record["telemetry"])] = record
+        expected = data["clients"] * data["requests_per_client"]
+        if record["requests"] != expected:
+            _fail(
+                f"bench: pass {label!r} requests {record['requests']} != "
+                f"clients x requests_per_client ({expected})"
+            )
+        settled = (
+            record["completed"] + record["rejected"] + record["failed"]
+        )
+        if settled != record["requests"]:
+            _fail(
+                f"bench: pass {label!r} accounting broken: "
+                f"{settled} settled != {record['requests']} requests"
+            )
+        if record["completed"] < 1:
+            _fail(f"bench: pass {label!r} completed no requests")
+        if record["wall_seconds"] <= 0:
+            _fail(f"bench: pass {label!r} has non-positive wall clock")
+        rate = record["requests"] / record["wall_seconds"]
+        if abs(rate - record["requests_per_s"]) > 0.02 * rate:
+            _fail(
+                f"bench: pass {label!r} requests_per_s "
+                f"{record['requests_per_s']} inconsistent with "
+                f"{record['requests']} reqs / {record['wall_seconds']}s"
+            )
+        counters = record["server"].get("counters", {})
+        conserved = (
+            counters.get("jobs_submitted", 0)
+            + counters.get("jobs_deduped", 0)
+            + counters.get("jobs_rejected", 0)
+        )
+        if conserved != record["submit_attempts"]:
+            _fail(
+                f"bench: pass {label!r} server counters "
+                f"({conserved}) do not conserve the "
+                f"{record['submit_attempts']} submit attempts"
+            )
+        latency = record["latency_s"]
+        for key in ("mean", "p50", "p95", "p99", "max"):
+            if key not in latency:
+                _fail(f"bench: pass {label!r} latency missing {key!r}")
+            if latency[key] < 0:
+                _fail(f"bench: pass {label!r} negative latency {key}")
+        if not (
+            latency["p50"] <= latency["p95"]
+            <= latency["p99"] <= latency["max"]
+        ):
+            _fail(f"bench: pass {label!r} latency quantiles not monotone")
+        if record.get("metrics_consistent") is False:
+            _fail(
+                f"bench: pass {label!r} exposition diverged from the "
+                "authoritative stats counters"
+            )
+    if set(by_telemetry) != {True, False}:
+        _fail("bench: need one telemetry-on and one telemetry-off pass")
+    if max(p["deduped"] for p in passes) < 1:
+        _fail("bench: workload was not duplicate-heavy (no dedup hits)")
+    on, off = by_telemetry[True], by_telemetry[False]
+    ratio = on["requests_per_s"] / off["requests_per_s"]
+    if abs(ratio - data["throughput_ratio"]) > 0.02 * ratio + 1e-9:
+        _fail(
+            f"bench: throughput_ratio {data['throughput_ratio']} "
+            f"inconsistent with the recorded passes ({ratio:.3f})"
+        )
+    if ratio < SERVE_OVERHEAD_FLOOR:
+        _fail(
+            f"bench: telemetry overhead gate failed: on/off throughput "
+            f"ratio {ratio:.3f} < {SERVE_OVERHEAD_FLOOR}"
+        )
+    return {
+        "runs": len(passes),
+        "ratio": round(ratio, 3),
+        "on_rps": on["requests_per_s"],
+        "off_rps": off["requests_per_s"],
+        "p99_on_ms": round(on["latency_s"]["p99"] * 1000, 1),
+    }
+
+
 #: ``kind`` -> (validator, one-line renderer) for ``--bench`` files.
 BENCH_CHECKERS = {
     "bench-hotpath": (
@@ -279,6 +411,13 @@ BENCH_CHECKERS = {
         lambda s: ", ".join(
             f"{backend} best {makespan}"
             for backend, makespan in s["best_makespans"].items()
+        ),
+    ),
+    SCHEMA_KIND_SERVE: (
+        check_bench_serve,
+        lambda s: (
+            f"telemetry on {s['on_rps']}/s vs off {s['off_rps']}/s "
+            f"(ratio {s['ratio']}, p99 {s['p99_on_ms']}ms)"
         ),
     ),
 }

@@ -16,6 +16,7 @@ Examples::
     repro-soc serve --port 7465 --jobs 4
     repro-soc submit d695 --width 16 --port 7465
     repro-soc status --port 7465
+    repro-soc top --port 7465
 
 Every planning subcommand builds one
 :class:`~repro.pipeline.config.RunConfig` from the shared performance
@@ -273,6 +274,7 @@ def _cmd_benchmarks(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.logging import configure_json_logging
     from repro.serve.server import run_server
     from repro.serve.service import PlanningService, ServiceSettings
 
@@ -283,8 +285,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_timeout_s=args.job_timeout,
         isolation=args.isolation,
         state_dir=args.state_dir,
+        telemetry=not args.no_telemetry,
     )
     service = PlanningService(settings)
+    # The service's structured lifecycle log goes to stderr as JSON
+    # lines (one object per line, correlated by request_id), unless
+    # the operator opted out.
+    if not args.no_log:
+        configure_json_logging(sys.stderr)
     # The ready line goes to stdout (scripts parse it for the real
     # port); the stopped summary to stderr so it never mixes in.
     return run_server(
@@ -356,6 +364,25 @@ def _cmd_status(args: argparse.Namespace) -> int:
             payload = client.stats()
     print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve.errors import ServiceError
+    from repro.serve.top import run_top
+
+    try:
+        with _client(args) as client:  # type: ignore[attr-defined]
+            code = run_top(
+                client,
+                interval_s=args.interval,
+                iterations=1 if args.once else None,
+            )
+            if code == 0 and args.metrics:
+                print(client.metrics(), end="")
+            return code
+    except (OSError, ServiceError) as error:
+        print(f"service unreachable: {error}", file=sys.stderr)
+        return 3
 
 
 def _add_client_args(parser: argparse.ArgumentParser) -> None:
@@ -606,6 +633,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for queue persistence across restarts",
     )
+    serve.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable live telemetry (rolling latency windows and the "
+        "metrics/health ops degrade gracefully); the zero-overhead "
+        "configuration",
+    )
+    serve.add_argument(
+        "--no-log",
+        action="store_true",
+        help="suppress the structured JSON log lines on stderr",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -642,6 +681,28 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("job_id", nargs="?", default=None)
     _add_client_args(status)
     status.set_defaults(func=_cmd_status)
+
+    top = sub.add_parser(
+        "top", help="live dashboard of a running service (stats + health)"
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one frame and exit (scripting/CI)",
+    )
+    top.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also dump the raw OpenMetrics exposition after the frame",
+    )
+    _add_client_args(top)
+    top.set_defaults(func=_cmd_top)
 
     return parser
 

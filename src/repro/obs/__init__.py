@@ -9,7 +9,13 @@ The package gives the planning engine one instrumentation surface:
 * :mod:`repro.obs.context` -- the global enable/disable switchboard and
   the no-op-when-disabled helpers hot paths call;
 * :mod:`repro.obs.report` -- the exportable :class:`RunReport` artifact
-  attached to ``PlanResult.report`` and rendered by ``repro-soc report``.
+  attached to ``PlanResult.report`` and rendered by ``repro-soc report``;
+* :mod:`repro.obs.logging` -- structured JSON log records with a
+  contextvar-carried request id, bridged into stdlib ``logging``;
+* :mod:`repro.obs.window` -- sliding-window rate/quantile estimators
+  (rolling p50/p95/p99 for live services);
+* :mod:`repro.obs.expo` -- OpenMetrics/Prometheus text exposition of a
+  registry snapshot (the serve ``metrics`` op).
 
 Quick start::
 
@@ -39,8 +45,23 @@ from repro.obs.context import (
     set_gauge,
     span,
 )
+from repro.obs.expo import (
+    parse_openmetrics,
+    render_openmetrics,
+    sanitize_metric_name,
+)
+from repro.obs.logging import (
+    JsonLineFormatter,
+    StructuredLogger,
+    bind_request_id,
+    configure_json_logging,
+    current_request_id,
+    get_logger,
+    new_request_id,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -55,6 +76,7 @@ from repro.obs.report import (
     session_report,
 )
 from repro.obs.trace import Span, Tracer, chrome_trace, write_chrome_trace
+from repro.obs.window import SlidingWindow, WindowRegistry
 
 __all__ = [
     "ENV_OBS",
@@ -71,11 +93,24 @@ __all__ = [
     "set_gauge",
     "span",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
+    "JsonLineFormatter",
     "MetricsRegistry",
+    "SlidingWindow",
+    "StructuredLogger",
+    "WindowRegistry",
+    "bind_request_id",
+    "configure_json_logging",
+    "current_request_id",
     "default_registry",
+    "get_logger",
+    "new_request_id",
+    "parse_openmetrics",
+    "render_openmetrics",
+    "sanitize_metric_name",
     "REPORT_SCHEMA_VERSION",
     "RunReport",
     "build_run_report",

@@ -1,0 +1,147 @@
+"""OpenMetrics / Prometheus text exposition of a metrics snapshot.
+
+Renders a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` as the
+OpenMetrics text format (the Prometheus exposition format plus the
+``# EOF`` terminator), so any standard scraper -- or a human with
+``curl`` -- can read the serve ``metrics`` op:
+
+* counters become ``<prefix>_<name>_total`` with ``# TYPE ... counter``;
+* gauges become ``<prefix>_<name>`` with ``# TYPE ... gauge``;
+* histograms become the conventional triplet: cumulative
+  ``_bucket{le="..."}`` series (including the ``+Inf`` overflow),
+  ``_sum``, and ``_count``.
+
+Metric names are sanitized to the OpenMetrics grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``): the registry's dotted names
+(``serve.jobs_completed``) map to underscores
+(``repro_serve_jobs_completed_total``).  The mapping is lossy by
+design -- two dotted names that collide after sanitization would merge,
+so instrument names should stay within ``[a-z0-9._]`` (every name in
+this codebase does).
+
+This module renders; it does not serve HTTP.  The planning service
+exposes the text through its own line-JSON protocol (the ``metrics``
+op), which keeps the stdlib-only transport story intact; an HTTP
+scrape bridge is a dozen lines on top of
+:meth:`ServiceClient.metrics <repro.serve.client.ServiceClient.metrics>`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Mapping
+
+#: Content type a conforming HTTP bridge should declare.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a registry name onto the OpenMetrics name grammar."""
+    cleaned = _NAME_OK.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    """Canonical number rendering (integers without a trailing .0)."""
+    number = float(value)
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _format_le(boundary: float) -> str:
+    return _format_value(boundary)
+
+
+def render_openmetrics(
+    snapshot: Mapping[str, Any],
+    *,
+    prefix: str = "repro",
+    help_text: Mapping[str, str] | None = None,
+) -> str:
+    """Render a metrics snapshot as OpenMetrics text.
+
+    ``snapshot`` is the JSON-ready dict
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` produces
+    (``{"counters": ..., "gauges": ..., "histograms": ...}``).
+    ``help_text`` optionally maps *registry* names (pre-sanitization,
+    without the prefix) to ``# HELP`` strings.  Output is
+    deterministic: families are sorted by name within each type.
+    """
+    helps = dict(help_text or {})
+    lines: list[str] = []
+
+    def family(name: str) -> str:
+        base = sanitize_metric_name(name)
+        return f"{sanitize_metric_name(prefix)}_{base}" if prefix else base
+
+    def emit_help(name: str, exposed: str) -> None:
+        text = helps.get(name)
+        if text:
+            escaped = text.replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {exposed} {escaped}")
+
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        exposed = f"{family(name)}_total"
+        emit_help(name, exposed)
+        lines.append(f"# TYPE {exposed} counter")
+        lines.append(f"{exposed} {_format_value(value)}")
+
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        exposed = family(name)
+        emit_help(name, exposed)
+        lines.append(f"# TYPE {exposed} gauge")
+        lines.append(f"{exposed} {_format_value(value)}")
+
+    for name, data in sorted(snapshot.get("histograms", {}).items()):
+        exposed = family(name)
+        emit_help(name, exposed)
+        lines.append(f"# TYPE {exposed} histogram")
+        cumulative = 0
+        for boundary, count in zip(data["boundaries"], data["counts"]):
+            cumulative += int(count)
+            lines.append(
+                f'{exposed}_bucket{{le="{_format_le(boundary)}"}} '
+                f"{cumulative}"
+            )
+        cumulative += int(data["counts"][-1])
+        lines.append(f'{exposed}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{exposed}_sum {_format_value(data['sum'])}")
+        lines.append(f"{exposed}_count {int(data['count'])}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def parse_openmetrics(text: str) -> dict[str, float]:
+    """Parse exposition text back to ``{series: value}`` (tests, top).
+
+    Series keys keep their label part verbatim
+    (``repro_serve_job_seconds_bucket{le="0.5"}``).  Comment lines and
+    the ``# EOF`` terminator are skipped.  This is a convenience for
+    this repo's tooling, not a general OpenMetrics parser.
+    """
+    series: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        if not name:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        series[name] = float(value)
+    return series
+
+
+__all__ = [
+    "OPENMETRICS_CONTENT_TYPE",
+    "parse_openmetrics",
+    "render_openmetrics",
+    "sanitize_metric_name",
+]

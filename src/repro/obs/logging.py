@@ -1,0 +1,230 @@
+"""Structured service logging with request correlation.
+
+The offline observability stack (:mod:`repro.obs.trace` /
+:mod:`repro.obs.report`) answers "what did that run do"; a long-lived
+service also needs "what is happening right now", greppable and
+machine-parseable.  This module provides that layer on top of stdlib
+``logging`` -- library code never prints (pinned by
+``tests/test_no_library_prints.py``); it emits structured events that a
+service process renders as JSON lines and an embedded library caller
+can ignore entirely (the ``repro`` logger carries a ``NullHandler``, so
+unconfigured processes stay silent).
+
+Correlation
+-----------
+Every log record carries the **request id** bound in the current
+:mod:`contextvars` context.  The serve path binds one per protocol
+request (:func:`bind_request_id`), so a single client submission is one
+greppable thread through client, server, queue, and worker logs -- and
+the same id tags the request's spans, which is what stitches the
+cross-process trace together (see ``docs/observability.md``).
+
+Usage::
+
+    from repro.obs.logging import bind_request_id, get_logger
+
+    log = get_logger("repro.serve.service")
+
+    with bind_request_id("req-4f2a9c"):
+        log.info("job-dispatched", job_id=job.id, design="d695")
+
+A service front end calls :func:`configure_json_logging` once to
+render every ``repro.*`` record as one JSON object per line::
+
+    {"ts": 1723045192.113, "level": "info", "logger": "repro.serve.service",
+     "event": "job-dispatched", "request_id": "req-4f2a9c",
+     "job_id": "job-e01b", "design": "d695"}
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import logging
+import sys
+import uuid
+from contextlib import contextmanager
+from typing import Any, Iterator, TextIO
+
+#: The contextvar carrying the current request id ("" when unbound).
+_REQUEST_ID: contextvars.ContextVar[str] = contextvars.ContextVar(
+    "repro_request_id", default=""
+)
+
+#: Attribute name structured fields travel under on a ``LogRecord``.
+_FIELDS_ATTR = "repro_fields"
+
+#: Root logger of the whole library; attaching a NullHandler here keeps
+#: unconfigured embedders silent (no ``lastResort`` stderr spill).
+ROOT_LOGGER_NAME = "repro"
+
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def new_request_id() -> str:
+    """A fresh correlation id (``req-`` + 12 hex chars)."""
+    return f"req-{uuid.uuid4().hex[:12]}"
+
+
+def current_request_id() -> str:
+    """The request id bound in this context ("" when none is)."""
+    return _REQUEST_ID.get()
+
+
+@contextmanager
+def bind_request_id(request_id: str) -> Iterator[str]:
+    """Bind ``request_id`` for the duration of the ``with`` block.
+
+    Bindings nest and are restored on exit; an empty id is replaced by
+    a freshly minted one, so callers can bind unconditionally.
+    """
+    rid = request_id or new_request_id()
+    token = _REQUEST_ID.set(rid)
+    try:
+        yield rid
+    finally:
+        _REQUEST_ID.reset(token)
+
+
+class StructuredLogger:
+    """Thin event-logging facade over one stdlib logger.
+
+    Methods take an **event name** (short, kebab-case, stable -- the
+    greppable key) plus free-form keyword fields.  Rendering is the
+    handler's business: under :class:`JsonLineFormatter` the record
+    becomes one JSON object; under any ordinary formatter the message
+    reads ``event key=value ...``.
+    """
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    @property
+    def stdlib(self) -> logging.Logger:
+        """The wrapped :class:`logging.Logger` (for handler wiring)."""
+        return self._logger
+
+    def _emit(self, level: int, event: str, fields: dict[str, Any]) -> None:
+        if not self._logger.isEnabledFor(level):
+            return
+        rid = _REQUEST_ID.get()
+        message = event
+        if fields:
+            rendered = " ".join(f"{k}={v!r}" for k, v in fields.items())
+            message = f"{event} {rendered}"
+        extra = {_FIELDS_ATTR: {"event": event, "request_id": rid, **fields}}
+        self._logger.log(level, message, extra=extra)
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._emit(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._emit(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._emit(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._emit(logging.ERROR, event, fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The structured logger for ``name`` (a ``repro.*`` module path)."""
+    return StructuredLogger(logging.getLogger(name))
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Render each record as one JSON object per line.
+
+    Structured records (emitted through :class:`StructuredLogger`)
+    contribute their event name and fields verbatim; plain records
+    (e.g. the pipeline's run-event mirror) land with their formatted
+    message under ``"event": "log"`` so one stream carries both.
+    Non-JSON-serializable field values degrade to ``repr`` rather than
+    failing the log call.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+        }
+        fields = getattr(record, _FIELDS_ATTR, None)
+        if fields is None:
+            payload["event"] = "log"
+            payload["request_id"] = _REQUEST_ID.get()
+            payload["message"] = record.getMessage()
+        else:
+            payload.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = repr(record.exc_info[1])
+        return json.dumps(payload, sort_keys=False, default=repr)
+
+
+def configure_json_logging(
+    stream: TextIO | None = None,
+    *,
+    level: int = logging.INFO,
+    logger_name: str = ROOT_LOGGER_NAME,
+) -> logging.Handler:
+    """Attach a JSON-lines handler to the ``repro`` logger tree.
+
+    Idempotent per stream: calling again for a stream that already has
+    a JSON handler returns the existing one (so repeated ``serve``
+    invocations in one process never double-log).  Returns the handler
+    so callers (tests, shutdown paths) can detach it with
+    :func:`remove_json_logging`.
+    """
+    target = stream if stream is not None else sys.stderr
+    logger = logging.getLogger(logger_name)
+    for handler in logger.handlers:
+        if (
+            isinstance(handler, logging.StreamHandler)
+            and isinstance(handler.formatter, JsonLineFormatter)
+            and handler.stream is target
+        ):
+            handler.setLevel(level)
+            logger.setLevel(min(logger.level or level, level))
+            return handler
+    handler = logging.StreamHandler(target)
+    handler.setLevel(level)
+    handler.setFormatter(JsonLineFormatter())
+    logger.addHandler(handler)
+    if logger.level == logging.NOTSET or logger.level > level:
+        logger.setLevel(level)
+    return handler
+
+
+def remove_json_logging(
+    handler: logging.Handler, *, logger_name: str = ROOT_LOGGER_NAME
+) -> None:
+    """Detach a handler :func:`configure_json_logging` installed."""
+    logging.getLogger(logger_name).removeHandler(handler)
+
+
+def parse_json_log_line(line: str) -> dict[str, Any]:
+    """Parse one JSON log line back to its payload (tests, ``top``).
+
+    Raises :class:`ValueError` on lines that are not JSON objects, so
+    callers can skip interleaved non-log output explicitly.
+    """
+    data = json.loads(line)
+    if not isinstance(data, dict):
+        raise ValueError(f"log line is not an object: {line!r}")
+    return data
+
+
+__all__ = [
+    "JsonLineFormatter",
+    "StructuredLogger",
+    "bind_request_id",
+    "configure_json_logging",
+    "current_request_id",
+    "get_logger",
+    "new_request_id",
+    "parse_json_log_line",
+    "remove_json_logging",
+]

@@ -51,6 +51,29 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
     60.0,
 )
 
+#: Latency-tuned boundaries, in seconds: a finer low-millisecond ramp
+#: for service request/job latencies, where the default engine buckets
+#: are too coarse to separate a 2 ms dedup hit from a 40 ms plan.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    120.0,
+)
+
 
 class Counter:
     """A monotonically increasing total."""
@@ -104,6 +127,43 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile by linear in-bucket interpolation.
+
+        The standard bucketed estimate (what Prometheus's
+        ``histogram_quantile`` computes): find the bucket the target
+        rank falls in, then interpolate linearly between its bounds,
+        assuming observations spread uniformly inside the bucket.
+
+        Edge conventions, pinned by tests:
+
+        * an **empty** histogram returns ``0.0``;
+        * a rank in the **first** bucket interpolates from ``0.0`` to
+          its upper boundary (observations are assumed non-negative,
+          which every duration/latency metric in this codebase is);
+        * a rank in the **overflow** bucket returns the last finite
+          boundary -- the histogram cannot see past it, so it reports
+          the largest value it can certify (again the Prometheus
+          convention).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if i == len(self.boundaries):
+                return self.boundaries[-1]  # overflow bucket
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                lower = self.boundaries[i - 1] if i else 0.0
+                upper = self.boundaries[i]
+                fraction = (rank - previous) / bucket_count
+                return lower + (upper - lower) * fraction
+        return self.boundaries[-1]  # pragma: no cover - defensive
 
 
 class MetricsRegistry:

@@ -1,0 +1,259 @@
+"""Sliding-window rate and quantile estimators for live telemetry.
+
+A :class:`~repro.obs.metrics.Histogram` accumulates forever -- exactly
+right for a run report, useless for "what is the p99 *right now*" on a
+service that has been up for a week.  :class:`SlidingWindow` keeps the
+raw ``(timestamp, value)`` samples of the last ``horizon_s`` seconds
+and derives rolling statistics from them on demand:
+
+* **rate** -- samples per second over the window;
+* **quantile(q)** -- exact order statistic with linear interpolation
+  between adjacent samples (not bucketed: within the window the raw
+  values are retained, so the estimate has no bucket-resolution floor);
+* **summary()** -- the JSON-ready bundle the serve ``health`` op ships
+  (count, rate, p50/p95/p99, mean, max).
+
+Memory is bounded twice: samples older than the horizon are pruned on
+every touch, and ``max_samples`` caps the deque (overflow drops the
+*oldest* samples first, biasing the window toward recent traffic --
+the right bias for a live dashboard, and documented here so nobody
+mistakes the result for an exact horizon under overload).
+
+Like :class:`~repro.obs.metrics.MetricsRegistry`, windows are
+merge-safe across processes: :meth:`snapshot` is a plain JSON-ready
+dict and :meth:`merge` folds a snapshot's samples in, so a worker can
+ship its window alongside its results.  :class:`WindowRegistry` is the
+named bag the service owns, mirroring the metrics-registry API.
+
+All methods take an optional ``now`` (epoch seconds) so tests are
+deterministic; production callers omit it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Mapping
+
+#: Default rolling horizon, seconds.
+DEFAULT_HORIZON_S = 60.0
+
+#: Default cap on retained samples per window.
+DEFAULT_MAX_SAMPLES = 8192
+
+#: The quantiles ``summary`` reports, as (label, q) pairs.
+SUMMARY_QUANTILES: tuple[tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p95", 0.95),
+    ("p99", 0.99),
+)
+
+
+class SlidingWindow:
+    """Rolling samples over the last ``horizon_s`` seconds."""
+
+    __slots__ = ("horizon_s", "max_samples", "_samples", "_lock")
+
+    def __init__(
+        self,
+        horizon_s: float = DEFAULT_HORIZON_S,
+        *,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+    ) -> None:
+        if horizon_s <= 0:
+            raise ValueError(f"horizon_s must be positive, got {horizon_s}")
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.horizon_s = float(horizon_s)
+        self.max_samples = int(max_samples)
+        self._samples: deque[tuple[float, float]] = deque(
+            maxlen=self.max_samples
+        )
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def _prune(self, now: float) -> None:
+        cutoff = now - self.horizon_s
+        samples = self._samples
+        while samples and samples[0][0] < cutoff:
+            samples.popleft()
+
+    def observe(self, value: float, now: float | None = None) -> None:
+        """Record one sample (timestamped ``now`` or wall clock)."""
+        stamp = time.time() if now is None else float(now)
+        with self._lock:
+            self._prune(stamp)
+            self._samples.append((stamp, float(value)))
+
+    def _values(self, now: float | None) -> list[float]:
+        stamp = time.time() if now is None else float(now)
+        with self._lock:
+            self._prune(stamp)
+            return [value for _, value in self._samples]
+
+    # ------------------------------------------------------------------
+
+    def count(self, now: float | None = None) -> int:
+        """Samples currently inside the window."""
+        return len(self._values(now))
+
+    def rate(self, now: float | None = None) -> float:
+        """Samples per second over the horizon."""
+        return len(self._values(now)) / self.horizon_s
+
+    def quantile(self, q: float, now: float | None = None) -> float:
+        """The q-quantile of in-window values (0 with no samples).
+
+        Exact order statistics with linear interpolation between the
+        two adjacent samples, the standard ``(n - 1) * q`` positional
+        definition.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        values = sorted(self._values(now))
+        if not values:
+            return 0.0
+        position = (len(values) - 1) * q
+        lower = int(position)
+        upper = min(lower + 1, len(values) - 1)
+        fraction = position - lower
+        return values[lower] + (values[upper] - values[lower]) * fraction
+
+    def mean(self, now: float | None = None) -> float:
+        values = self._values(now)
+        return sum(values) / len(values) if values else 0.0
+
+    def summary(self, now: float | None = None) -> dict[str, float]:
+        """The JSON-ready rolling bundle (health op / dashboards)."""
+        values = sorted(self._values(now))
+        count = len(values)
+        result: dict[str, float] = {
+            "count": count,
+            "rate_per_s": round(count / self.horizon_s, 4),
+            "mean": round(sum(values) / count, 6) if count else 0.0,
+            "max": values[-1] if count else 0.0,
+        }
+        for label, q in SUMMARY_QUANTILES:
+            if not count:
+                result[label] = 0.0
+                continue
+            position = (count - 1) * q
+            lower = int(position)
+            upper = min(lower + 1, count - 1)
+            fraction = position - lower
+            result[label] = round(
+                values[lower] + (values[upper] - values[lower]) * fraction, 6
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Snapshot / merge: the cross-process protocol.
+    # ------------------------------------------------------------------
+
+    def snapshot(self, now: float | None = None) -> dict[str, Any]:
+        """JSON-ready dump of the window's live samples."""
+        stamp = time.time() if now is None else float(now)
+        with self._lock:
+            self._prune(stamp)
+            return {
+                "horizon_s": self.horizon_s,
+                "samples": [[t, v] for t, v in self._samples],
+            }
+
+    def merge(
+        self, snapshot: Mapping[str, Any], now: float | None = None
+    ) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker) into this window.
+
+        Samples already outside this window's horizon are dropped; the
+        horizons themselves need not match (each window prunes by its
+        own).  Sample order within the deque is kept chronological so
+        pruning stays correct.
+        """
+        stamp = time.time() if now is None else float(now)
+        incoming = [
+            (float(t), float(v)) for t, v in snapshot.get("samples", ())
+        ]
+        if not incoming:
+            return
+        with self._lock:
+            self._prune(stamp)
+            merged = sorted(
+                list(self._samples) + incoming, key=lambda sample: sample[0]
+            )
+            self._samples = deque(merged, maxlen=self.max_samples)
+            self._prune(stamp)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+
+class WindowRegistry:
+    """A named bag of :class:`SlidingWindow`, mirroring MetricsRegistry.
+
+    Creation parameters are fixed on first access, like histogram
+    boundaries: asking for an existing name with a different horizon
+    returns the existing window (the first caller owns the shape).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._windows: dict[str, SlidingWindow] = {}
+
+    def window(
+        self,
+        name: str,
+        horizon_s: float = DEFAULT_HORIZON_S,
+        *,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+    ) -> SlidingWindow:
+        existing = self._windows.get(name)
+        if existing is None:
+            with self._lock:
+                existing = self._windows.setdefault(
+                    name,
+                    SlidingWindow(horizon_s, max_samples=max_samples),
+                )
+        return existing
+
+    def observe(
+        self, name: str, value: float, now: float | None = None
+    ) -> None:
+        self.window(name).observe(value, now)
+
+    def summaries(self, now: float | None = None) -> dict[str, dict[str, float]]:
+        """``summary()`` of every window, keyed by name (JSON-ready)."""
+        with self._lock:
+            windows = dict(self._windows)
+        return {
+            name: window.summary(now) for name, window in sorted(windows.items())
+        }
+
+    def snapshot(self, now: float | None = None) -> dict[str, Any]:
+        with self._lock:
+            windows = dict(self._windows)
+        return {name: window.snapshot(now) for name, window in windows.items()}
+
+    def merge(
+        self, snapshot: Mapping[str, Any], now: float | None = None
+    ) -> None:
+        for name, data in snapshot.items():
+            self.window(
+                name, float(data.get("horizon_s", DEFAULT_HORIZON_S))
+            ).merge(data, now)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._windows.clear()
+
+
+__all__ = [
+    "DEFAULT_HORIZON_S",
+    "DEFAULT_MAX_SAMPLES",
+    "SUMMARY_QUANTILES",
+    "SlidingWindow",
+    "WindowRegistry",
+]

@@ -17,6 +17,11 @@ Serial execution is the default on purpose: results are bit-identical
 either way (every worker is deterministic in its inputs), but spawning
 processes costs real time for small workloads, so parallelism is an
 explicit opt-in.
+
+Every degradation path raises a :class:`RuntimeWarning` (so callers
+can ``filterwarnings`` on it) *and* emits a structured log record
+through :mod:`repro.obs.logging` (so a long-lived service's JSON log
+captures the event with its request correlation id).
 """
 
 from __future__ import annotations
@@ -27,7 +32,11 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.obs.logging import get_logger
+
 ENV_JOBS = "REPRO_JOBS"
+
+_LOG = get_logger("repro.parallel")
 
 #: Ceiling on any worker count this module will resolve.  A request
 #: beyond it is always a mistake (a typo'd ``REPRO_JOBS=1000000`` would
@@ -62,6 +71,7 @@ def resolve_jobs(jobs: int | None = None) -> int:
                 RuntimeWarning,
                 stacklevel=2,
             )
+            _LOG.warning("jobs-env-ignored", value=raw, fallback=1)
             return 1
     if jobs > MAX_JOBS:
         warnings.warn(
@@ -69,6 +79,9 @@ def resolve_jobs(jobs: int | None = None) -> int:
             "running serially",
             RuntimeWarning,
             stacklevel=2,
+        )
+        _LOG.warning(
+            "jobs-implausible", requested=int(jobs), max=MAX_JOBS, fallback=1
         )
         return 1
     if jobs <= 0:
@@ -102,5 +115,11 @@ def parallel_map(
             f"process pool unavailable ({exc!r}); falling back to serial",
             RuntimeWarning,
             stacklevel=2,
+        )
+        _LOG.warning(
+            "pool-unavailable",
+            error=repr(exc),
+            workers=workers,
+            items=len(work),
         )
         return [fn(item) for item in work]

@@ -13,8 +13,16 @@ feeds it a stream of co-optimization requests:
 * :mod:`repro.serve.service` -- :class:`PlanningService`, the asyncio
   orchestrator (dedup, retry with backoff, graceful shutdown with
   queue persistence, :mod:`repro.obs` integration);
+* :mod:`repro.serve.telemetry` -- :class:`ServiceTelemetry`, the
+  always-on live instrument layer behind the ``metrics``/``health``
+  ops (rolling latency windows, OpenMetrics exposition);
 * :mod:`repro.serve.server` / :mod:`repro.serve.client` -- the TCP
   front end (``repro-soc serve``) and the blocking Python client.
+
+Every request carries a transport-level correlation id
+(``request_id``): structured log records, spans on both sides of the
+process boundary, and worker-subprocess spans merged back into the
+parent all share it, stitching one cross-process trace per request.
 
 Results delivered through the service are bit-identical to calling the
 :class:`~repro.pipeline.pipeline.Pipeline` directly (differentially
@@ -43,6 +51,7 @@ from repro.serve.server import (
     run_server,
 )
 from repro.serve.service import PlanningService, ServiceSettings
+from repro.serve.telemetry import ServiceTelemetry, health_view
 from repro.serve.client import ServiceClient, SubmitTicket, connect_with_retry
 
 __all__ = [
@@ -64,10 +73,12 @@ __all__ = [
     "ServiceError",
     "ServiceServer",
     "ServiceSettings",
+    "ServiceTelemetry",
     "ShuttingDown",
     "SubmitTicket",
     "WorkerCrashed",
     "WorkerError",
     "connect_with_retry",
+    "health_view",
     "run_server",
 ]

@@ -22,6 +22,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Mapping
 
+from repro import obs
+from repro.obs.logging import current_request_id, new_request_id
 from repro.pipeline.config import RunConfig
 from repro.pipeline.result import PlanResult
 from repro.serve.errors import (
@@ -54,6 +56,10 @@ class SubmitTicket:
     job_id: str
     state: str
     deduped: bool
+    #: Correlation id of the job's trace.  For a deduped submission
+    #: this is the *original* submission's id -- the trace this one
+    #: joined -- not the id this client sent.
+    request_id: str = ""
 
 
 class ServiceClient:
@@ -162,23 +168,38 @@ class ServiceClient:
         priority: int = 0,
         timeout_s: float | None = None,
         fault: Mapping[str, Any] | None = None,
+        request_id: str | None = None,
     ) -> SubmitTicket:
+        """Submit one plan request.
+
+        ``request_id`` correlates the submission across the client,
+        service, and worker (logs and spans all carry it).  When not
+        given, the contextvar-bound id is used if one is set
+        (:func:`repro.obs.logging.bind_request_id`), else a fresh id
+        is minted per submission.
+        """
+        rid = request_id or current_request_id() or new_request_id()
         message: dict[str, Any] = {
             "op": "submit",
             "design": design,
             "width": int(width),
             "config": (config or RunConfig()).to_dict(),
             "priority": int(priority),
+            "request_id": rid,
         }
         if timeout_s is not None:
             message["timeout_s"] = float(timeout_s)
         if fault:
             message["fault"] = dict(fault)
-        response = self._request(message)
+        with obs.span(
+            "client/submit", design=design, width=int(width), request_id=rid
+        ):
+            response = self._request(message)
         return SubmitTicket(
             job_id=str(response["job_id"]),
             state=str(response["state"]),
             deduped=bool(response["deduped"]),
+            request_id=str(response.get("request_id", rid)),
         )
 
     def status(self, job_id: str) -> dict[str, Any]:
@@ -186,6 +207,14 @@ class ServiceClient:
 
     def stats(self) -> dict[str, Any]:
         return dict(self._request({"op": "stats"})["stats"])
+
+    def metrics(self) -> str:
+        """The service's OpenMetrics exposition text."""
+        return str(self._request({"op": "metrics"})["metrics"])
+
+    def health(self) -> dict[str, Any]:
+        """The service's liveness / rolling-latency / error-budget view."""
+        return dict(self._request({"op": "health"})["health"])
 
     def cancel(self, job_id: str) -> dict[str, Any]:
         return self._request({"op": "cancel", "job_id": job_id})
@@ -214,7 +243,8 @@ class ServiceClient:
         )
         if wait and socket_budget is None:
             socket_budget = 3600.0  # an unbounded wait still needs an end
-        response = self._request(message, timeout_s=socket_budget)
+        with obs.span("client/result", job=job_id, wait=wait):
+            response = self._request(message, timeout_s=socket_budget)
         return dict(response["result"])
 
     def fetch_plan(

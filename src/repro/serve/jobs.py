@@ -69,6 +69,12 @@ class Job:
     finished_at: float | None = None
     #: How many submissions this job absorbed beyond the first.
     coalesced: int = 0
+    #: Correlation id of the submission that *created* the job (dedup
+    #: hits keep the original's id -- the trace belongs to the job, not
+    #: to each coalesced submission).  Transport-level on purpose: it
+    #: lives here and on the wire, never on :class:`PlanRequest`, so it
+    #: can never leak into the dedup fingerprint.
+    request_id: str = ""
 
     def __post_init__(self) -> None:
         self.fingerprint = self.request.fingerprint()
@@ -205,6 +211,7 @@ class JobQueue:
                 "job_id": job.id,
                 "submitted_at": job.submitted_at,
                 "request": job.request.to_dict(),
+                "request_id": job.request_id,
             }
             for _, _, job in ordered
         ]

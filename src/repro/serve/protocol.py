@@ -199,6 +199,7 @@ def job_brief(job: Any) -> dict[str, Any]:
         "submitted_at": job.submitted_at,
         "started_at": job.started_at,
         "finished_at": job.finished_at,
+        "request_id": getattr(job, "request_id", ""),
     }
     if job.error is not None:
         brief["message"] = job.error

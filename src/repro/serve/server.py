@@ -13,7 +13,17 @@ Operations::
     result   job_id [wait] [timeout_s]   fetch (optionally await) a result
     cancel   job_id               cancel queued / flag running
     stats                         queue depth, counters, load hints
+    metrics                       OpenMetrics exposition text
+    health                        liveness, rolling latency, error budget
     shutdown [drain]              drain and stop the server
+
+Every request is correlated: the server adopts the client's
+``request_id`` field (minting one when absent) and binds it for the
+duration of the dispatch, so every structured log record and span the
+request causes carries it.  Responses that name a job report the
+*job's* correlation id -- for a dedup hit that is the original
+submission's id, i.e. the trace this submission joined; every other
+response echoes the caller's id.
 
 ``SIGTERM``/``SIGINT`` trigger the same graceful path as the
 ``shutdown`` op: stop accepting, drain in-flight jobs, persist the
@@ -28,6 +38,8 @@ import os
 import signal
 from typing import Any, Callable
 
+from repro import obs
+from repro.obs.logging import bind_request_id, current_request_id, get_logger
 from repro.serve.errors import ServiceError
 from repro.serve.jobs import JobState
 from repro.serve.protocol import (
@@ -40,6 +52,8 @@ from repro.serve.protocol import (
     ok_response,
 )
 from repro.serve.service import PlanningService, designs_catalog
+
+_LOG = get_logger("repro.serve.server")
 
 #: Default TCP port of `repro-soc serve` (clients share the constant).
 DEFAULT_HOST = "127.0.0.1"
@@ -108,6 +122,7 @@ class ServiceServer:
             "protocol": PROTOCOL_VERSION,
             "workers": self.service.workers,
             "isolation": self.service.settings.isolation,
+            "telemetry": self.service.telemetry.enabled,
         }
 
     # ------------------------------------------------------------------
@@ -144,11 +159,28 @@ class ServiceServer:
     async def _respond(self, line: bytes) -> dict[str, Any]:
         try:
             message = decode_message(line)
-            return await self._dispatch(message)
         except ServiceError as error:
+            self.service.telemetry.count("requests")
+            self.service.telemetry.count("request_errors")
             return dict(error.to_payload(), v=PROTOCOL_VERSION)
-        except Exception as error:  # never let a defect kill the reader
-            return error_response("internal", repr(error))
+        rid = str(message.get("request_id") or "")
+        with bind_request_id(rid) as bound:
+            self.service.telemetry.count("requests")
+            try:
+                response = await self._dispatch(message)
+            except ServiceError as error:
+                response = dict(error.to_payload(), v=PROTOCOL_VERSION)
+            except Exception as error:  # never let a defect kill the reader
+                _LOG.error(
+                    "request-failed",
+                    op=str(message.get("op")),
+                    error=repr(error),
+                )
+                response = error_response("internal", repr(error))
+            if not response.get("ok", False):
+                self.service.telemetry.count("request_errors")
+            response.setdefault("request_id", bound)
+            return response
 
     async def _dispatch(self, message: dict[str, Any]) -> dict[str, Any]:
         op = message.get("op")
@@ -167,6 +199,10 @@ class ServiceServer:
             return ok_response(**job_brief(job))
         if op == "stats":
             return ok_response(stats=self.service.stats())
+        if op == "metrics":
+            return ok_response(metrics=self.service.metrics_text())
+        if op == "health":
+            return ok_response(health=self.service.health())
         if op == "shutdown":
             drain = bool(message.get("drain", True))
             self.request_stop(drain=drain)
@@ -186,7 +222,16 @@ class ServiceServer:
 
     def _op_submit(self, message: dict[str, Any]) -> dict[str, Any]:
         request = PlanRequest.from_dict(message)
-        job, deduped = self.service.submit(request)
+        rid = current_request_id()
+        # Synchronous op, so a span on the loop thread cannot interleave
+        # with another task's (the tracer's span stack is thread-local).
+        with obs.span(
+            "serve/submit",
+            design=request.design,
+            width=request.width,
+            request_id=rid,
+        ):
+            job, deduped = self.service.submit(request, request_id=rid)
         return ok_response(deduped=deduped, **job_brief(job))
 
     def _op_status(self, message: dict[str, Any]) -> dict[str, Any]:

@@ -18,12 +18,23 @@ asyncio event loop:
   jobs drain, and persists still-queued jobs to ``state_dir`` so a
   restarted service resubmits them.
 
-Everything the service observes is mirrored two ways: an authoritative
-plain-``dict`` counter set served by :meth:`stats` (always on -- the
-protocol's ``stats`` op must work without observability), and the
-:mod:`repro.obs` registry/tracer (``serve.jobs_*`` counters, the
-``serve.queue_depth`` gauge, one ``serve/attempt`` span per execution)
-when a context is enabled.
+Everything the service observes is mirrored three ways: an
+authoritative plain-``dict`` counter set served by :meth:`stats`
+(always on -- the protocol's ``stats`` op must work without
+observability), the service-owned :class:`ServiceTelemetry` layer
+backing the ``metrics``/``health`` ops (rolling latency windows,
+OpenMetrics exposition; disable with ``ServiceSettings.telemetry``),
+and the opt-in global :mod:`repro.obs` registry/tracer
+(``serve.jobs_*`` counters, the ``serve.queue_depth`` gauge, one
+``serve/attempt`` span per execution) when a context is enabled.
+
+Every job carries a transport-level **request id** minted at admission
+(or supplied by the client).  The id is bound to the job's task context
+(:func:`repro.obs.logging.bind_request_id`) so every structured log
+record of the job's lifecycle carries it, is injected into the worker
+payload so a telemetry-collecting subprocess stitches its spans into
+the same trace, and is echoed in every protocol response that mentions
+the job.
 """
 
 from __future__ import annotations
@@ -39,6 +50,7 @@ from pathlib import Path
 from typing import Any, Callable, Mapping
 
 from repro import obs
+from repro.obs.logging import bind_request_id, get_logger, new_request_id
 from repro.serve.errors import (
     BackpressureError,
     InvalidPlan,
@@ -51,14 +63,19 @@ from repro.serve.errors import (
 )
 from repro.serve.jobs import Job, JobQueue, JobState, QueueFull
 from repro.serve.protocol import PlanRequest
+from repro.serve.telemetry import ServiceTelemetry, health_view
 from repro.serve.worker import run_job_in_process, run_job_inline
 
 #: Persistence schema of the queue state file.
 STATE_SCHEMA_VERSION = 1
 STATE_FILENAME = "queue-state.json"
 
-#: Runner signature: (payload, timeout_s=..., should_cancel=...) -> json text.
-Runner = Callable[..., str]
+#: Runner signature: (payload, timeout_s=..., should_cancel=...) ->
+#: json text, or (json text, telemetry dict) when the payload asked
+#: for telemetry and the worker shipped spans/metrics out of band.
+Runner = Callable[..., Any]
+
+_LOG = get_logger("repro.serve.service")
 
 
 @dataclass(frozen=True)
@@ -85,6 +102,11 @@ class ServiceSettings:
     state_dir: str | None = None
     #: Finished jobs retained for ``status``/``result`` queries.
     history_limit: int = 256
+    #: Live telemetry (rolling windows, OpenMetrics exposition).  Off,
+    #: the ``metrics``/``health`` ops degrade gracefully (empty
+    #: exposition, no rolling block) and every recording call is an
+    #: early-out no-op -- the overhead-gate configuration.
+    telemetry: bool = True
 
     def __post_init__(self) -> None:
         if self.isolation not in ("process", "thread"):
@@ -119,6 +141,7 @@ class PlanningService:
         self._inflight: dict[str, Job] = {}
         self._finished_order: deque[str] = deque()
         self.counters: Counter[str] = Counter()
+        self.telemetry = ServiceTelemetry(enabled=self.settings.telemetry)
         self.started_at = time.time()
         self._job_seconds_total = 0.0
         if runner is not None:
@@ -147,6 +170,14 @@ class PlanningService:
             self._dispatch_loop(), name="repro-serve-dispatcher"
         )
         self._set_depth_gauge()
+        _LOG.info(
+            "service-started",
+            workers=self.workers,
+            isolation=self.settings.isolation,
+            max_depth=self.settings.max_depth,
+            telemetry=self.telemetry.enabled,
+            restored=restored,
+        )
         return restored
 
     async def shutdown(self, *, drain: bool = True) -> int:
@@ -170,21 +201,35 @@ class PlanningService:
             self._dispatcher = None
         if self._worker_tasks:
             await asyncio.gather(*self._worker_tasks, return_exceptions=True)
-        return self._persist_queue()
+        persisted = self._persist_queue()
+        _LOG.info(
+            "service-shutdown",
+            drain=drain,
+            persisted=persisted,
+            uptime_s=round(time.time() - self.started_at, 3),
+        )
+        return persisted
 
     # ------------------------------------------------------------------
     # Admission.
     # ------------------------------------------------------------------
 
-    def submit(self, request: PlanRequest) -> tuple[Job, bool]:
+    def submit(
+        self, request: PlanRequest, *, request_id: str | None = None
+    ) -> tuple[Job, bool]:
         """Accept, coalesce, or reject one plan request.
 
         Returns ``(job, deduped)``.  Raises :class:`BackpressureError`
         when the queue is full and :class:`ShuttingDown` once
-        :meth:`shutdown` has begun.
+        :meth:`shutdown` has begun.  ``request_id`` correlates the
+        job's logs/spans end to end; the service mints one when the
+        caller does not supply it.  A dedup hit keeps the *original*
+        job's id (the trace belongs to the computation, not to each
+        coalesced submission).
         """
         if not self._accepting:
             raise ShuttingDown("service is shutting down")
+        rid = request_id or new_request_id()
         fingerprint = request.fingerprint()
         existing = self._inflight.get(fingerprint)
         if existing is not None and not existing.state.terminal:
@@ -193,14 +238,28 @@ class PlanningService:
             obs.instant(
                 "serve/deduped", job=existing.id, design=request.design
             )
+            _LOG.debug(
+                "job-deduped",
+                job=existing.id,
+                design=request.design,
+                coalesced=existing.coalesced,
+                original_request_id=existing.request_id,
+            )
             return existing, True
         if self.queue.full:
             self._count("jobs_rejected")
+            retry_after = self.retry_after_estimate()
+            _LOG.warning(
+                "job-rejected",
+                design=request.design,
+                queue_depth=len(self.queue),
+                retry_after_s=retry_after,
+            )
             raise BackpressureError(
                 f"queue full ({len(self.queue)} pending jobs)",
-                retry_after=self.retry_after_estimate(),
+                retry_after=retry_after,
             )
-        job = Job(request=request)
+        job = Job(request=request, request_id=rid)
         job.done_event = asyncio.Event()
         try:
             self.queue.push(job)
@@ -214,6 +273,14 @@ class PlanningService:
         self._inflight[fingerprint] = job
         self._count("jobs_submitted")
         self._set_depth_gauge()
+        _LOG.info(
+            "job-submitted",
+            job=job.id,
+            design=request.design,
+            width=request.width,
+            priority=request.priority,
+            queue_depth=len(self.queue),
+        )
         return job, False
 
     def retry_after_estimate(self) -> float:
@@ -273,7 +340,27 @@ class PlanningService:
             "uptime_s": round(time.time() - self.started_at, 3),
             "counters": dict(self.counters),
             "retry_after_hint": self.retry_after_estimate(),
+            "telemetry": self.telemetry.enabled,
         }
+
+    def health(self) -> dict[str, Any]:
+        """The ``health`` op payload (see :func:`health_view`)."""
+        return health_view(
+            telemetry=self.telemetry,
+            counters=self.counters,
+            queue_depth=len(self.queue),
+            queue_capacity=self.settings.max_depth,
+            running=self.running_count(),
+            workers=self.workers,
+            accepting=self._accepting,
+            dispatcher_alive=self._dispatcher is not None
+            and not self._dispatcher.done(),
+            uptime_s=time.time() - self.started_at,
+        )
+
+    def metrics_text(self) -> str:
+        """The ``metrics`` op payload: OpenMetrics exposition text."""
+        return self.telemetry.openmetrics()
 
     # ------------------------------------------------------------------
     # Dispatch and execution.
@@ -299,6 +386,10 @@ class PlanningService:
             task.add_done_callback(self._worker_tasks.discard)
 
     async def _run_job(self, job: Job) -> None:
+        with bind_request_id(job.request_id):
+            await self._run_job_bound(job)
+
+    async def _run_job_bound(self, job: Job) -> None:
         request = job.request
         timeout_s = (
             request.timeout_s
@@ -307,6 +398,16 @@ class PlanningService:
         )
         job.mark_running()
         self._set_depth_gauge()
+        self._record_queue_wait(job)
+        _LOG.info(
+            "job-started",
+            job=job.id,
+            design=request.design,
+            width=request.width,
+            queued_s=round(
+                (job.started_at or job.submitted_at) - job.submitted_at, 6
+            ),
+        )
         try:
             attempts = self.settings.max_retries + 1
             for attempt in range(attempts):
@@ -371,33 +472,120 @@ class PlanningService:
                         seconds = job.finished_at - job.started_at
                         self._job_seconds_total += seconds
                         obs.observe("serve.job_seconds", seconds)
+                        self.telemetry.observe_execution(seconds)
                     break
         finally:
             if not job.state.terminal:  # defensive: never leave limbo
                 job.mark_failed("service-error", "attempt loop fell through")
                 self._count("jobs_failed")
+            if job.finished_at is not None:
+                self.telemetry.observe_turnaround(
+                    job.finished_at - job.submitted_at
+                )
             self._forget_inflight(job)
             self._remember_finished(job)
             self._slots.release()
             self._set_depth_gauge()
+            log = _LOG.info if job.state is JobState.DONE else _LOG.warning
+            log(
+                "job-finished",
+                job=job.id,
+                state=job.state.value,
+                attempts=job.attempts,
+                error_code=job.error_code,
+                seconds=round(
+                    (job.finished_at or 0.0) - (job.started_at or 0.0), 6
+                )
+                if job.started_at and job.finished_at
+                else None,
+            )
 
     def _execute_attempt(
         self, job: Job, attempt: int, timeout_s: float | None
     ) -> str:
-        """One blocking attempt; runs on a worker thread."""
+        """One blocking attempt; runs on a worker thread.
+
+        Under an enabled observability context the worker payload asks
+        the subprocess to collect telemetry; the spans it ships back
+        are re-rooted under this attempt's span path (stamped with the
+        job's request id), which is what stitches the client -> queue
+        -> worker trace into one hierarchy across process boundaries.
+        """
         payload = job.request.worker_payload(attempt)
+        payload["request_id"] = job.request_id
+        if obs.is_enabled():
+            payload["telemetry"] = True
         with obs.span(
             "serve/attempt",
             job=job.id,
             design=job.request.design,
             width=job.request.width,
             attempt=attempt,
+            request_id=job.request_id,
         ):
-            return self._runner(
+            outcome = self._runner(
                 payload,
                 timeout_s=timeout_s,
                 should_cancel=lambda: job.cancel_requested,
             )
+            if isinstance(outcome, tuple):
+                text, shipped = outcome
+                self._absorb_worker_telemetry(job, shipped)
+                return str(text)
+            return str(outcome)
+
+    def _record_queue_wait(self, job: Job) -> None:
+        """Retrospective ``serve/queued`` span (obs-enabled runs only).
+
+        The wait is only known once dispatch happens, so the span is
+        synthesized after the fact and merged rather than recorded by
+        a context manager wrapping the wait.
+        """
+        active = obs.current()
+        if active is None:
+            return
+        active.tracer.merge(
+            [
+                {
+                    "name": "serve/queued",
+                    "path": "serve/queued",
+                    "start": job.submitted_at,
+                    "end": job.started_at or time.time(),
+                    "attrs": {
+                        "job": job.id,
+                        "request_id": job.request_id,
+                        "design": job.request.design,
+                    },
+                    "pid": os.getpid(),
+                }
+            ]
+        )
+
+    def _absorb_worker_telemetry(
+        self, job: Job, shipped: Mapping[str, Any]
+    ) -> None:
+        """Merge a worker subprocess's spans/metrics into this process.
+
+        Called *inside* the ``serve/attempt`` span so
+        ``tracer.current_path()`` names the re-root point.  Every
+        incoming span gets the job's request id stamped into its
+        attributes (without overwriting one the worker set itself).
+        """
+        spans = list(shipped.get("spans") or [])
+        active = obs.current()
+        if active is not None and spans:
+            for span in spans:
+                span.setdefault("attrs", {}).setdefault(
+                    "request_id", job.request_id
+                )
+            active.tracer.merge(
+                spans, parent_path=active.tracer.current_path()
+            )
+        metrics = shipped.get("metrics") or {}
+        if metrics:
+            if active is not None:
+                active.registry.merge(metrics)
+            self.telemetry.merge_worker_metrics(metrics)
 
     # ------------------------------------------------------------------
     # Internal bookkeeping.
@@ -405,10 +593,13 @@ class PlanningService:
 
     def _count(self, name: str, amount: int = 1) -> None:
         self.counters[name] += amount
+        self.telemetry.count(name, amount)
         obs.inc(f"serve.{name}", amount)
 
     def _set_depth_gauge(self) -> None:
-        obs.set_gauge("serve.queue_depth", float(len(self.queue)))
+        depth = len(self.queue)
+        self.telemetry.set_queue_depth(depth)
+        obs.set_gauge("serve.queue_depth", float(depth))
 
     def _forget_inflight(self, job: Job) -> None:
         if self._inflight.get(job.fingerprint) is job:
@@ -486,7 +677,12 @@ class PlanningService:
         for record in records:
             try:
                 request = PlanRequest.from_dict(record["request"])
-                job = Job(request=request, id=str(record["job_id"]))
+                job = Job(
+                    request=request,
+                    id=str(record["job_id"]),
+                    request_id=str(record.get("request_id") or "")
+                    or new_request_id(),
+                )
                 job.submitted_at = float(
                     record.get("submitted_at", job.submitted_at)
                 )

@@ -1,0 +1,137 @@
+"""`repro-soc top`: a live terminal dashboard for a running service.
+
+Separation of concerns mirrors the rest of the CLI surface:
+:func:`render_dashboard` is a pure function from the ``stats`` and
+``health`` op payloads to one text frame (unit-testable, no I/O, no
+clock), and :func:`run_top` owns the poll loop, the ANSI
+clear-and-redraw, and the exit conditions.  The dashboard uses only
+the public protocol ops, so it works against any service it can reach
+-- including one with telemetry disabled, where the rolling-latency
+block simply disappears.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Callable, Mapping, TextIO
+
+#: Width of the queue-occupancy bar, characters.
+BAR_WIDTH = 24
+
+#: ANSI: clear screen + home cursor (what ``top`` itself does).
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def _bar(fraction: float, width: int = BAR_WIDTH) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:.1f}ms"
+
+
+def render_dashboard(
+    stats: Mapping[str, Any], health: Mapping[str, Any]
+) -> str:
+    """One dashboard frame from the ``stats`` + ``health`` payloads."""
+    lines: list[str] = []
+    status = str(health.get("status", "?"))
+    uptime = float(health.get("uptime_s", 0.0))
+    telemetry = "on" if health.get("telemetry") else "off"
+    lines.append(
+        f"repro-soc top | status {status} | uptime {uptime:,.0f}s "
+        f"| telemetry {telemetry}"
+    )
+
+    depth = int(stats.get("queue_depth", 0))
+    capacity = int(stats.get("queue_capacity", 0)) or 1
+    running = int(stats.get("running", 0))
+    workers = int(stats.get("workers", 0))
+    accepting = "yes" if stats.get("accepting") else "no"
+    lines.append(
+        f"queue [{_bar(depth / capacity)}] {depth}/{capacity} "
+        f"| running {running}/{workers} workers | accepting {accepting} "
+        f"| retry hint {float(stats.get('retry_after_hint', 0.0)):.2g}s"
+    )
+
+    counters = dict(stats.get("counters") or {})
+    jobs = {
+        key.removeprefix("jobs_"): int(value)
+        for key, value in sorted(counters.items())
+        if key.startswith("jobs_")
+    }
+    if jobs:
+        lines.append(
+            "jobs  "
+            + "  ".join(f"{name}={count}" for name, count in jobs.items())
+        )
+
+    rolling = dict(health.get("rolling") or {})
+    if rolling:
+        window = float(health.get("window_s", 0.0))
+        lines.append(f"rolling latency (last {window:.0f}s):")
+        for name, summary in sorted(rolling.items()):
+            lines.append(
+                f"  {name:<20} n={int(summary.get('count', 0)):<6} "
+                f"rate={float(summary.get('rate_per_s', 0.0)):6.2f}/s  "
+                f"p50={_ms(float(summary.get('p50', 0.0))):>9}  "
+                f"p95={_ms(float(summary.get('p95', 0.0))):>9}  "
+                f"p99={_ms(float(summary.get('p99', 0.0))):>9}  "
+                f"max={_ms(float(summary.get('max', 0.0))):>9}"
+            )
+
+    budget = dict(health.get("error_budget") or {})
+    if budget:
+        lines.append(
+            f"error budget  failure_rate={float(budget.get('failure_rate', 0.0)):.2%}  "
+            f"failed={int(budget.get('failed', 0))}  "
+            f"timed_out={int(budget.get('timed_out', 0))}  "
+            f"cancelled={int(budget.get('cancelled', 0))}  "
+            f"rejected={int(budget.get('rejected', 0))}  "
+            f"invalid_plan={int(budget.get('invalid_plan', 0))}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    client: Any,
+    *,
+    interval_s: float = 2.0,
+    iterations: int | None = None,
+    out: TextIO | None = None,
+    clear: bool = True,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Poll ``stats``/``health`` and redraw until interrupted.
+
+    ``iterations`` bounds the frame count (``--once`` passes 1;
+    ``None`` runs until Ctrl-C or the service goes away).  Returns a
+    process exit code: 0 on a clean stop, 3 once the service stops
+    answering.
+    """
+    stream = out if out is not None else sys.stdout
+    frame = 0
+    try:
+        while iterations is None or frame < iterations:
+            try:
+                stats = client.stats()
+                health = client.health()
+            except Exception as error:
+                sys.stderr.write(f"service unreachable: {error}\n")
+                return 3
+            if clear and frame:
+                stream.write(CLEAR)
+            stream.write(render_dashboard(stats, health))
+            stream.flush()
+            frame += 1
+            if iterations is None or frame < iterations:
+                sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+__all__ = ["render_dashboard", "run_top"]

@@ -51,7 +51,9 @@ POLL_INTERVAL_S = 0.05
 FAULT_EXIT_CODE = 43
 
 
-def execute_plan(payload: Mapping[str, Any]) -> str:
+def execute_plan(
+    payload: Mapping[str, Any], *, strip_report: bool = False
+) -> str:
     """Run one plan request to its ``result_to_json`` text.
 
     Pure apart from the planning engine's own caches: the payload is
@@ -63,7 +65,15 @@ def execute_plan(payload: Mapping[str, Any]) -> str:
     so the service never replies with a plan it cannot prove
     consistent.  The ``corrupt_plan`` fault hook tampers with the plan
     between planning and verification, for testing that gate.
+
+    ``strip_report=True`` drops the :class:`~repro.obs.report.RunReport`
+    the pipeline attaches under an enabled observability context.  The
+    telemetry-collecting subprocess path uses it so the wire result
+    stays byte-identical with telemetry on or off (the report carries
+    wall-clock timings; spans and metrics ship out of band instead).
     """
+    import dataclasses
+
     from repro.pipeline import RunConfig
     from repro.pipeline import plan as run_plan
     from repro.reporting.export import result_to_json
@@ -84,6 +94,8 @@ def execute_plan(payload: Mapping[str, Any]) -> str:
     report = verify_plan(result, soc, config=config)
     if not report.ok:
         raise InvalidPlan(report.summary())
+    if strip_report and result.report is not None:
+        result = dataclasses.replace(result, report=None)
     return result_to_json(result)
 
 
@@ -98,17 +110,45 @@ def _apply_fault_hooks(payload: Mapping[str, Any]) -> None:
 
 
 def _subprocess_entry(payload: dict[str, Any], conn: Any) -> None:
-    """Child-process main: plan, ship the result, exit."""
+    """Child-process main: plan, ship the result, exit.
+
+    When the parent asked for telemetry (``payload["telemetry"]``), the
+    child plans under a scoped observability context of its own and
+    ships the collected spans and metrics *out of band* as a third
+    tuple element -- the result text itself stays byte-identical with
+    telemetry on or off (see ``execute_plan(strip_report=True)``).  The
+    parent re-roots the spans under its attempt span, stitching the
+    cross-process trace together per request id.
+    """
     # The child must never attach run reports the parent did not ask
     # for: a spawned child starts clean, but be explicit for any
     # platform that inherits an enabled context.
     from repro import obs
+    from repro.obs.logging import bind_request_id
 
     obs.disable()
+    telemetry = bool(payload.get("telemetry"))
+    request_id = str(payload.get("request_id") or "")
     try:
         _apply_fault_hooks(payload)
-        text = execute_plan(payload)
-        conn.send(("ok", text))
+        if telemetry:
+            with obs.enabled() as active, bind_request_id(request_id):
+                with obs.span(
+                    "worker/plan",
+                    request_id=request_id,
+                    design=str(payload.get("design", "")),
+                    width=int(payload.get("width", 0)),
+                    pid=os.getpid(),
+                ):
+                    text = execute_plan(payload, strip_report=True)
+            shipped = {
+                "spans": active.tracer.snapshot(),
+                "metrics": active.registry.snapshot(),
+            }
+            conn.send(("ok", text, shipped))
+        else:
+            text = execute_plan(payload)
+            conn.send(("ok", text))
     except InvalidPlan as error:
         # Typed separately so the parent re-raises the dedicated code
         # (the generic branch collapses everything to WorkerError).
@@ -131,8 +171,13 @@ def run_job_in_process(
     timeout_s: float | None = None,
     should_cancel: Callable[[], bool] | None = None,
     poll_interval_s: float = POLL_INTERVAL_S,
-) -> str:
+) -> str | tuple[str, dict[str, Any]]:
     """Execute one attempt in a fresh child process (blocking).
+
+    Returns the result text -- or, when the payload requested
+    telemetry and the child shipped some, a ``(text, telemetry)``
+    tuple where ``telemetry`` holds the child's portable ``spans`` and
+    ``metrics`` snapshots for the parent to merge.
 
     Raises :class:`JobTimeout` / :class:`JobCancelled` after
     terminating the child, :class:`WorkerCrashed` when the child dies
@@ -157,8 +202,10 @@ def run_job_in_process(
                 except EOFError:
                     break  # died between connect and send: crashed
                 proc.join()
-                kind, value = message
+                kind, value, *extra = message
                 if kind == "ok":
+                    if extra and extra[0]:
+                        return str(value), dict(extra[0])
                     return str(value)
                 if kind == "invalid":
                     raise InvalidPlan(str(value))

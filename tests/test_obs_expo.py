@@ -1,0 +1,105 @@
+"""OpenMetrics exposition: rendering, name sanitization, round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.expo import (
+    parse_openmetrics,
+    render_openmetrics,
+    sanitize_metric_name,
+)
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+
+
+class TestSanitize:
+    def test_dots_map_to_underscores(self):
+        assert sanitize_metric_name("serve.jobs_completed") == (
+            "serve_jobs_completed"
+        )
+
+    def test_allowed_characters_pass_through(self):
+        assert sanitize_metric_name("abc_DEF:09") == "abc_DEF:09"
+
+    def test_leading_digit_gets_guarded(self):
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+    def test_empty_name_is_guarded(self):
+        assert sanitize_metric_name("") == "_"
+
+
+class TestRender:
+    def test_empty_snapshot_is_just_eof(self):
+        text = render_openmetrics(MetricsRegistry().snapshot())
+        assert text == "# EOF\n"
+
+    def test_counter_family(self):
+        registry = MetricsRegistry()
+        registry.inc("serve.jobs_completed", 7)
+        text = render_openmetrics(registry.snapshot(), prefix="repro")
+        assert "# TYPE repro_serve_jobs_completed_total counter" in text
+        assert "repro_serve_jobs_completed_total 7" in text
+
+    def test_gauge_family(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("serve.queue_depth", 3.0)
+        text = render_openmetrics(registry.snapshot())
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "repro_serve_queue_depth 3" in text  # integral, no ".0"
+
+    def test_histogram_family_is_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        boundaries = (0.1, 1.0)
+        registry.observe("lat", 0.05, boundaries)
+        registry.observe("lat", 0.5, boundaries)
+        registry.observe("lat", 99.0, boundaries)  # overflow
+        series = parse_openmetrics(render_openmetrics(registry.snapshot()))
+        assert series['repro_lat_bucket{le="0.1"}'] == 1
+        assert series['repro_lat_bucket{le="1"}'] == 2
+        assert series['repro_lat_bucket{le="+Inf"}'] == 3
+        assert series["repro_lat_count"] == 3
+        assert series["repro_lat_sum"] == pytest.approx(99.55)
+
+    def test_help_text_appears_for_known_names(self):
+        registry = MetricsRegistry()
+        registry.inc("serve.jobs_failed")
+        text = render_openmetrics(
+            registry.snapshot(),
+            help_text={"serve.jobs_failed": "Jobs that failed"},
+        )
+        assert "# HELP repro_serve_jobs_failed_total Jobs that failed" in text
+
+    def test_output_is_deterministic_and_terminated(self):
+        registry = MetricsRegistry()
+        registry.inc("b")
+        registry.inc("a")
+        registry.set_gauge("g", 1.0)
+        first = render_openmetrics(registry.snapshot())
+        second = render_openmetrics(registry.snapshot())
+        assert first == second
+        assert first.endswith("# EOF\n")
+        lines = first.splitlines()
+        assert lines.index("repro_a_total 1") < lines.index("repro_b_total 1")
+
+    def test_no_prefix(self):
+        registry = MetricsRegistry()
+        registry.inc("hits")
+        text = render_openmetrics(registry.snapshot(), prefix="")
+        assert "hits_total 1" in text
+
+    def test_latency_buckets_render_parseable(self):
+        registry = MetricsRegistry()
+        registry.observe("serve.job_seconds", 0.003, LATENCY_BUCKETS)
+        series = parse_openmetrics(render_openmetrics(registry.snapshot()))
+        assert series['repro_serve_job_seconds_bucket{le="0.005"}'] == 1
+        assert series['repro_serve_job_seconds_bucket{le="0.001"}'] == 0
+
+
+class TestParse:
+    def test_skips_comments_and_eof(self):
+        series = parse_openmetrics("# HELP x y\n# TYPE x counter\nx 4\n# EOF\n")
+        assert series == {"x": 4.0}
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_openmetrics("justoneword\n")

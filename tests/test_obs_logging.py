@@ -1,0 +1,179 @@
+"""Structured logging: correlation ids, JSON rendering, stdlib bridge."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logging import (
+    JsonLineFormatter,
+    bind_request_id,
+    configure_json_logging,
+    current_request_id,
+    get_logger,
+    new_request_id,
+    parse_json_log_line,
+    remove_json_logging,
+)
+
+
+class TestRequestIds:
+    def test_minted_ids_are_unique_and_prefixed(self):
+        ids = {new_request_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(rid.startswith("req-") for rid in ids)
+
+    def test_unbound_context_reads_empty(self):
+        assert current_request_id() == ""
+
+    def test_bind_and_restore(self):
+        with bind_request_id("req-abc") as rid:
+            assert rid == "req-abc"
+            assert current_request_id() == "req-abc"
+        assert current_request_id() == ""
+
+    def test_bindings_nest(self):
+        with bind_request_id("req-outer"):
+            with bind_request_id("req-inner"):
+                assert current_request_id() == "req-inner"
+            assert current_request_id() == "req-outer"
+
+    def test_empty_binding_mints_fresh(self):
+        with bind_request_id("") as rid:
+            assert rid.startswith("req-")
+            assert current_request_id() == rid
+
+    def test_binding_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with bind_request_id("req-x"):
+                raise RuntimeError("boom")
+        assert current_request_id() == ""
+
+
+def _capture(level: int = logging.DEBUG) -> tuple[io.StringIO, logging.Handler]:
+    stream = io.StringIO()
+    handler = configure_json_logging(stream, level=level)
+    return stream, handler
+
+
+class TestJsonEmission:
+    def test_structured_record_is_one_json_object(self):
+        stream, handler = _capture()
+        try:
+            get_logger("repro.test").info("unit-event", design="d695", n=3)
+        finally:
+            remove_json_logging(handler)
+        record = parse_json_log_line(stream.getvalue().strip())
+        assert record["event"] == "unit-event"
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.test"
+        assert record["design"] == "d695"
+        assert record["n"] == 3
+        assert record["request_id"] == ""
+        assert isinstance(record["ts"], float)
+
+    def test_bound_request_id_lands_on_every_record(self):
+        stream, handler = _capture()
+        try:
+            log = get_logger("repro.test")
+            with bind_request_id("req-42"):
+                log.info("first")
+                log.warning("second", detail="x")
+        finally:
+            remove_json_logging(handler)
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert all(
+            parse_json_log_line(line)["request_id"] == "req-42"
+            for line in lines
+        )
+
+    def test_plain_stdlib_records_share_the_stream(self):
+        stream, handler = _capture()
+        try:
+            logging.getLogger("repro.test").info("plain %s message", "old")
+        finally:
+            remove_json_logging(handler)
+        record = parse_json_log_line(stream.getvalue().strip())
+        assert record["event"] == "log"
+        assert record["message"] == "plain old message"
+
+    def test_unserializable_fields_degrade_to_repr(self):
+        stream, handler = _capture()
+        try:
+            get_logger("repro.test").info("odd", payload={1, 2})
+        finally:
+            remove_json_logging(handler)
+        record = parse_json_log_line(stream.getvalue().strip())
+        assert "1" in record["payload"] and "2" in record["payload"]
+
+    def test_below_level_records_are_suppressed(self):
+        stream, handler = _capture(level=logging.WARNING)
+        try:
+            get_logger("repro.test").info("quiet")
+            get_logger("repro.test").warning("loud")
+        finally:
+            remove_json_logging(handler)
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        assert parse_json_log_line(lines[0])["event"] == "loud"
+
+    def test_configure_is_idempotent_per_stream(self):
+        stream = io.StringIO()
+        first = configure_json_logging(stream)
+        second = configure_json_logging(stream)
+        try:
+            assert first is second
+            get_logger("repro.test").info("once")
+        finally:
+            remove_json_logging(first)
+        assert len(stream.getvalue().strip().splitlines()) == 1
+
+    def test_exception_info_is_captured(self):
+        stream, handler = _capture()
+        try:
+            try:
+                raise ValueError("bad width")
+            except ValueError:
+                logging.getLogger("repro.test").exception("failed")
+        finally:
+            remove_json_logging(handler)
+        record = parse_json_log_line(stream.getvalue().strip())
+        assert "ValueError" in record["exc"]
+
+    def test_parse_rejects_non_objects(self):
+        with pytest.raises(ValueError):
+            parse_json_log_line("[1, 2, 3]")
+        with pytest.raises(json.JSONDecodeError):
+            parse_json_log_line("not json at all")
+
+
+class TestQuietByDefault:
+    def test_unconfigured_library_emits_nothing(self, capsys):
+        # The "repro" root carries a NullHandler, so an embedder that
+        # never configures logging must see zero stderr spill (no
+        # logging.lastResort fallback).
+        get_logger("repro.serve.service").warning("must-not-print", n=1)
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""
+
+    def test_message_renders_for_plain_formatters(self):
+        # Under an ordinary (non-JSON) formatter the event renders as
+        # "event key=value ..." -- the -v CLI path.
+        stream = io.StringIO()
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger = logging.getLogger("repro.test")
+        logger.addHandler(handler)
+        old_level = logger.level
+        logger.setLevel(logging.INFO)
+        try:
+            get_logger("repro.test").info("fallback-event", width=16)
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(old_level)
+        assert "fallback-event width=16" in stream.getvalue()

@@ -9,6 +9,7 @@ import pytest
 
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -59,6 +60,74 @@ class TestInstruments:
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
         assert DEFAULT_BUCKETS[0] <= 0.001
         assert DEFAULT_BUCKETS[-1] >= 60.0
+
+    def test_latency_buckets_are_finer_at_the_low_end(self):
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+        assert LATENCY_BUCKETS[0] < DEFAULT_BUCKETS[0]
+        assert LATENCY_BUCKETS[-1] >= 120.0
+        # The service-latency range (sub-10ms) has real resolution.
+        assert sum(1 for b in LATENCY_BUCKETS if b <= 0.01) >= 5
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_returns_zero(self):
+        assert Histogram((1.0,)).quantile(0.5) == 0.0
+        assert Histogram((1.0,)).quantile(0.99) == 0.0
+
+    def test_rejects_out_of_range_q(self):
+        h = Histogram((1.0,))
+        h.observe(0.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.01)
+        with pytest.raises(ValueError):
+            h.quantile(1.01)
+
+    def test_single_bucket_interpolates_from_zero(self):
+        h = Histogram((1.0,))
+        for _ in range(4):
+            h.observe(0.5)
+        # All mass in [0, 1]: rank q*4 of 4 -> fraction q of the bucket.
+        assert h.quantile(0.5) == pytest.approx(0.5)
+        assert h.quantile(1.0) == pytest.approx(1.0)
+        assert h.quantile(0.25) == pytest.approx(0.25)
+
+    def test_interpolates_within_the_target_bucket(self):
+        h = Histogram((0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 0.5, 5.0):  # counts [1, 3, 1, 0]
+            h.observe(v)
+        # rank(0.5) = 2.5 lands in the (0.1, 1.0] bucket: 1 observation
+        # precedes it, so fraction (2.5-1)/3 of the bucket span.
+        assert h.quantile(0.5) == pytest.approx(0.1 + 0.9 * (1.5 / 3))
+        # rank(1.0) = 5 lands in the (1.0, 10.0] bucket at its far end.
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_overflow_bucket_reports_last_boundary(self):
+        h = Histogram((0.1, 1.0))
+        h.observe(50.0)
+        h.observe(60.0)
+        # The histogram cannot see past its last finite boundary.
+        assert h.quantile(0.5) == pytest.approx(1.0)
+        assert h.quantile(0.99) == pytest.approx(1.0)
+
+    def test_mixed_overflow_and_in_range(self):
+        h = Histogram((1.0,))
+        h.observe(0.5)
+        h.observe(99.0)
+        assert h.quantile(0.25) == pytest.approx(0.5)
+        assert h.quantile(0.99) == pytest.approx(1.0)
+
+    def test_zero_quantile_of_nonempty(self):
+        h = Histogram((1.0, 2.0))
+        h.observe(1.5)
+        # rank 0: the very first bucket with mass starts the estimate.
+        assert 0.0 <= h.quantile(0.0) <= 2.0
+
+    def test_monotone_in_q(self):
+        h = Histogram(LATENCY_BUCKETS)
+        for i in range(1, 200):
+            h.observe(i / 100.0)
+        qs = [h.quantile(q / 20) for q in range(21)]
+        assert qs == sorted(qs)
 
 
 class TestRegistry:

@@ -1,0 +1,159 @@
+"""Sliding windows: pruning, rolling quantiles, snapshot/merge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.window import (
+    DEFAULT_HORIZON_S,
+    SlidingWindow,
+    WindowRegistry,
+)
+
+T0 = 1_000_000.0
+
+
+class TestSlidingWindow:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0.0)
+        with pytest.raises(ValueError):
+            SlidingWindow(10.0, max_samples=0)
+
+    def test_count_and_rate_inside_horizon(self):
+        window = SlidingWindow(10.0)
+        for i in range(5):
+            window.observe(float(i), now=T0 + i)
+        assert window.count(now=T0 + 4) == 5
+        assert window.rate(now=T0 + 4) == pytest.approx(0.5)
+
+    def test_old_samples_prune_out(self):
+        window = SlidingWindow(10.0)
+        window.observe(1.0, now=T0)
+        window.observe(2.0, now=T0 + 9)
+        assert window.count(now=T0 + 9) == 2
+        # T0 sample is now 11s old: outside the 10s horizon.
+        assert window.count(now=T0 + 11) == 1
+        assert window.mean(now=T0 + 11) == pytest.approx(2.0)
+
+    def test_quantile_is_exact_order_statistic(self):
+        window = SlidingWindow(100.0)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            window.observe(value, now=T0)
+        now = T0
+        assert window.quantile(0.0, now=now) == pytest.approx(1.0)
+        assert window.quantile(1.0, now=now) == pytest.approx(4.0)
+        # (n-1)*q positional interpolation: 3 * 0.5 = 1.5 -> 2.5.
+        assert window.quantile(0.5, now=now) == pytest.approx(2.5)
+
+    def test_quantile_edges(self):
+        window = SlidingWindow(10.0)
+        assert window.quantile(0.99, now=T0) == 0.0  # empty
+        window.observe(7.0, now=T0)
+        assert window.quantile(0.5, now=T0) == pytest.approx(7.0)
+        with pytest.raises(ValueError):
+            window.quantile(1.5, now=T0)
+        with pytest.raises(ValueError):
+            window.quantile(-0.1, now=T0)
+
+    def test_summary_bundle(self):
+        window = SlidingWindow(60.0)
+        for i in range(1, 101):
+            window.observe(i / 100.0, now=T0)
+        summary = window.summary(now=T0)
+        assert summary["count"] == 100
+        assert summary["rate_per_s"] == pytest.approx(100 / 60.0, abs=1e-3)
+        assert summary["mean"] == pytest.approx(0.505)
+        assert summary["max"] == pytest.approx(1.0)
+        assert summary["p50"] == pytest.approx(0.505, abs=1e-6)
+        assert summary["p95"] < summary["p99"] <= summary["max"]
+
+    def test_empty_summary_is_all_zero(self):
+        summary = SlidingWindow(60.0).summary(now=T0)
+        assert summary == {
+            "count": 0,
+            "rate_per_s": 0.0,
+            "mean": 0.0,
+            "max": 0.0,
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+        }
+
+    def test_max_samples_drops_oldest_first(self):
+        window = SlidingWindow(1000.0, max_samples=3)
+        for i in range(5):
+            window.observe(float(i), now=T0 + i)
+        # Only the 3 newest survive the deque cap.
+        assert window.count(now=T0 + 4) == 3
+        assert window.quantile(0.0, now=T0 + 4) == pytest.approx(2.0)
+
+    def test_snapshot_merge_roundtrip(self):
+        worker = SlidingWindow(60.0)
+        worker.observe(0.5, now=T0 + 1)
+        worker.observe(1.5, now=T0 + 2)
+        parent = SlidingWindow(60.0)
+        parent.observe(1.0, now=T0 + 3)
+        parent.merge(worker.snapshot(now=T0 + 3), now=T0 + 3)
+        assert parent.count(now=T0 + 3) == 3
+        assert parent.mean(now=T0 + 3) == pytest.approx(1.0)
+
+    def test_merge_keeps_chronological_order_for_pruning(self):
+        parent = SlidingWindow(10.0)
+        parent.observe(9.0, now=T0 + 9)
+        old = SlidingWindow(1000.0)
+        old.observe(1.0, now=T0)  # older than parent's newest sample
+        parent.merge(old.snapshot(now=T0 + 9), now=T0 + 9)
+        assert parent.count(now=T0 + 9) == 2
+        # Advancing past T0+10 must prune the merged-in older sample
+        # even though it arrived after the newer one.
+        assert parent.count(now=T0 + 11) == 1
+        assert parent.mean(now=T0 + 11) == pytest.approx(9.0)
+
+    def test_merge_empty_snapshot_is_noop(self):
+        window = SlidingWindow(10.0)
+        window.observe(1.0, now=T0)
+        window.merge({"horizon_s": 10.0, "samples": []}, now=T0)
+        assert window.count(now=T0) == 1
+
+    def test_clear(self):
+        window = SlidingWindow(10.0)
+        window.observe(1.0, now=T0)
+        window.clear()
+        assert window.count(now=T0) == 0
+
+
+class TestWindowRegistry:
+    def test_first_caller_owns_the_shape(self):
+        registry = WindowRegistry()
+        first = registry.window("lat", 30.0)
+        second = registry.window("lat", 99.0)
+        assert second is first
+        assert first.horizon_s == 30.0
+
+    def test_default_horizon(self):
+        registry = WindowRegistry()
+        assert registry.window("x").horizon_s == DEFAULT_HORIZON_S
+
+    def test_observe_and_summaries(self):
+        registry = WindowRegistry()
+        registry.observe("a", 1.0, now=T0)
+        registry.observe("b", 2.0, now=T0)
+        summaries = registry.summaries(now=T0)
+        assert sorted(summaries) == ["a", "b"]
+        assert summaries["a"]["count"] == 1
+        assert summaries["b"]["max"] == pytest.approx(2.0)
+
+    def test_snapshot_merge_roundtrip(self):
+        worker = WindowRegistry()
+        worker.observe("lat", 0.25, now=T0)
+        parent = WindowRegistry()
+        parent.observe("lat", 0.75, now=T0)
+        parent.merge(worker.snapshot(now=T0), now=T0)
+        assert parent.summaries(now=T0)["lat"]["count"] == 2
+
+    def test_clear(self):
+        registry = WindowRegistry()
+        registry.observe("lat", 1.0, now=T0)
+        registry.clear()
+        assert registry.summaries(now=T0) == {}

@@ -91,3 +91,54 @@ class TestEnvValues:
             self._env(monkeypatch, value)
             with pytest.warns(RuntimeWarning):
                 assert resolve_jobs() >= 1
+
+
+class TestStructuredLogRecords:
+    """Each warning is mirrored as a structured log record, so service
+    operators see misconfiguration in the JSON log stream without
+    having to capture Python warnings."""
+
+    def _records(self, stream):
+        from repro.obs.logging import parse_json_log_line
+
+        return [
+            parse_json_log_line(line)
+            for line in stream.getvalue().strip().splitlines()
+        ]
+
+    def _capture(self):
+        import io
+
+        from repro.obs.logging import configure_json_logging
+
+        stream = io.StringIO()
+        handler = configure_json_logging(stream)
+        return stream, handler
+
+    def test_non_integer_env_logs_jobs_env_ignored(self, monkeypatch):
+        from repro.obs.logging import remove_json_logging
+
+        monkeypatch.setenv(ENV_JOBS, "abc")
+        stream, handler = self._capture()
+        try:
+            with pytest.warns(RuntimeWarning):
+                resolve_jobs()
+        finally:
+            remove_json_logging(handler)
+        events = {r["event"]: r for r in self._records(stream)}
+        assert events["jobs-env-ignored"]["value"] == "abc"
+        assert events["jobs-env-ignored"]["fallback"] == 1
+        assert events["jobs-env-ignored"]["level"] == "warning"
+
+    def test_implausible_count_logs_jobs_implausible(self, monkeypatch):
+        from repro.obs.logging import remove_json_logging
+
+        stream, handler = self._capture()
+        try:
+            with pytest.warns(RuntimeWarning):
+                resolve_jobs(MAX_JOBS + 1)
+        finally:
+            remove_json_logging(handler)
+        events = {r["event"]: r for r in self._records(stream)}
+        assert events["jobs-implausible"]["requested"] == MAX_JOBS + 1
+        assert events["jobs-implausible"]["max"] == MAX_JOBS

@@ -1,0 +1,554 @@
+"""Live service telemetry: metrics/health ops, trace stitching, top.
+
+The stitching test is the acceptance check of the telemetry layer: one
+submission through the real TCP transport with process isolation must
+produce client, protocol, queue, and worker spans that all carry the
+same ``request_id`` -- with the worker's spans recorded in a different
+process and re-rooted under the ``serve/attempt`` span.
+
+The concurrent-stats test pins the ``stats`` op's consistency under a
+duplicate-heavy many-client load (satellite of the same change).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.pipeline import RunConfig
+from repro.serve import (
+    PlanningService,
+    ServiceClient,
+    ServiceServer,
+    ServiceSettings,
+    ServiceTelemetry,
+    connect_with_retry,
+    health_view,
+)
+from repro.serve.telemetry import HEALTH_WINDOW_S
+from repro.obs.expo import parse_openmetrics
+
+
+# ---------------------------------------------------------------------------
+# In-process server harness: the asyncio loop runs on a background
+# thread so the test (and its obs context) shares the process with the
+# service -- required for span collection on the serve side.
+# ---------------------------------------------------------------------------
+
+
+class InProcessServer:
+    def __init__(self, settings: ServiceSettings, runner=None) -> None:
+        self.settings = settings
+        self.runner = runner
+        self.server: ServiceServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    def __enter__(self) -> "InProcessServer":
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, daemon=True
+        )
+        self._thread.start()
+
+        async def boot() -> ServiceServer:
+            service = PlanningService(self.settings, runner=self.runner)
+            server = ServiceServer(service, port=0)
+            await server.start()
+            return server
+
+        self.server = asyncio.run_coroutine_threadsafe(
+            boot(), self._loop
+        ).result(timeout=30)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._loop is not None
+        if self.server is not None:
+            asyncio.run_coroutine_threadsafe(
+                self.server.stop(), self._loop
+            ).result(timeout=120)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        assert self._thread is not None
+        self._thread.join(timeout=10)
+        self._loop.close()
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None
+        return self.server.port
+
+    def client(self) -> ServiceClient:
+        return connect_with_retry("127.0.0.1", self.port)
+
+
+def _echo_runner(payload, *, timeout_s=None, should_cancel=None):
+    return json.dumps({"design": payload["design"]})
+
+
+# ---------------------------------------------------------------------------
+# ServiceTelemetry / health_view units.
+# ---------------------------------------------------------------------------
+
+
+class TestServiceTelemetry:
+    def test_counts_and_windows_record_when_enabled(self):
+        telemetry = ServiceTelemetry(enabled=True)
+        telemetry.count("jobs_submitted", 2)
+        telemetry.set_queue_depth(5)
+        telemetry.observe_execution(0.2)
+        telemetry.observe_turnaround(0.5)
+        snapshot = telemetry.registry.snapshot()
+        assert snapshot["counters"]["serve.jobs_submitted"] == 2
+        assert snapshot["gauges"]["serve.queue_depth"] == 5.0
+        assert snapshot["histograms"]["serve.job_seconds"]["count"] == 1
+        rolling = telemetry.rolling()
+        assert rolling["job_seconds"]["count"] == 1
+        assert rolling["turnaround_seconds"]["p99"] == pytest.approx(0.5)
+
+    def test_disabled_telemetry_records_nothing(self):
+        telemetry = ServiceTelemetry(enabled=False)
+        telemetry.count("jobs_submitted")
+        telemetry.set_queue_depth(5)
+        telemetry.observe_execution(0.2)
+        telemetry.observe_turnaround(0.5)
+        telemetry.merge_worker_metrics({"counters": {"x": 1}})
+        assert telemetry.registry.snapshot()["counters"] == {}
+        assert telemetry.rolling() == {}
+        assert telemetry.openmetrics() == "# EOF\n"
+
+    def test_openmetrics_exposition_parses(self):
+        telemetry = ServiceTelemetry()
+        telemetry.count("jobs_completed", 3)
+        telemetry.observe_execution(0.01)
+        series = parse_openmetrics(telemetry.openmetrics())
+        assert series["repro_serve_jobs_completed_total"] == 3
+        assert series["repro_serve_job_seconds_count"] == 1
+
+    def test_merge_worker_metrics(self):
+        telemetry = ServiceTelemetry()
+        telemetry.merge_worker_metrics(
+            {"counters": {"pipeline.runs": 4}, "gauges": {}, "histograms": {}}
+        )
+        snapshot = telemetry.registry.snapshot()
+        assert snapshot["counters"]["pipeline.runs"] == 4
+
+
+class TestHealthView:
+    def _view(self, **overrides):
+        defaults = dict(
+            telemetry=ServiceTelemetry(),
+            counters={"jobs_submitted": 10, "jobs_completed": 8,
+                      "jobs_failed": 1, "jobs_cancelled": 1},
+            queue_depth=2,
+            queue_capacity=64,
+            running=1,
+            workers=4,
+            accepting=True,
+            dispatcher_alive=True,
+            uptime_s=12.5,
+        )
+        defaults.update(overrides)
+        return health_view(**defaults)
+
+    def test_ok_when_accepting_and_dispatching(self):
+        view = self._view()
+        assert view["status"] == "ok"
+        assert view["uptime_s"] == 12.5
+        assert view["window_s"] == HEALTH_WINDOW_S
+        assert view["queue_depth"] == 2
+
+    def test_draining_once_admission_stops(self):
+        assert self._view(accepting=False)["status"] == "draining"
+
+    def test_degraded_when_dispatcher_died(self):
+        view = self._view(dispatcher_alive=False)
+        assert view["status"] == "degraded"
+
+    def test_error_budget_math(self):
+        budget = self._view()["error_budget"]
+        assert budget["submitted"] == 10
+        assert budget["completed"] == 8
+        assert budget["failure_rate"] == pytest.approx(0.2)
+
+    def test_zero_submissions_is_zero_rate(self):
+        budget = self._view(counters={})["error_budget"]
+        assert budget["failure_rate"] == 0.0
+
+    def test_disabled_telemetry_has_no_rolling_block(self):
+        view = self._view(telemetry=ServiceTelemetry(enabled=False))
+        assert view["rolling"] == {}
+        assert view["telemetry"] is False
+
+
+# ---------------------------------------------------------------------------
+# Protocol ops over the real transport (injected runner: fast).
+# ---------------------------------------------------------------------------
+
+
+def _settings(**overrides) -> ServiceSettings:
+    defaults = dict(workers=2, isolation="thread", max_depth=16)
+    defaults.update(overrides)
+    return ServiceSettings(**defaults)
+
+
+class TestTelemetryOps:
+    def test_metrics_and_health_ops(self):
+        with InProcessServer(_settings(), runner=_echo_runner) as srv:
+            with srv.client() as client:
+                ticket = client.submit("d695", 8)
+                client.result(ticket.job_id)
+                series = parse_openmetrics(client.metrics())
+                assert series["repro_serve_jobs_submitted_total"] == 1
+                assert series["repro_serve_jobs_completed_total"] == 1
+                assert series["repro_serve_requests_total"] >= 2
+                health = client.health()
+                assert health["status"] == "ok"
+                assert health["telemetry"] is True
+                assert health["error_budget"]["completed"] == 1
+                assert "turnaround_seconds" in health["rolling"]
+
+    def test_request_id_minted_and_echoed(self):
+        with InProcessServer(_settings(), runner=_echo_runner) as srv:
+            with srv.client() as client:
+                ticket = client.submit("d695", 8)
+                assert ticket.request_id.startswith("req-")
+                status = client.status(ticket.job_id)
+                assert status["request_id"] == ticket.request_id
+
+    def test_deduped_submission_reports_original_request_id(self):
+        with InProcessServer(
+            _settings(workers=1), runner=_gated_echo_factory()
+        ) as srv:
+            with srv.client() as client:
+                first = client.submit(
+                    "d695", 8, request_id="req-original0001"
+                )
+                second = client.submit(
+                    "d695", 8, request_id="req-duplicate001"
+                )
+                assert second.deduped
+                assert first.request_id == "req-original0001"
+                assert second.request_id == "req-original0001"
+                _release_gates()
+                client.result(first.job_id)
+
+    def test_disabled_telemetry_degrades_gracefully(self):
+        with InProcessServer(
+            _settings(telemetry=False), runner=_echo_runner
+        ) as srv:
+            with srv.client() as client:
+                ticket = client.submit("d695", 8)
+                client.result(ticket.job_id)
+                assert client.metrics() == "# EOF\n"
+                health = client.health()
+                assert health["telemetry"] is False
+                assert health["rolling"] == {}
+                # The authoritative stats counters stay correct.
+                stats = client.stats()
+                assert stats["telemetry"] is False
+                assert stats["counters"]["jobs_completed"] == 1
+
+
+_GATES: list[threading.Event] = []
+
+
+def _gated_echo_factory():
+    gate = threading.Event()
+    _GATES.append(gate)
+
+    def runner(payload, *, timeout_s=None, should_cancel=None):
+        gate.wait(timeout=30)
+        return json.dumps({"design": payload["design"]})
+
+    return runner
+
+
+def _release_gates() -> None:
+    for gate in _GATES:
+        gate.set()
+    _GATES.clear()
+
+
+# ---------------------------------------------------------------------------
+# Satellite: the stats op stays consistent under duplicate-heavy
+# concurrent load from many clients.
+# ---------------------------------------------------------------------------
+
+
+class TestStatsUnderConcurrentLoad:
+    CLIENTS = 8
+    SUBMITS_PER_CLIENT = 6
+    UNIQUE_WIDTHS = (8, 12, 16)  # 3 unique fingerprints, duplicate-heavy
+
+    def test_counters_and_gauge_stay_consistent(self):
+        settings = _settings(workers=2, max_depth=32)
+        with InProcessServer(
+            settings, runner=_gated_echo_factory()
+        ) as srv:
+            observations: list[dict] = []
+            errors: list[Exception] = []
+            start = threading.Barrier(self.CLIENTS + 1)
+
+            def client_main(index: int) -> None:
+                try:
+                    with srv.client() as client:
+                        start.wait(timeout=30)
+                        for i in range(self.SUBMITS_PER_CLIENT):
+                            width = self.UNIQUE_WIDTHS[
+                                (index + i) % len(self.UNIQUE_WIDTHS)
+                            ]
+                            client.submit("d695", width)
+                            observations.append(client.stats())
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=client_main, args=(i,))
+                for i in range(self.CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            start.wait(timeout=30)
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors
+
+            # Every concurrent snapshot satisfies the invariants.
+            for stats in observations:
+                counters = stats["counters"]
+                assert 0 <= stats["queue_depth"] <= stats["queue_capacity"]
+                assert stats["running"] <= stats["workers"]
+                assert counters.get("jobs_deduped", 0) <= (
+                    self.CLIENTS * self.SUBMITS_PER_CLIENT
+                )
+                assert counters.get("jobs_submitted", 0) >= len(
+                    set(self.UNIQUE_WIDTHS)
+                ) - stats["queue_capacity"]  # trivially non-negative bound
+
+            _release_gates()
+            with srv.client() as client:
+                deadline = time.monotonic() + 60
+                while time.monotonic() < deadline:
+                    stats = client.stats()
+                    done = stats["counters"].get("jobs_completed", 0)
+                    if (
+                        done == stats["counters"].get("jobs_submitted", 0)
+                        and stats["running"] == 0
+                    ):
+                        break
+                    time.sleep(0.05)
+                counters = stats["counters"]
+                total = self.CLIENTS * self.SUBMITS_PER_CLIENT
+                # Every submission was accepted, coalesced, or rejected.
+                assert (
+                    counters.get("jobs_submitted", 0)
+                    + counters.get("jobs_deduped", 0)
+                    + counters.get("jobs_rejected", 0)
+                ) == total
+                # Duplicate-heavy: far fewer jobs than submissions.
+                assert counters["jobs_submitted"] < total
+                assert counters["jobs_deduped"] > 0
+                assert counters["jobs_completed"] == counters[
+                    "jobs_submitted"
+                ]
+                assert stats["queue_depth"] == 0
+                # The telemetry mirror agrees with the authoritative
+                # counters at quiescence.
+                series = parse_openmetrics(client.metrics())
+                assert series["repro_serve_jobs_submitted_total"] == (
+                    counters["jobs_submitted"]
+                )
+                assert series["repro_serve_queue_depth"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: one request's trace stitches client -> queue -> worker
+# across the process boundary under a single request id.
+# ---------------------------------------------------------------------------
+
+
+class TestTraceStitching:
+    def test_worker_report_stripping_keeps_wire_payload_identical(self):
+        from repro.serve.worker import execute_plan
+
+        payload = {
+            "design": "d695",
+            "width": 8,
+            "config": {"compression": "none", "use_cache": False},
+        }
+
+        def normalized(text: str) -> dict:
+            data = json.loads(text)
+
+            def scrub(node):
+                if isinstance(node, dict):
+                    return {
+                        k: scrub(v)
+                        for k, v in node.items()
+                        if not k.endswith("seconds")  # timings vary per run
+                    }
+                if isinstance(node, list):
+                    return [scrub(v) for v in node]
+                return node
+
+            return scrub(data)
+
+        baseline = execute_plan(payload)
+        with obs.enabled():
+            collected = execute_plan(payload, strip_report=True)
+        # Stripping the attached RunReport keeps the wire payload
+        # field-for-field identical to the un-observed run.
+        assert "report" not in json.loads(collected)
+        assert normalized(collected) == normalized(baseline)
+
+    def test_cross_process_trace_shares_one_request_id(self):
+        settings = _settings(
+            workers=1, isolation="process", default_timeout_s=300.0
+        )
+        config = RunConfig(compression="none", use_cache=False)
+        with obs.enabled() as active:
+            with InProcessServer(settings) as srv:
+                with srv.client() as client:
+                    ticket = client.submit("d695", 8, config)
+                    client.result(ticket.job_id)
+            rid = ticket.request_id
+            assert rid.startswith("req-")
+            spans = [
+                span
+                for span in active.tracer.spans
+                if span.attrs.get("request_id") == rid
+            ]
+            names = {span.name for span in spans}
+            # Client, protocol, queue-wait, execution, and worker spans
+            # all share the request id.
+            assert {
+                "client/submit",
+                "serve/submit",
+                "serve/queued",
+                "serve/attempt",
+                "worker/plan",
+            } <= names
+            worker_spans = [s for s in spans if s.name == "worker/plan"]
+            attempt_spans = [s for s in spans if s.name == "serve/attempt"]
+            assert len(worker_spans) == 1
+            # The worker really ran in another process, and its spans
+            # were re-rooted under the attempt span's path.
+            assert worker_spans[0].pid != os.getpid()
+            assert worker_spans[0].pid == worker_spans[0].attrs["pid"]
+            assert worker_spans[0].path.startswith(
+                attempt_spans[0].path + "/"
+            )
+            # The worker's nested pipeline spans came along too,
+            # keeping their own hierarchy below worker/plan.
+            nested = [
+                span
+                for span in active.tracer.spans
+                if span.path.startswith(worker_spans[0].path + "/")
+            ]
+            assert nested, "worker pipeline spans missing from the trace"
+
+
+# ---------------------------------------------------------------------------
+# The top dashboard renderer (pure) and poll loop.
+# ---------------------------------------------------------------------------
+
+
+class TestTopDashboard:
+    STATS = {
+        "queue_depth": 8,
+        "queue_capacity": 64,
+        "running": 2,
+        "workers": 4,
+        "accepting": True,
+        "retry_after_hint": 1.5,
+        "counters": {"jobs_submitted": 10, "jobs_completed": 7,
+                     "jobs_deduped": 3},
+    }
+    HEALTH = {
+        "status": "ok",
+        "uptime_s": 120.0,
+        "telemetry": True,
+        "window_s": 60.0,
+        "rolling": {
+            "job_seconds": {
+                "count": 7, "rate_per_s": 0.12, "mean": 0.2,
+                "max": 0.9, "p50": 0.15, "p95": 0.4, "p99": 0.8,
+            },
+        },
+        "error_budget": {
+            "failure_rate": 0.1, "failed": 1, "timed_out": 0,
+            "cancelled": 0, "rejected": 2, "invalid_plan": 0,
+        },
+    }
+
+    def test_render_contains_the_load_picture(self):
+        from repro.serve.top import render_dashboard
+
+        frame = render_dashboard(self.STATS, self.HEALTH)
+        assert "status ok" in frame
+        assert "8/64" in frame
+        assert "running 2/4" in frame
+        assert "submitted=10" in frame
+        assert "p99=" in frame and "800.0ms" in frame
+        assert "failure_rate=10.00%" in frame
+        assert "rejected=2" in frame
+
+    def test_render_without_telemetry_omits_rolling(self):
+        from repro.serve.top import render_dashboard
+
+        health = dict(self.HEALTH, rolling={}, telemetry=False)
+        frame = render_dashboard(self.STATS, health)
+        assert "telemetry off" in frame
+        assert "rolling latency" not in frame
+
+    def test_run_top_polls_and_stops(self):
+        from repro.serve.top import run_top
+
+        class FakeClient:
+            def __init__(self, outer):
+                self.calls = 0
+                self.outer = outer
+
+            def stats(self):
+                self.calls += 1
+                return dict(self.outer.STATS)
+
+            def health(self):
+                return dict(self.outer.HEALTH)
+
+        sleeps: list[float] = []
+        out = io.StringIO()
+        client = FakeClient(self)
+        code = run_top(
+            client,
+            interval_s=0.5,
+            iterations=3,
+            out=out,
+            clear=False,
+            sleep=sleeps.append,
+        )
+        assert code == 0
+        assert client.calls == 3
+        assert sleeps == [0.5, 0.5]
+        assert out.getvalue().count("repro-soc top") == 3
+
+    def test_run_top_reports_unreachable_service(self, capsys):
+        from repro.serve.top import run_top
+
+        class DeadClient:
+            def stats(self):
+                raise ConnectionRefusedError("gone")
+
+            def health(self):  # pragma: no cover
+                return {}
+
+        assert run_top(DeadClient(), iterations=1, out=io.StringIO()) == 3
+        assert "unreachable" in capsys.readouterr().err
