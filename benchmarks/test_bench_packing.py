@@ -1,0 +1,145 @@
+"""Packing benchmark guard: artifact schema + live smoke.
+
+Two layers of protection for the ``BENCH_packing.json`` artifact:
+
+* the committed document must validate against the ``bench-packing``
+  schema (via the shared validator in
+  ``scripts/check_obs_artifacts.py``): all six benchmark SOCs plus a
+  synthetic design, every packed plan verified, and the headline gate
+  that at least one design is never worse packed than fixed;
+* the validator must reject malformed or inconsistent documents, so a
+  broken bench run cannot record a green artifact; and the bench
+  runner itself is re-run live on a small design pair to prove it
+  still produces a document the validator accepts.
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+ARTIFACT = REPO / "benchmarks" / "results" / "BENCH_packing.json"
+
+
+def _load_script(name: str):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO / "scripts" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+validator = _load_script("check_obs_artifacts")
+
+
+@pytest.fixture(scope="module")
+def artifact() -> dict:
+    return json.loads(ARTIFACT.read_text())
+
+
+class TestCommittedArtifact:
+    def test_validates(self, artifact):
+        summary = validator.check_bench_packing(artifact)
+        assert summary["runs"] >= 12
+        assert summary["never_worse"]
+
+    def test_covers_all_benchmark_designs(self, artifact):
+        covered = {run["design"] for run in artifact["runs"]}
+        assert set(validator.PACKING_DESIGNS) <= covered
+        assert any(d.startswith("synth") for d in covered)
+
+    def test_every_packed_plan_was_verified(self, artifact):
+        for run in artifact["runs"]:
+            assert run["packed"]["verified"] is True
+
+    def test_packed_wins_somewhere(self, artifact):
+        # The gate in numbers: some design/width pair strictly better.
+        assert any(run["ratio"] < 1.0 for run in artifact["runs"])
+        assert artifact["never_worse_designs"]
+
+    def test_records_both_pipelines_honestly(self, artifact):
+        for run in artifact["runs"]:
+            assert run["fixed"]["partitions_evaluated"] >= 1
+            assert run["packed"]["placements_evaluated"] >= run["cores"]
+            assert run["fixed"]["seconds"] >= 0
+            assert run["packed"]["seconds"] >= 0
+
+
+class TestValidatorRejections:
+    def test_wrong_kind(self, artifact):
+        doc = copy.deepcopy(artifact)
+        doc["kind"] = "bench-search"
+        with pytest.raises(validator.ArtifactError, match="kind"):
+            validator.check_bench_packing(doc)
+
+    def test_missing_design(self, artifact):
+        doc = copy.deepcopy(artifact)
+        doc["runs"] = [r for r in doc["runs"] if r["design"] != "System3"]
+        with pytest.raises(validator.ArtifactError, match="System3"):
+            validator.check_bench_packing(doc)
+
+    def test_missing_synthetic(self, artifact):
+        doc = copy.deepcopy(artifact)
+        doc["runs"] = [
+            r for r in doc["runs"] if not r["design"].startswith("synth")
+        ]
+        with pytest.raises(validator.ArtifactError, match="synth"):
+            validator.check_bench_packing(doc)
+
+    def test_unverified_packed_plan(self, artifact):
+        doc = copy.deepcopy(artifact)
+        doc["runs"][0]["packed"]["verified"] = False
+        with pytest.raises(validator.ArtifactError, match="not verified"):
+            validator.check_bench_packing(doc)
+
+    def test_inconsistent_ratio(self, artifact):
+        doc = copy.deepcopy(artifact)
+        doc["runs"][0]["ratio"] = doc["runs"][0]["ratio"] * 2 + 1
+        with pytest.raises(validator.ArtifactError, match="inconsistent"):
+            validator.check_bench_packing(doc)
+
+    def test_stale_never_worse_list(self, artifact):
+        doc = copy.deepcopy(artifact)
+        doc["never_worse_designs"] = list(doc["never_worse_designs"]) + [
+            "d695"
+        ]
+        with pytest.raises(
+            validator.ArtifactError, match="never_worse_designs"
+        ):
+            validator.check_bench_packing(doc)
+
+    def test_gate_fails_when_packed_always_worse(self, artifact):
+        doc = copy.deepcopy(artifact)
+        for run in doc["runs"]:
+            run["packed"]["makespan"] = run["fixed"]["makespan"] * 2
+            run["ratio"] = 2.0
+        doc["never_worse_designs"] = []
+        with pytest.raises(validator.ArtifactError, match="gate"):
+            validator.check_bench_packing(doc)
+
+    def test_dispatch_knows_the_kind(self):
+        assert "bench-packing" in validator.BENCH_CHECKERS
+
+
+class TestLiveSmoke:
+    def test_runner_produces_valid_document(self, monkeypatch):
+        """The bench runner end-to-end on a small design pair.
+
+        ``System1`` is one of the designs where packing genuinely wins
+        at W=16 (the committed artifact records ratio 0.978), so the
+        never-worse gate holds on this reduced sweep too.
+        """
+        bench = _load_script("bench_packing")
+        monkeypatch.setattr(
+            validator, "PACKING_DESIGNS", ("System1",), raising=True
+        )
+        doc = bench.measure(("System1", "synth6"), (16,))
+        summary = validator.check_bench_packing(doc)
+        assert summary["runs"] == 2
+        assert "System1" in summary["never_worse"]

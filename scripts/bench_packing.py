@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Benchmark flexible-width rectangle packing against fixed partitions.
+
+The ``repro.pack`` backend trades the paper's fixed-width TAM partition
+for a 2D strip packing: each core is a width x time rectangle whose
+shape the packer may choose, and rectangles time-share the ATE wires.
+This script measures what that buys on every benchmark design: per
+design/width it plans the same lookup tables both ways -- the
+architecture-search baseline (``repro.search``, strategy auto) and the
+rectangle packer (``repro.pack``, heuristic auto) -- and records both
+makespans, the packed plan's utilization, and the packed-over-fixed
+ratio.  Every packed plan is independently re-checked with
+:func:`repro.verify.verify_packed` before it may enter the document.
+
+The result is written as versioned JSON (``BENCH_packing.json``) so CI
+can record it as an artifact and ``benchmarks/test_bench_packing.py``
+can validate the committed copy::
+
+    python scripts/bench_packing.py --out benchmarks/results/BENCH_packing.json
+
+Validation lives in ``scripts/check_obs_artifacts.py`` (``--bench``
+dispatches on the document's ``kind``); the headline gate is that at
+least one design is *never worse* packed than fixed at any width.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any
+
+SCHEMA_KIND = "bench-packing"
+SCHEMA_VERSION = 1
+
+#: The benchmark sweep: the paper's six designs plus the many-core
+#: synthetic workload the search layer targets.
+DEFAULT_DESIGNS = (
+    "d695",
+    "d2758",
+    "System1",
+    "System2",
+    "System3",
+    "System4",
+    "synth120",
+)
+
+DEFAULT_WIDTHS = (16, 32)
+
+
+def build_tables(design: str, width: int):
+    """(core names, lookup tables, analysis seconds) for one design."""
+    from repro.pipeline.config import RunConfig
+    from repro.pipeline.events import EventRecorder
+    from repro.pipeline.stages import (
+        DecompressorStage,
+        PlanContext,
+        WrapperStage,
+    )
+    from repro.soc.industrial import load_design
+
+    soc = load_design(design)
+    ctx = PlanContext(soc, width, RunConfig(use_cache=False), EventRecorder())
+    began = time.perf_counter()
+    WrapperStage().run(ctx)
+    DecompressorStage().run(ctx)
+    seconds = time.perf_counter() - began
+    assert ctx.tables is not None
+    return ctx.names, ctx.tables, seconds
+
+
+def bench_pair(
+    design: str, names: list[str], tables: Any, width: int
+) -> dict[str, Any]:
+    """Fixed-vs-packed record for one design at one width budget."""
+    from repro.pack import core_rectangles, pack_rectangles
+    from repro.search import run_search
+    from repro.verify import verify_packed
+
+    began = time.perf_counter()
+    search = run_search(names, width, tables.time_of)
+    fixed_seconds = time.perf_counter() - began
+
+    began = time.perf_counter()
+    families = core_rectangles(names, tables.time_of, width)
+    plan = pack_rectangles(design, families, width, heuristic="auto")
+    packed_seconds = time.perf_counter() - began
+    report = verify_packed(plan, names, tables.time_of)
+    if not report.ok:
+        raise SystemExit(
+            f"packed plan for {design} at W={width} failed verification:\n"
+            + report.summary()
+        )
+    return {
+        "design": design,
+        "width": width,
+        "cores": len(names),
+        "fixed": {
+            "makespan": search.makespan,
+            "strategy": search.strategy,
+            "partitions_evaluated": search.partitions_evaluated,
+            "seconds": round(fixed_seconds, 4),
+        },
+        "packed": {
+            "makespan": plan.makespan,
+            "heuristic": plan.heuristic,
+            "placements_evaluated": plan.placements_evaluated,
+            "utilization": round(plan.utilization, 4),
+            "seconds": round(packed_seconds, 4),
+            "verified": True,
+        },
+        "ratio": round(plan.makespan / search.makespan, 4),
+    }
+
+
+def never_worse_designs(runs: list[dict[str, Any]]) -> list[str]:
+    """Designs where packed beats-or-ties fixed at *every* width."""
+    worst: dict[str, float] = {}
+    for run in runs:
+        ratio = run["packed"]["makespan"] / run["fixed"]["makespan"]
+        worst[run["design"]] = max(worst.get(run["design"], 0.0), ratio)
+    return sorted(d for d, ratio in worst.items() if ratio <= 1.0)
+
+
+def measure(
+    designs: tuple[str, ...] = DEFAULT_DESIGNS,
+    widths: tuple[int, ...] = DEFAULT_WIDTHS,
+) -> dict[str, Any]:
+    """The full bench document for one design x width sweep."""
+    import numpy
+
+    runs: list[dict[str, Any]] = []
+    for design in designs:
+        names, tables, analysis_seconds = build_tables(design, max(widths))
+        print(
+            f"{design}: {len(names)} cores analyzed "
+            f"in {analysis_seconds:.1f}s"
+        )
+        for width in widths:
+            run = bench_pair(design, names, tables, width)
+            runs.append(run)
+            print(
+                f"  W={width}: fixed {run['fixed']['makespan']} "
+                f"({run['fixed']['strategy']}) vs packed "
+                f"{run['packed']['makespan']} "
+                f"({run['packed']['heuristic']}, util "
+                f"{run['packed']['utilization']:.2f}) -> "
+                f"ratio {run['ratio']:.3f}"
+            )
+    return {
+        "kind": SCHEMA_KIND,
+        "schema": SCHEMA_VERSION,
+        "generated_by": "scripts/bench_packing.py",
+        "designs": list(designs),
+        "widths": list(widths),
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "runs": runs,
+        "never_worse_designs": never_worse_designs(runs),
+    }
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--designs",
+        default=",".join(DEFAULT_DESIGNS),
+        help="comma-separated design names",
+    )
+    parser.add_argument(
+        "--widths",
+        default=",".join(str(w) for w in DEFAULT_WIDTHS),
+        help="comma-separated W_TAM budgets",
+    )
+    parser.add_argument("--out", default="")
+    args = parser.parse_args(argv)
+
+    designs = tuple(d for d in args.designs.split(",") if d)
+    widths = tuple(int(w) for w in args.widths.split(",") if w)
+    doc = measure(designs, widths)
+    print(
+        f"never worse packed: {', '.join(doc['never_worse_designs']) or '-'}"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, "src")
+    raise SystemExit(main(sys.argv[1:]))

@@ -16,9 +16,12 @@ compare apples to oranges.
 Bench artifacts are dispatched by their ``kind`` field:
 ``bench-hotpath`` (``scripts/bench_hotpath.py``), ``bench-search``
 (``scripts/bench_search.py``, the architecture-search backend
-throughput/quality record on the many-core synthetic workload), and
+throughput/quality record on the many-core synthetic workload),
 ``bench-serve`` (``scripts/loadtest_serve.py``, the planning-service
-load test with its telemetry-overhead gate).
+load test with its telemetry-overhead gate), and ``bench-packing``
+(``scripts/bench_packing.py``, fixed-width partitions vs the
+flexible-width rectangle packer across the benchmark designs, gated
+on at least one design never being worse packed).
 
 Usage::
 
@@ -26,6 +29,7 @@ Usage::
     python scripts/check_obs_artifacts.py --bench BENCH_hotpath.json
     python scripts/check_obs_artifacts.py --bench BENCH_search.json
     python scripts/check_obs_artifacts.py --bench BENCH_serve.json
+    python scripts/check_obs_artifacts.py --bench BENCH_packing.json
 
 Exit status 0 when the artifacts check out; 1 with a message on
 stderr otherwise.  ``check_trace`` / ``check_report`` /
@@ -268,6 +272,106 @@ def check_bench_search(data: Any) -> dict[str, Any]:
     return {"runs": len(runs), "best_makespans": seen}
 
 
+SCHEMA_KIND_PACKING = "bench-packing"
+
+#: Designs a ``bench-packing`` document must cover: the paper's six
+#: benchmark SOCs.  At least one synthetic ``synth<N>`` design is
+#: additionally required (the many-core regime).
+PACKING_DESIGNS = (
+    "d695",
+    "d2758",
+    "System1",
+    "System2",
+    "System3",
+    "System4",
+)
+
+
+def check_bench_packing(data: Any) -> dict[str, Any]:
+    """Validate a ``bench-packing`` JSON document; returns a summary.
+
+    Checks the schema envelope, that every required design appears (the
+    six benchmark SOCs plus a synthetic one), each run's internal
+    consistency (positive makespans, a verified packed plan,
+    utilization in ``(0, 1]``, the recorded ratio matching the two
+    makespans), that ``never_worse_designs`` matches the runs -- and
+    the headline gate: at least one design is never worse packed than
+    fixed at any recorded width.
+    """
+    if not isinstance(data, dict):
+        _fail("bench: top level must be an object")
+    if data.get("kind") != SCHEMA_KIND_PACKING:
+        _fail(f"bench: kind must be 'bench-packing', got {data.get('kind')!r}")
+    if data.get("schema") != 1:
+        _fail(f"bench: unknown schema {data.get('schema')!r}")
+    for key in (
+        "designs", "widths", "python", "numpy", "runs",
+        "never_worse_designs",
+    ):
+        if key not in data:
+            _fail(f"bench: missing field {key!r}")
+    runs = data["runs"]
+    if not isinstance(runs, list) or not runs:
+        _fail("bench: 'runs' must be a non-empty list")
+    covered = {run.get("design") for run in runs}
+    for design in PACKING_DESIGNS:
+        if design not in covered:
+            _fail(f"bench: no run for required design {design!r}")
+    if not any(
+        isinstance(d, str) and d.startswith("synth") for d in covered
+    ):
+        _fail("bench: no synthetic (synth<N>) design covered")
+    worst: dict[str, float] = {}
+    for run in runs:
+        design = run.get("design")
+        if not isinstance(design, str) or not design:
+            _fail("bench: run without a design name")
+        label = f"{design}@W={run.get('width')}"
+        for key in ("width", "cores", "fixed", "packed", "ratio"):
+            if key not in run:
+                _fail(f"bench: run {label!r} missing field {key!r}")
+        fixed, packed = run["fixed"], run["packed"]
+        for key in ("makespan", "strategy", "partitions_evaluated", "seconds"):
+            if key not in fixed:
+                _fail(f"bench: run {label!r} fixed missing {key!r}")
+        for key in (
+            "makespan", "heuristic", "placements_evaluated",
+            "utilization", "seconds", "verified",
+        ):
+            if key not in packed:
+                _fail(f"bench: run {label!r} packed missing {key!r}")
+        if fixed["makespan"] <= 0 or packed["makespan"] <= 0:
+            _fail(f"bench: run {label!r} has a non-positive makespan")
+        if packed["verified"] is not True:
+            _fail(f"bench: run {label!r} packed plan is not verified")
+        if not 0.0 < packed["utilization"] <= 1.0:
+            _fail(f"bench: run {label!r} utilization out of (0, 1]")
+        ratio = packed["makespan"] / fixed["makespan"]
+        if abs(ratio - run["ratio"]) > 0.001 * ratio + 1e-9:
+            _fail(
+                f"bench: run {label!r} ratio {run['ratio']} inconsistent "
+                f"with the makespans ({ratio:.4f})"
+            )
+        worst[design] = max(worst.get(design, 0.0), ratio)
+    never_worse = sorted(d for d, r in worst.items() if r <= 1.0)
+    if sorted(data["never_worse_designs"]) != never_worse:
+        _fail(
+            f"bench: never_worse_designs {data['never_worse_designs']} "
+            f"inconsistent with the runs ({never_worse})"
+        )
+    if not never_worse:
+        _fail(
+            "bench: packing gate failed: no design is never worse packed "
+            "than fixed"
+        )
+    return {
+        "runs": len(runs),
+        "designs": len(covered),
+        "never_worse": never_worse,
+        "worst_ratio": round(max(worst.values()), 3),
+    }
+
+
 SCHEMA_KIND_SERVE = "bench-serve"
 
 #: Telemetry-on throughput must stay at least this fraction of the
@@ -418,6 +522,14 @@ BENCH_CHECKERS = {
         lambda s: (
             f"telemetry on {s['on_rps']}/s vs off {s['off_rps']}/s "
             f"(ratio {s['ratio']}, p99 {s['p99_on_ms']}ms)"
+        ),
+    ),
+    SCHEMA_KIND_PACKING: (
+        check_bench_packing,
+        lambda s: (
+            f"{s['designs']} designs, never worse packed: "
+            f"{', '.join(s['never_worse'])} "
+            f"(worst ratio {s['worst_ratio']})"
         ),
     ),
 }

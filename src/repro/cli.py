@@ -85,11 +85,23 @@ def _search_opts_from_args(args: argparse.Namespace) -> dict[str, str]:
     return opts
 
 
+def _pack_opts_from_args(args: argparse.Namespace) -> dict[str, str]:
+    """Collect --pack-opt KEY=VALUE pairs for the rectangle packer."""
+    opts: dict[str, str] = {}
+    for item in getattr(args, "pack_opt", None) or []:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise ValueError(f"--pack-opt expects KEY=VALUE, got {item!r}")
+        opts[key.strip()] = value
+    return opts
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     soc = load_design(args.design)
     compression = "none" if args.no_compression else args.compression
     try:
         search_opts = _search_opts_from_args(args)
+        pack_opts = _pack_opts_from_args(args)
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -99,6 +111,9 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         max_tams=args.max_tams,
         strategy=args.strategy,
         search_opts=tuple(sorted(search_opts.items())),
+        architecture=args.architecture,
+        schedule=args.schedule,
+        pack_opts=tuple(sorted(pack_opts.items())),
         verify=args.verify,
     )
     try:
@@ -248,7 +263,18 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             )
             return 2
         soc = load_design(args.design)
-        config = _run_config(args, compression=args.compression)
+        try:
+            pack_opts = _pack_opts_from_args(args)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        config = _run_config(
+            args,
+            compression=args.compression,
+            architecture=getattr(args, "architecture", "auto"),
+            schedule=getattr(args, "schedule", "auto"),
+            pack_opts=tuple(sorted(pack_opts.items())),
+        )
         result = run_plan(soc, args.width, config)
         report = verify_plan(result, soc, config=config)
     print(report.summary())
@@ -477,6 +503,29 @@ def build_parser() -> argparse.ArgumentParser:
         "validated against the chosen backend",
     )
     plan.add_argument(
+        "--architecture",
+        default="auto",
+        metavar="STAGE",
+        help="registered architecture (step-3) stage; 'packing' selects "
+        "the flexible-width rectangle packer (see docs/packing.md); "
+        "default: auto (compression/constraint routing)",
+    )
+    plan.add_argument(
+        "--schedule",
+        default="auto",
+        metavar="STAGE",
+        help="registered schedule (step-4) stage; pair 'packing' with "
+        "--architecture packing; default: auto",
+    )
+    plan.add_argument(
+        "--pack-opt",
+        action="append",
+        metavar="KEY=VALUE",
+        default=None,
+        help="rectangle-packer override, repeatable (heuristic="
+        "bottom-left|diagonal|auto, max_widths=N)",
+    )
+    plan.add_argument(
         "--study",
         metavar="PATH",
         default=None,
@@ -517,6 +566,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="verify an exported plan JSON instead of planning afresh",
+    )
+    verify.add_argument(
+        "--architecture",
+        default="auto",
+        metavar="STAGE",
+        help="architecture stage to plan with (e.g. packing)",
+    )
+    verify.add_argument(
+        "--schedule",
+        default="auto",
+        metavar="STAGE",
+        help="schedule stage to plan with (e.g. packing)",
+    )
+    verify.add_argument(
+        "--pack-opt",
+        action="append",
+        metavar="KEY=VALUE",
+        default=None,
+        help="rectangle-packer override, repeatable",
     )
     _add_perf_args(verify)
     verify.set_defaults(func=_cmd_verify)

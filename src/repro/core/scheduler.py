@@ -242,22 +242,40 @@ def build_architecture(
     *,
     placement: DecompressorPlacement,
     ate_channels: int,
+    time_of: TimeFn | None = None,
 ) -> TestArchitecture:
     """Materialize a :class:`TestArchitecture` from a schedule outcome.
 
     Start times are laid out serially per TAM in the same
     longest-first order the scheduler used, so the architecture passes
     its own overlap validation and the makespan is preserved.
+
+    ``time_of`` should be the same lookup the scheduler ordered by.
+    The scheduler sorted cores by ``time_of(name, widest)``; reordering
+    here by ``config_of(name, widest).test_time`` instead is only safe
+    when the two agree at the widest width.  When a caller's
+    ``config_of`` disagrees (a resolver that picks a different codec
+    or wrapper at materialization time), the divergent order would
+    shuffle start times away from the ``ScheduleOutcome`` and the
+    materialized makespan could differ from ``outcome.makespan`` --
+    so pass ``time_of`` whenever it is available; the ``config_of``
+    fallback exists for callers that genuinely have only configs.
     """
     widths = outcome.widths
     tams = tuple(Tam(index=i, width=w) for i, w in enumerate(widths))
 
     # Recreate the scheduling order to lay out serial slots per TAM.
     widest = max(widths)
+    if time_of is not None:
+        widest_time = time_of
+    else:
+        def widest_time(name: str, width: int) -> int:
+            return config_of(name, width).test_time
+
     order = sorted(
         range(len(core_names)),
         key=lambda i: (
-            -config_of(core_names[i], widest).test_time,
+            -widest_time(core_names[i], widest),
             core_names[i],
         ),
     )

@@ -14,10 +14,13 @@ OpenMetrics text format (the Prometheus exposition format plus the
 Metric names are sanitized to the OpenMetrics grammar
 (``[a-zA-Z_:][a-zA-Z0-9_:]*``): the registry's dotted names
 (``serve.jobs_completed``) map to underscores
-(``repro_serve_jobs_completed_total``).  The mapping is lossy by
-design -- two dotted names that collide after sanitization would merge,
-so instrument names should stay within ``[a-z0-9._]`` (every name in
-this codebase does).
+(``repro_serve_jobs_completed_total``).  The mapping is lossy, so two
+distinct dotted names can land on the same exposed family
+(``serve.jobs`` vs ``serve_jobs``); rather than silently merging them
+into one family with duplicate series, :func:`render_openmetrics`
+detects the collision within the snapshot and raises ``ValueError``
+naming both dotted sources.  Instrument names should stay within
+``[a-z0-9._]`` (every name in this codebase does).
 
 This module renders; it does not serve HTTP.  The planning service
 exposes the text through its own line-JSON protocol (the ``metrics``
@@ -73,13 +76,29 @@ def render_openmetrics(
     ``help_text`` optionally maps *registry* names (pre-sanitization,
     without the prefix) to ``# HELP`` strings.  Output is
     deterministic: families are sorted by name within each type.
+
+    Raises ``ValueError`` when two distinct registry names in the
+    snapshot collide on the same exposed family after sanitization
+    (e.g. ``serve.jobs`` and ``serve_jobs``): a scraper fed duplicate
+    families would silently merge or reject them, so the renderer
+    refuses instead, naming both dotted sources.
     """
     helps = dict(help_text or {})
     lines: list[str] = []
+    claimed: dict[str, str] = {}
 
     def family(name: str) -> str:
         base = sanitize_metric_name(name)
         return f"{sanitize_metric_name(prefix)}_{base}" if prefix else base
+
+    def claim(exposed: str, name: str, kind: str) -> None:
+        source = f"{kind} {name!r}"
+        other = claimed.setdefault(exposed, source)
+        if other != source:
+            raise ValueError(
+                "metric name collision after sanitization: "
+                f"{other} and {source} both expose {exposed!r}"
+            )
 
     def emit_help(name: str, exposed: str) -> None:
         text = helps.get(name)
@@ -89,18 +108,21 @@ def render_openmetrics(
 
     for name, value in sorted(snapshot.get("counters", {}).items()):
         exposed = f"{family(name)}_total"
+        claim(exposed, name, "counter")
         emit_help(name, exposed)
         lines.append(f"# TYPE {exposed} counter")
         lines.append(f"{exposed} {_format_value(value)}")
 
     for name, value in sorted(snapshot.get("gauges", {}).items()):
         exposed = family(name)
+        claim(exposed, name, "gauge")
         emit_help(name, exposed)
         lines.append(f"# TYPE {exposed} gauge")
         lines.append(f"{exposed} {_format_value(value)}")
 
     for name, data in sorted(snapshot.get("histograms", {}).items()):
         exposed = family(name)
+        claim(exposed, name, "histogram")
         emit_help(name, exposed)
         lines.append(f"# TYPE {exposed} histogram")
         cumulative = 0

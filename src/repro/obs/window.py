@@ -6,7 +6,11 @@ service that has been up for a week.  :class:`SlidingWindow` keeps the
 raw ``(timestamp, value)`` samples of the last ``horizon_s`` seconds
 and derives rolling statistics from them on demand:
 
-* **rate** -- samples per second over the window;
+* **rate** -- samples per second over the *effective observed span*
+  (``now`` minus the oldest retained sample, clamped to the horizon):
+  during warm-up, or after ``max_samples`` overflow dropped the oldest
+  samples, the retained samples cover less than ``horizon_s`` and
+  dividing by the full horizon would understate the rate;
 * **quantile(q)** -- exact order statistic with linear interpolation
   between adjacent samples (not bucketed: within the window the raw
   values are retained, so the estimate has no bucket-resolution floor);
@@ -93,6 +97,27 @@ class SlidingWindow:
             self._prune(stamp)
             return [value for _, value in self._samples]
 
+    def _observed(self, now: float | None) -> tuple[list[float], float]:
+        """In-window values plus the effective observed span, seconds.
+
+        The span is ``now - oldest retained sample``, clamped to the
+        horizon.  During warm-up (window younger than the horizon) and
+        after ``max_samples`` overflow (oldest samples dropped), the
+        retained samples cover *less* than ``horizon_s`` -- dividing a
+        count by the full horizon there would understate the rate.
+        With no samples, or a non-positive span (all samples stamped
+        ``now``), the horizon is the only defensible denominator.
+        """
+        stamp = time.time() if now is None else float(now)
+        with self._lock:
+            self._prune(stamp)
+            span = self.horizon_s
+            if self._samples:
+                observed = stamp - self._samples[0][0]
+                if observed > 0.0:
+                    span = min(observed, self.horizon_s)
+            return [value for _, value in self._samples], span
+
     # ------------------------------------------------------------------
 
     def count(self, now: float | None = None) -> int:
@@ -100,8 +125,9 @@ class SlidingWindow:
         return len(self._values(now))
 
     def rate(self, now: float | None = None) -> float:
-        """Samples per second over the horizon."""
-        return len(self._values(now)) / self.horizon_s
+        """Samples per second over the effective observed span."""
+        values, span = self._observed(now)
+        return len(values) / span
 
     def quantile(self, q: float, now: float | None = None) -> float:
         """The q-quantile of in-window values (0 with no samples).
@@ -127,11 +153,12 @@ class SlidingWindow:
 
     def summary(self, now: float | None = None) -> dict[str, float]:
         """The JSON-ready rolling bundle (health op / dashboards)."""
-        values = sorted(self._values(now))
+        raw, span = self._observed(now)
+        values = sorted(raw)
         count = len(values)
         result: dict[str, float] = {
             "count": count,
-            "rate_per_s": round(count / self.horizon_s, 4),
+            "rate_per_s": round(count / span, 4),
             "mean": round(sum(values) / count, 6) if count else 0.0,
             "max": values[-1] if count else 0.0,
         }

@@ -1,0 +1,46 @@
+"""Flexible-width test scheduling via 2D rectangle packing.
+
+The paper's architecture step fixes the TAM widths up front and
+partitions the ATE channels; the Dhaka-group follow-ups (arXiv
+1008.3320, "Efficient Wrapper/TAM Co-Optimization for SOC Using
+Rectangle Packing", and arXiv 1008.4446, the diagonal-length variant)
+instead treat each core test as a *rectangle* -- width = the TAM wires
+it occupies, height = its test time at that width -- and pack the
+rectangles into a ``W_TAM x T`` strip.  Wires are time-shared: a core
+may use 6 wires for its duration and hand them to two 3-wire cores
+afterwards, which no fixed partition can express.
+
+The subsystem plugs into the staged pipeline as alternative
+architecture/schedule stages (``--architecture packing --schedule
+packing``); the :class:`~repro.pack.packer.PackedPlan` it produces
+materializes into the ordinary
+:class:`~repro.core.architecture.TestArchitecture` (one single-core TAM
+per rectangle), so reporting, export, serve, and verification all work
+unchanged.  :func:`repro.verify.verify_packed` re-checks the packing
+geometry itself.
+
+See ``docs/packing.md`` for the model, the two placement heuristics,
+and the fixed-vs-flexible benchmark comparison.
+"""
+
+from repro.pack.packer import (
+    HEURISTICS,
+    PackedPlan,
+    PackedRect,
+    pack_rectangles,
+    packed_architecture,
+)
+from repro.pack.rects import CoreRectangles, RectCandidate, core_rectangles
+from repro.pack.skyline import Skyline
+
+__all__ = [
+    "HEURISTICS",
+    "CoreRectangles",
+    "PackedPlan",
+    "PackedRect",
+    "RectCandidate",
+    "Skyline",
+    "core_rectangles",
+    "pack_rectangles",
+    "packed_architecture",
+]

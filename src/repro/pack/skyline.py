@@ -1,0 +1,106 @@
+"""The skyline occupancy structure behind the rectangle packer.
+
+A skyline is the classic strip-packing summary of what is already
+placed: for every wire (x position) the earliest time it becomes free,
+stored as maximal segments of equal height.  Placing a rectangle only
+ever needs two operations -- enumerate the candidate left edges with
+their support heights, and raise the covered span to the rectangle's
+top -- both linear in the number of segments.
+
+Axes follow the packing papers: x is the TAM wire index in
+``[0, width)``, y is time growing upward from 0.  Heights are integer
+cycles, like every schedule time in the repo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal run of wires free from ``height`` onward."""
+
+    x: int
+    end: int
+    height: int
+
+
+class Skyline:
+    """Occupancy profile of a ``width``-wire strip."""
+
+    def __init__(self, width: int) -> None:
+        if width < 1:
+            raise ValueError(f"strip width must be >= 1, got {width}")
+        self.width = width
+        self._segments: list[Segment] = [Segment(0, width, 0)]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def segments(self) -> tuple[Segment, ...]:
+        return tuple(self._segments)
+
+    @property
+    def makespan(self) -> int:
+        """The highest point of the skyline."""
+        return max(s.height for s in self._segments)
+
+    def support(self, x: int, w: int) -> int:
+        """Earliest time all wires in ``[x, x + w)`` are free."""
+        if x < 0 or x + w > self.width:
+            raise ValueError(
+                f"span [{x}, {x + w}) outside the {self.width}-wire strip"
+            )
+        return max(
+            s.height for s in self._segments if s.x < x + w and s.end > x
+        )
+
+    def positions(self, w: int) -> Iterator[tuple[int, int]]:
+        """Candidate ``(x, support)`` placements for a ``w``-wide rect.
+
+        Candidate left edges are the segment starts (the classic
+        skyline rule) plus the right-flush position ``width - w``:
+        restricting to these corners loses no optimal placement for
+        the bottom-left rule and keeps the search linear.
+        """
+        if w < 1 or w > self.width:
+            return
+        edges = [s.x for s in self._segments if s.x + w <= self.width]
+        flush = self.width - w
+        if flush not in edges:
+            edges.append(flush)
+        for x in sorted(set(edges)):
+            yield x, self.support(x, w)
+
+    def place(self, x: int, w: int, top: int) -> None:
+        """Raise the skyline over ``[x, x + w)`` to ``top``.
+
+        ``top`` must be at least the current support (a rectangle
+        cannot sink below material already placed).
+        """
+        if top < self.support(x, w):
+            raise ValueError(
+                f"top {top} below current support {self.support(x, w)} "
+                f"over [{x}, {x + w})"
+            )
+        rebuilt: list[Segment] = []
+        for s in self._segments:
+            if s.end <= x or s.x >= x + w:
+                rebuilt.append(s)
+                continue
+            if s.x < x:
+                rebuilt.append(Segment(s.x, x, s.height))
+            if s.end > x + w:
+                rebuilt.append(Segment(x + w, s.end, s.height))
+        rebuilt.append(Segment(x, x + w, top))
+        rebuilt.sort(key=lambda s: s.x)
+        # Merge adjacent equal heights back into maximal segments.
+        merged: list[Segment] = []
+        for s in rebuilt:
+            if merged and merged[-1].height == s.height and merged[-1].end == s.x:
+                merged[-1] = Segment(merged[-1].x, s.end, s.height)
+            else:
+                merged.append(s)
+        self._segments = merged

@@ -66,7 +66,11 @@ class RunConfig:
 
     * **what to plan** -- ``compression`` (mode/placement), the
       partition-search controls ``max_tams`` / ``min_tam_width`` /
-      ``strategy``, the per-TAM flow's ``min_code_width``;
+      ``strategy``, the per-TAM flow's ``min_code_width``, and the
+      explicit stage selection ``architecture`` / ``schedule``
+      (registry names such as ``"packing"``; ``"auto"`` keeps the
+      built-in routing) with ``pack_opts`` carrying the rectangle
+      packer's knobs;
     * **analysis fidelity** -- ``mode`` / ``samples`` / ``grid``,
       passed to the per-core design-space exploration;
     * **constraints** -- ``power_budget`` / ``power_of`` /
@@ -95,6 +99,9 @@ class RunConfig:
     min_code_width: int = 3
     strategy: str = "auto"
     search_opts: tuple[tuple[str, str], ...] = ()
+    architecture: str = "auto"
+    schedule: str = "auto"
+    pack_opts: tuple[tuple[str, str], ...] = ()
     power_budget: float | None = None
     power_of: Mapping[str, float] | None = None
     precedence: tuple[tuple[str, str], ...] = ()
@@ -126,6 +133,14 @@ class RunConfig:
                 sorted((str(k), str(v)) for k, v in dict(self.search_opts).items())
             ),
         )
+        # Packer options travel the same way (hashable, JSON-clean).
+        object.__setattr__(
+            self,
+            "pack_opts",
+            tuple(
+                sorted((str(k), str(v)) for k, v in dict(self.pack_opts).items())
+            ),
+        )
 
     # ------------------------------------------------------------------
 
@@ -142,6 +157,7 @@ class RunConfig:
         data = dataclasses.asdict(self)
         data["precedence"] = [list(pair) for pair in self.precedence]
         data["search_opts"] = [list(pair) for pair in self.search_opts]
+        data["pack_opts"] = [list(pair) for pair in self.pack_opts]
         if self.power_of is not None:
             data["power_of"] = dict(self.power_of)
         return data
@@ -169,6 +185,10 @@ class RunConfig:
     def search_options(self) -> dict[str, str]:
         """The backend hyperparameter overrides as a plain dict."""
         return dict(self.search_opts)
+
+    def pack_options(self) -> dict[str, str]:
+        """The rectangle-packer overrides as a plain dict."""
+        return dict(self.pack_opts)
 
     def backend_config(self) -> "BackendConfig":
         """The architecture-search backend choice this config implies."""

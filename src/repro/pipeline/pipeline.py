@@ -207,10 +207,25 @@ def _event_bridge(active: obs.Observability) -> EventSink:
 def pipeline_for(config: RunConfig) -> Pipeline:
     """The built-in pipeline flavor matching a configuration.
 
-    ``config.verify`` appends the registered verify stage, so the plan
-    is independently re-checked before it leaves the pipeline.
+    ``config.architecture`` / ``config.schedule`` (when not ``"auto"``)
+    select registered step-3/4 stages explicitly -- the packing flow is
+    ``architecture="packing", schedule="packing"`` -- overriding the
+    compression/constraint routing.  ``config.verify`` appends the
+    registered verify stage, so the plan is independently re-checked
+    before it leaves the pipeline.
     """
-    if config.compression == "per-tam":
+    if config.architecture != "auto" or config.schedule != "auto":
+        if (config.architecture == "packing") != (config.schedule == "packing"):
+            raise ValueError(
+                "the packing architecture and schedule stages must be "
+                "selected together (the schedule stage materializes the "
+                "architecture stage's packed plan)"
+            )
+        flavor = Pipeline.from_registry(
+            config.architecture if config.architecture != "auto" else "partition",
+            config.schedule if config.schedule != "auto" else "list",
+        )
+    elif config.compression == "per-tam":
         flavor = Pipeline.per_tam()
     elif config.is_constrained:
         flavor = Pipeline.constrained()

@@ -442,6 +442,7 @@ class ScheduleStage(Stage):
                 tables.config_of,
                 placement=ctx.placement,
                 ate_channels=ctx.width_budget,
+                time_of=tables.time_of,
             )
         obs.inc("schedule.cores_scheduled", len(ctx.architecture.scheduled))
         ctx.events.emit(
@@ -583,7 +584,11 @@ class VerifyStage(Stage):
 
     def run(self, ctx: PlanContext) -> None:
         # Imported here: repro.verify depends on this package's config.
-        from repro.verify import verify_architecture, verify_constrained
+        from repro.verify import (
+            verify_architecture,
+            verify_constrained,
+            verify_packed,
+        )
 
         config = ctx.config
         if ctx.architecture is None:
@@ -591,6 +596,7 @@ class VerifyStage(Stage):
                 "VerifyStage needs a materialized architecture; run it "
                 "after the schedule stage"
             )
+        packed_plan = ctx.extras.get("packed_plan")
         reports = [
             verify_architecture(
                 ctx.architecture,
@@ -601,6 +607,7 @@ class VerifyStage(Stage):
                 power_budget=config.power_budget,
                 stated_peak=ctx.peak_power if ctx.power_of is not None else None,
                 precedence=config.precedence,
+                packed=packed_plan is not None,
             )
         ]
         schedule = ctx.extras.get("constrained_schedule")
@@ -614,6 +621,10 @@ class VerifyStage(Stage):
                     power_budget=config.power_budget,
                     precedence=config.precedence,
                 )
+            )
+        if packed_plan is not None and ctx.tables is not None:
+            reports.append(
+                verify_packed(packed_plan, ctx.names, ctx.tables.time_of)
             )
         violations = sum(len(r.violations) for r in reports)
         obs.inc("verify.runs")
@@ -705,3 +716,21 @@ register_stage("schedule", "list", ScheduleStage)
 register_stage("schedule", "constrained", ConstrainedScheduleStage)
 register_stage("schedule", "per-tam", PerTamScheduleStage)
 register_stage("verify", "invariants", VerifyStage)
+
+
+def _packing_architecture_stage(*args: Any, **kwargs: Any) -> Stage:
+    # Lazy import: repro.pack.stages subclasses this module's Stage, so
+    # a top-level import either way would be circular at load time.
+    from repro.pack.stages import PackingArchitectureStage
+
+    return PackingArchitectureStage(*args, **kwargs)
+
+
+def _packing_schedule_stage(*args: Any, **kwargs: Any) -> Stage:
+    from repro.pack.stages import PackingScheduleStage
+
+    return PackingScheduleStage(*args, **kwargs)
+
+
+register_stage("architecture", "packing", _packing_architecture_stage)
+register_stage("schedule", "packing", _packing_schedule_stage)

@@ -3,8 +3,9 @@
 Public surface:
 
 * :func:`verify_plan` / :func:`verify_architecture` /
-  :func:`verify_constrained` / :func:`verify_preemptive` -- re-derive
-  a plan's invariants from the paper's models and report violations.
+  :func:`verify_constrained` / :func:`verify_preemptive` /
+  :func:`verify_packed` -- re-derive a plan's invariants from the
+  paper's models and report violations.
 * :class:`VerificationReport` / :class:`Violation` /
   :class:`PlanVerificationError` -- the result types.
 * :func:`corrupt_result` / :func:`corrupt_architecture` -- deliberate
@@ -24,6 +25,7 @@ from repro.verify.invariants import (
     Violation,
     verify_architecture,
     verify_constrained,
+    verify_packed,
     verify_plan,
     verify_preemptive,
 )
@@ -37,6 +39,7 @@ __all__ = [
     "corrupt_result",
     "verify_architecture",
     "verify_constrained",
+    "verify_packed",
     "verify_plan",
     "verify_preemptive",
 ]

@@ -37,8 +37,13 @@ from repro.soc.soc import Soc
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.explore.dse import CoreAnalysis
+    from repro.pack.packer import PackedPlan
     from repro.pipeline.config import RunConfig
     from repro.pipeline.result import PlanResult
+
+#: ``PlanResult.strategy`` prefix marking a rectangle-packed plan;
+#: survives JSON export, so re-imported plans verify correctly too.
+PACKED_STRATEGY_PREFIX = "packing"
 
 #: Signature shared with the schedulers: (core name, tam width) -> cycles.
 TimeFn = Callable[[str, int], int]
@@ -182,6 +187,28 @@ def _peak_power(
     peak = 0.0
     for t, _, _ in spans:
         level = sum(p for s, e, p in spans if s <= t < e)
+        peak = max(peak, level)
+    return peak
+
+
+def _instant_peak_width(
+    slots: Iterable[_Slot], widths: Mapping[int, int]
+) -> int:
+    """Sweep-line peak of the instantaneous occupied TAM width.
+
+    Flexible-width (packed) plans time-share the ATE interface: the sum
+    of TAM widths may legitimately exceed the channel budget as long as
+    the widths *active at any one instant* fit.  The peak over all slot
+    starts is the exact maximum (the active set only changes there).
+    """
+    spans = [
+        (s.start, s.end, int(widths.get(s.tam, 0)))
+        for s in slots
+        if s.end > s.start
+    ]
+    peak = 0
+    for t, _, _ in spans:
+        level = sum(w for s, e, w in spans if s <= t < e)
         peak = max(peak, level)
     return peak
 
@@ -519,6 +546,7 @@ def _verify_architecture_into(
     power_budget: float | None,
     stated_peak: float | None,
     precedence: Sequence[tuple[str, str]],
+    packed: bool = False,
 ) -> None:
     out.ran("tam-index")
     indices = [t.index for t in architecture.tams]
@@ -551,7 +579,19 @@ def _verify_architecture_into(
     _check_tam_overlap(out, slots)
 
     out.ran("width-budget")
-    if architecture.placement is not DecompressorPlacement.PER_TAM:
+    if packed:
+        # Packed plans time-share the ATE wires: one single-core TAM per
+        # rectangle, so the width *sum* may exceed the budget while the
+        # instantaneous occupied width never may.
+        widths = {t.index: t.width for t in architecture.tams}
+        peak_width = _instant_peak_width(slots, widths)
+        if peak_width > architecture.ate_channels:
+            out.fail(
+                "width-budget",
+                f"instantaneous occupied width {peak_width} > "
+                f"{architecture.ate_channels} ATE channels",
+            )
+    elif architecture.placement is not DecompressorPlacement.PER_TAM:
         # Per-TAM stores post-expansion widths, which legitimately exceed
         # the ATE channel budget; all other placements pay wire-for-wire.
         total = architecture.total_tam_width
@@ -589,6 +629,7 @@ def verify_architecture(
     power_budget: float | None = None,
     stated_peak: float | None = None,
     precedence: Sequence[tuple[str, str]] = (),
+    packed: bool = False,
 ) -> VerificationReport:
     """Independently re-check a :class:`TestArchitecture`.
 
@@ -597,6 +638,12 @@ def verify_architecture(
     wrapper fit against the core) additionally need ``soc`` (and use
     ``config``'s analysis knobs, or explicit ``analyses``).  Power checks
     need ``power_of``; precedence checks need ``precedence``.
+
+    ``packed`` marks a flexible-width (rectangle-packed) plan: the
+    width-budget check then bounds the *instantaneous* occupied width by
+    a sweep instead of the width sum (see :func:`verify_packed` for the
+    full 2D geometry check, which needs the original
+    :class:`~repro.pack.packer.PackedPlan`).
     """
     out = _Collector()
     _verify_architecture_into(
@@ -609,6 +656,7 @@ def verify_architecture(
         power_budget=power_budget,
         stated_peak=stated_peak,
         precedence=tuple(precedence),
+        packed=packed,
     )
     return out.report(f"architecture:{architecture.soc_name}")
 
@@ -631,6 +679,11 @@ def verify_plan(
     plan is power-constrained but no ``power_of`` map is given, the
     default :func:`repro.power.model.power_table` model is assumed (the
     same default the pipeline uses).
+
+    A strategy starting with ``"packing"`` (see
+    :data:`PACKED_STRATEGY_PREFIX`) switches the width-budget check to
+    the packed (instantaneous-width) form, so re-imported packed plans
+    verify without the original packer state.
     """
     out = _Collector()
     architecture = result.architecture
@@ -666,8 +719,93 @@ def verify_plan(
         power_budget=budget,
         stated_peak=stated_peak,
         precedence=tuple(precedence),
+        packed=result.strategy.startswith(PACKED_STRATEGY_PREFIX),
     )
     return out.report(f"plan:{result.soc_name}")
+
+
+def verify_packed(
+    plan: "PackedPlan",
+    core_names: Sequence[str],
+    time_of: TimeFn,
+) -> VerificationReport:
+    """Re-check a :class:`~repro.pack.packer.PackedPlan`'s 2D geometry.
+
+    Invariants, each re-derived from the raw rectangles:
+
+    * ``rect-bounds`` -- every rectangle lies inside the
+      ``width_budget``-wide strip and starts at time >= 0;
+    * ``rect-overlap`` -- no two rectangles overlap in 2D (sweep over
+      start times; at each instant the active rectangles, sorted by x,
+      must be pairwise disjoint);
+    * ``channel-budget`` -- the instantaneous occupied width never
+      exceeds the budget at any instant;
+    * ``width-support`` -- each core runs at a width its wrapper table
+      actually supports: ``time_of(name, width)`` must equal the
+      rectangle's height exactly;
+    * ``core-membership`` -- every core packed exactly once;
+    * ``makespan`` -- the stated makespan equals the last finish.
+    """
+    out = _Collector()
+    out.ran("rect-bounds")
+    out.ran("width-support")
+    for rect in plan.rects:
+        if rect.x < 0 or rect.x + rect.width > plan.width_budget:
+            out.fail(
+                "rect-bounds",
+                f"rectangle x=[{rect.x}, {rect.x + rect.width}) falls "
+                f"outside the {plan.width_budget}-wide strip",
+                core=rect.name,
+            )
+        if rect.start < 0:
+            out.fail(
+                "rect-bounds",
+                f"negative start {rect.start}",
+                core=rect.name,
+            )
+        expected = time_of(rect.name, rect.width)
+        if rect.end - rect.start != expected:
+            out.fail(
+                "width-support",
+                f"rectangle height {rect.end - rect.start} != test time "
+                f"{expected} at width {rect.width}",
+                core=rect.name,
+            )
+    _check_membership(out, [rect.name for rect in plan.rects], core_names)
+
+    out.ran("rect-overlap")
+    out.ran("channel-budget")
+    live = [rect for rect in plan.rects if rect.end > rect.start]
+    for probe in live:
+        t = probe.start
+        active = sorted(
+            (rect for rect in live if rect.start <= t < rect.end),
+            key=lambda rect: (rect.x, rect.name),
+        )
+        for a, b in zip(active, active[1:]):
+            if b.x < a.x + a.width:
+                out.fail(
+                    "rect-overlap",
+                    f"{a.name} x=[{a.x}, {a.x + a.width}) overlaps "
+                    f"{b.name} x=[{b.x}, {b.x + b.width}) at time {t}",
+                    core=b.name,
+                )
+        occupied = sum(rect.width for rect in active)
+        if occupied > plan.width_budget:
+            out.fail(
+                "channel-budget",
+                f"instantaneous occupied width {occupied} > "
+                f"{plan.width_budget} ATE channels at time {t}",
+            )
+
+    out.ran("makespan")
+    actual = max((rect.end for rect in plan.rects), default=0)
+    if plan.makespan != actual:
+        out.fail(
+            "makespan",
+            f"stated makespan {plan.makespan} != last finish {actual}",
+        )
+    return out.report(f"packed:{plan.soc_name}")
 
 
 def verify_constrained(

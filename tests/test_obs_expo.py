@@ -47,6 +47,40 @@ class TestRender:
         assert "# TYPE repro_serve_queue_depth gauge" in text
         assert "repro_serve_queue_depth 3" in text  # integral, no ".0"
 
+    def test_sanitization_collision_raises(self):
+        # Regression: "serve.jobs" and "serve_jobs" both sanitize to
+        # "serve_jobs"; the renderer used to emit both silently as
+        # duplicate families.  It must refuse, naming both sources.
+        registry = MetricsRegistry()
+        registry.inc("serve.jobs", 1)
+        registry.inc("serve_jobs", 2)
+        with pytest.raises(ValueError) as excinfo:
+            render_openmetrics(registry.snapshot())
+        message = str(excinfo.value)
+        assert "serve.jobs" in message
+        assert "serve_jobs" in message
+
+    def test_sanitization_collision_across_kinds_raises(self):
+        # A gauge named "a.b.total" lands on the counter "a.b"'s
+        # exposed family (counters get the "_total" suffix).
+        registry = MetricsRegistry()
+        registry.inc("a.b", 1)
+        registry.set_gauge("a.b.total", 3.0)
+        with pytest.raises(ValueError) as excinfo:
+            render_openmetrics(registry.snapshot())
+        message = str(excinfo.value)
+        assert "a.b" in message
+        assert "a.b.total" in message
+
+    def test_same_name_counter_and_gauge_do_not_collide(self):
+        # The counter's "_total" suffix keeps the families distinct.
+        registry = MetricsRegistry()
+        registry.inc("serve.jobs", 1)
+        registry.set_gauge("serve.jobs", 2.0)
+        series = parse_openmetrics(render_openmetrics(registry.snapshot()))
+        assert series["repro_serve_jobs_total"] == 1
+        assert series["repro_serve_jobs"] == 2
+
     def test_histogram_family_is_cumulative_with_inf(self):
         registry = MetricsRegistry()
         boundaries = (0.1, 1.0)

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs.window import (
     DEFAULT_HORIZON_S,
@@ -25,7 +27,47 @@ class TestSlidingWindow:
         for i in range(5):
             window.observe(float(i), now=T0 + i)
         assert window.count(now=T0 + 4) == 5
-        assert window.rate(now=T0 + 4) == pytest.approx(0.5)
+        # 5 samples over the 4 s actually observed, not the 10 s
+        # horizon: the window is still warming up.
+        assert window.rate(now=T0 + 4) == pytest.approx(1.25)
+
+    def test_rate_during_warmup_uses_observed_span(self):
+        # Regression: a steady 1-sample-per-second stream must read as
+        # ~1/s from the first seconds on, not ramp from 0.1/s as the
+        # 10s horizon slowly fills.
+        window = SlidingWindow(10.0)
+        window.observe(1.0, now=T0)
+        window.observe(1.0, now=T0 + 1)
+        window.observe(1.0, now=T0 + 2)
+        assert window.rate(now=T0 + 2) == pytest.approx(1.5)  # 3 in 2 s
+        assert window.summary(now=T0 + 2)["rate_per_s"] == pytest.approx(1.5)
+
+    def test_rate_after_overflow_uses_retained_span(self):
+        # Regression: with max_samples exceeded the oldest samples are
+        # dropped, so the retained samples cover less than the horizon;
+        # dividing by the fixed horizon understated the rate (here
+        # 3/1000 =~ 0 instead of the true ~1/s).
+        window = SlidingWindow(1000.0, max_samples=3)
+        for i in range(50):
+            window.observe(float(i), now=T0 + i)
+        # Retained: samples at T0+47..T0+49 -> 3 samples over 2 s.
+        assert window.rate(now=T0 + 49) == pytest.approx(1.5)
+
+    def test_rate_full_window_divides_by_horizon(self):
+        window = SlidingWindow(10.0)
+        for i in range(21):
+            window.observe(1.0, now=T0 + i)
+        # Oldest retained sample is 10 s old: span clamps to horizon.
+        assert window.rate(now=T0 + 20) == pytest.approx(11 / 10.0)
+
+    def test_rate_zero_span_falls_back_to_horizon(self):
+        window = SlidingWindow(10.0)
+        for _ in range(5):
+            window.observe(1.0, now=T0)
+        assert window.rate(now=T0) == pytest.approx(0.5)
+
+    def test_rate_empty_window_is_zero(self):
+        assert SlidingWindow(10.0).rate(now=T0) == 0.0
 
     def test_old_samples_prune_out(self):
         window = SlidingWindow(10.0)
@@ -121,6 +163,82 @@ class TestSlidingWindow:
         window.observe(1.0, now=T0)
         window.clear()
         assert window.count(now=T0) == 0
+
+    # -- quantile/merge edge cases --------------------------------------
+
+    def test_quantile_single_sample_is_that_sample(self):
+        window = SlidingWindow(10.0)
+        window.observe(3.25, now=T0)
+        for q in (0.0, 0.25, 0.5, 0.95, 1.0):
+            assert window.quantile(q, now=T0) == pytest.approx(3.25)
+
+    def test_quantile_all_equal_values(self):
+        window = SlidingWindow(10.0)
+        for _ in range(17):
+            window.observe(4.0, now=T0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert window.quantile(q, now=T0) == pytest.approx(4.0)
+        summary = window.summary(now=T0)
+        assert summary["p50"] == summary["p99"] == pytest.approx(4.0)
+
+    def test_merge_overlapping_horizons_prunes_by_receiver(self):
+        # A long-horizon worker snapshot folded into a short-horizon
+        # parent: only the samples inside the *parent's* horizon stay.
+        worker = SlidingWindow(1000.0)
+        worker.observe(1.0, now=T0 - 5)  # outside the parent's 10 s window
+        worker.observe(2.0, now=T0 + 8)
+        parent = SlidingWindow(10.0)
+        parent.observe(3.0, now=T0 + 9)
+        parent.merge(worker.snapshot(now=T0 + 9), now=T0 + 9)
+        assert parent.count(now=T0 + 9) == 2
+        assert parent.mean(now=T0 + 9) == pytest.approx(2.5)
+
+    def test_merge_overlapping_samples_keeps_duplicates(self):
+        # Identical timestamps from two sources are distinct events.
+        a = SlidingWindow(60.0)
+        a.observe(1.0, now=T0 + 1)
+        b = SlidingWindow(60.0)
+        b.observe(1.0, now=T0 + 1)
+        a.merge(b.snapshot(now=T0 + 1), now=T0 + 1)
+        assert a.count(now=T0 + 1) == 2
+
+
+class TestWindowProperties:
+    values = st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+
+    @given(values, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=120, deadline=None)
+    def test_quantile_within_range_and_monotone(self, samples, q):
+        window = SlidingWindow(1e9)
+        for i, value in enumerate(samples):
+            window.observe(value, now=T0 + i)
+        now = T0 + len(samples)
+        estimate = window.quantile(q, now=now)
+        assert min(samples) <= estimate <= max(samples)
+        assert window.quantile(0.0, now=now) == pytest.approx(min(samples))
+        assert window.quantile(1.0, now=now) == pytest.approx(max(samples))
+        assert estimate <= window.quantile(1.0, now=now) + 1e-9
+
+    @given(values, values)
+    @settings(max_examples=80, deadline=None)
+    def test_merge_is_sample_union(self, left, right):
+        now = T0 + 100.0
+        a = SlidingWindow(1e9)
+        for i, value in enumerate(left):
+            a.observe(value, now=T0 + i)
+        b = SlidingWindow(1e9)
+        for i, value in enumerate(right):
+            b.observe(value, now=T0 + i)
+        a.merge(b.snapshot(now=now), now=now)
+        assert a.count(now=now) == len(left) + len(right)
+        total = sum(left) + sum(right)
+        assert a.mean(now=now) == pytest.approx(
+            total / (len(left) + len(right))
+        )
 
 
 class TestWindowRegistry:

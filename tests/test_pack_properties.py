@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis) for the rectangle packer.
+
+The pinned invariants are the ones :func:`repro.verify.verify_packed`
+enforces in production, re-checked here by brute force over random
+rectangle families:
+
+* no two placed rectangles overlap in 2D;
+* every rectangle lies inside the ``width_budget``-wide strip, at a
+  width its family actually offers, with the matching height;
+* the makespan never beats the area lower bound
+  ``ceil(total min area / W)``;
+* packing is deterministic (same input, same plan).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pack import (
+    HEURISTICS,
+    CoreRectangles,
+    RectCandidate,
+    pack_rectangles,
+)
+from repro.pack.packer import area_lower_bound
+
+WIDTH_BUDGET = 8
+
+
+@st.composite
+def rect_family(draw, index: int = 0):
+    """One core's Pareto family: widths ascending, times descending."""
+    widths = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=WIDTH_BUDGET),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    widths.sort()
+    # Strictly decreasing times built from positive decrements.
+    drops = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=40),
+            min_size=len(widths),
+            max_size=len(widths),
+        )
+    )
+    tallest = sum(drops) + draw(st.integers(min_value=1, max_value=60))
+    times = []
+    remaining = tallest
+    for drop in drops:
+        times.append(remaining)
+        remaining -= drop
+    return CoreRectangles(
+        name=f"core{index:02d}",
+        candidates=tuple(
+            RectCandidate(width=w, time=t) for w, t in zip(widths, times)
+        ),
+    )
+
+
+@st.composite
+def rect_families(draw):
+    count = draw(st.integers(min_value=1, max_value=7))
+    return tuple(draw(rect_family(index=i)) for i in range(count))
+
+
+def shapes_of(families):
+    return {
+        f.name: {(c.width, c.time) for c in f.candidates} for f in families
+    }
+
+
+class TestPackerProperties:
+    @given(rect_families(), st.sampled_from(HEURISTICS + ("auto",)))
+    @settings(max_examples=120, deadline=None)
+    def test_no_overlap_and_in_strip(self, families, heuristic):
+        plan = pack_rectangles(
+            "prop", families, WIDTH_BUDGET, heuristic=heuristic
+        )
+        offered = shapes_of(families)
+        assert len(plan.rects) == len(families)
+        for rect in plan.rects:
+            assert 0 <= rect.x
+            assert rect.x + rect.width <= WIDTH_BUDGET
+            assert rect.start >= 0
+            # The chosen shape is one the family actually offers.
+            assert (rect.width, rect.end - rect.start) in offered[rect.name]
+        for i, a in enumerate(plan.rects):
+            for b in plan.rects[i + 1 :]:
+                in_time = a.start < b.end and b.start < a.end
+                in_x = a.x < b.x + b.width and b.x < a.x + a.width
+                assert not (in_time and in_x)
+
+    @given(rect_families(), st.sampled_from(HEURISTICS))
+    @settings(max_examples=120, deadline=None)
+    def test_instantaneous_width_within_budget(self, families, heuristic):
+        plan = pack_rectangles(
+            "prop", families, WIDTH_BUDGET, heuristic=heuristic
+        )
+        for probe in plan.rects:
+            t = probe.start
+            occupied = sum(
+                r.width for r in plan.rects if r.start <= t < r.end
+            )
+            assert occupied <= WIDTH_BUDGET
+
+    @given(rect_families(), st.sampled_from(HEURISTICS))
+    @settings(max_examples=120, deadline=None)
+    def test_makespan_at_least_area_bound(self, families, heuristic):
+        plan = pack_rectangles(
+            "prop", families, WIDTH_BUDGET, heuristic=heuristic
+        )
+        assert plan.makespan >= area_lower_bound(families, WIDTH_BUDGET)
+
+    @given(rect_families())
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic(self, families):
+        first = pack_rectangles("prop", families, WIDTH_BUDGET)
+        second = pack_rectangles("prop", families, WIDTH_BUDGET)
+        assert first == second

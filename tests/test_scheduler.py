@@ -112,6 +112,48 @@ class TestBuildArchitecture:
         for first, second in zip(slots, slots[1:]):
             assert second.start == first.end
 
+    def test_layout_order_follows_scheduler_time_of(self):
+        # Regression: the scheduler orders cores by time_of(name,
+        # widest), but build_architecture used to re-derive the order
+        # from config_of(name, widest).test_time.  A resolver that
+        # disagrees at the widest width (here width 4, which neither
+        # core is assigned to, so slot lengths stay consistent)
+        # shuffled start times away from the ScheduleOutcome's layout.
+        times = {("a", 4): 100, ("a", 1): 10, ("b", 4): 101, ("b", 1): 8}
+        config_times = dict(times)
+        config_times[("b", 4)] = 1  # disagrees only at the widest width
+
+        def time_of(name, width):
+            return times[(name, width)]
+
+        def config_of(name, width):
+            return CoreConfig(
+                core_name=name,
+                uses_compression=False,
+                wrapper_chains=width,
+                code_width=None,
+                test_time=config_times[(name, width)],
+                volume=config_times[(name, width)] * width,
+            )
+
+        names = ["a", "b"]
+        outcome = schedule_cores(names, [4, 1], time_of)
+        assert outcome.assignment == (1, 1)  # both on the narrow TAM
+        arch = build_architecture(
+            "soc",
+            names,
+            outcome,
+            config_of,
+            placement=DecompressorPlacement.NONE,
+            ate_channels=5,
+            time_of=time_of,
+        )
+        slots = {s.config.core_name: (s.start, s.end) for s in arch.scheduled}
+        # The scheduler placed b (longest at the widest width) first.
+        assert slots["b"] == (0, 8)
+        assert slots["a"] == (8, 18)
+        assert arch.test_time == outcome.makespan
+
     def test_volume_summed(self):
         times = {"a": 2, "b": 3}
         names = list(times)

@@ -113,6 +113,18 @@ class TestServiceTelemetry:
         assert rolling["job_seconds"]["count"] == 1
         assert rolling["turnaround_seconds"]["p99"] == pytest.approx(0.5)
 
+    def test_rolling_rate_uses_observed_span_during_warmup(self):
+        # The health op's rate must reflect actual traffic from the
+        # first seconds of uptime: 5 jobs over the 4 observed seconds
+        # reads ~1.25/s, not 5 / HEALTH_WINDOW_S =~ 0.08/s.
+        telemetry = ServiceTelemetry(enabled=True)
+        window = telemetry.windows.window("job_seconds", HEALTH_WINDOW_S)
+        t0 = 1_000_000.0
+        for i in range(5):
+            window.observe(0.1, now=t0 + i)
+        rolling = telemetry.windows.summaries(now=t0 + 4)
+        assert rolling["job_seconds"]["rate_per_s"] == pytest.approx(1.25)
+
     def test_disabled_telemetry_records_nothing(self):
         telemetry = ServiceTelemetry(enabled=False)
         telemetry.count("jobs_submitted")
